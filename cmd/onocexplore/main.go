@@ -1,0 +1,163 @@
+// Command onocexplore sweeps the design space beyond the paper's three
+// schemes: extended code families on the trade-off plane, laser activity,
+// DAC resolution and waveguide-length sensitivity.
+//
+//	onocexplore -sweep codes -ber 1e-9
+//	onocexplore -sweep activity
+//	onocexplore -sweep dac
+//	onocexplore -sweep length
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/manager"
+	"photonoc/internal/photonics"
+	"photonoc/internal/report"
+)
+
+func main() {
+	sweep := flag.String("sweep", "codes", "codes|activity|dac|length|spacing")
+	ber := flag.Float64("ber", 1e-9, "target BER")
+	flag.Parse()
+
+	var err error
+	switch *sweep {
+	case "codes":
+		err = sweepCodes(*ber)
+	case "activity":
+		err = sweepActivity()
+	case "dac":
+		err = sweepDAC(*ber)
+	case "length":
+		err = sweepLength(*ber)
+	case "spacing":
+		err = sweepSpacing(*ber)
+	default:
+		fmt.Fprintf(os.Stderr, "onocexplore: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onocexplore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func sweepCodes(ber float64) error {
+	cfg := core.DefaultConfig()
+	pts, err := cfg.TradeoffPlane(ecc.ExtendedSchemes(), []float64{ber})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Extended code families @ BER %.0e", ber),
+		"scheme", "rate", "t", "CT", "Plaser mW", "Pchannel mW", "pJ/bit", "Pareto")
+	for _, p := range pts {
+		code, _ := ecc.SchemeByName(p.Scheme)
+		ev, err := cfg.Evaluate(code, ber)
+		if err != nil {
+			return err
+		}
+		power, pareto, pj := "-", "infeasible", "-"
+		if p.Feasible {
+			power = fmt.Sprintf("%.2f", p.ChannelPowerW*1e3)
+			pareto = fmt.Sprintf("%v", p.OnPareto)
+			pj = fmt.Sprintf("%.2f", ev.EnergyPerBitJ*1e12)
+		}
+		t.AddRowf(p.Scheme, fmt.Sprintf("%.3f", ecc.Rate(code)), code.T(),
+			fmt.Sprintf("%.3f", p.CT), fmt.Sprintf("%.2f", ev.LaserPowerW*1e3), power, pj, pareto)
+	}
+	return t.Render(os.Stdout)
+}
+
+func sweepActivity() error {
+	laser := photonics.PaperLaser()
+	t := report.NewTable("Laser thermal headroom vs electrical-layer activity",
+		"activity", "thermal peak µW", "deliverable µW", "Plaser @400µW mW")
+	for _, a := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		peak, err := laser.ThermalPeakOpticalW(a)
+		if err != nil {
+			return err
+		}
+		maxOp, err := laser.MaxOpticalW(a)
+		if err != nil {
+			return err
+		}
+		at400 := "-"
+		if pe, err := laser.ElectricalPower(400e-6, a); err == nil {
+			at400 = fmt.Sprintf("%.2f", pe*1e3)
+		}
+		t.AddRowf(fmt.Sprintf("%.0f%%", a*100),
+			fmt.Sprintf("%.0f", peak*1e6), fmt.Sprintf("%.0f", maxOp*1e6), at400)
+	}
+	return t.Render(os.Stdout)
+}
+
+func sweepDAC(ber float64) error {
+	cfg := core.DefaultConfig()
+	t := report.NewTable(fmt.Sprintf("Laser DAC resolution @ BER %.0e (min-power)", ber),
+		"bits", "step µW", "scheme", "quantized OP µW", "waste mW")
+	for _, bits := range []int{2, 3, 4, 5, 6, 8} {
+		dac := manager.DAC{Bits: bits, MaxOpticalW: 700e-6}
+		m, err := manager.New(&cfg, ecc.PaperSchemes(), dac)
+		if err != nil {
+			return err
+		}
+		d, err := m.Configure(manager.Requirements{TargetBER: ber, Objective: manager.MinPower})
+		if err != nil {
+			return err
+		}
+		t.AddRowf(bits, fmt.Sprintf("%.1f", dac.StepW()*1e6), d.Eval.Code.Name(),
+			fmt.Sprintf("%.1f", d.QuantizedOpticalW*1e6),
+			fmt.Sprintf("%.3f", d.QuantizationWasteW*1e3))
+	}
+	return t.Render(os.Stdout)
+}
+
+func sweepSpacing(ber float64) error {
+	t := report.NewTable(fmt.Sprintf("WDM grid spacing sensitivity @ BER %.0e (uncoded and H(7,4))", ber),
+		"spacing nm", "worst χ", "scheme", "OPlaser µW", "feasible")
+	for _, sp := range []float64{0.4, 0.6, 0.8, 1.2, 1.6} {
+		cfg := core.DefaultConfig()
+		cfg.Channel.Grid.SpacingNM = sp
+		chi, _, err := cfg.Channel.WorstCrosstalk()
+		if err != nil {
+			return err
+		}
+		for _, code := range []ecc.Code{ecc.MustUncoded64(), ecc.MustHamming74()} {
+			ev, err := cfg.Evaluate(code, ber)
+			if err != nil {
+				return err
+			}
+			t.AddRowf(fmt.Sprintf("%.1f", sp), fmt.Sprintf("%.4f", chi), code.Name(),
+				fmt.Sprintf("%.1f", ev.Op.LaserOpticalW*1e6), fmt.Sprintf("%v", ev.Feasible))
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func sweepLength(ber float64) error {
+	t := report.NewTable(fmt.Sprintf("Waveguide length sensitivity @ BER %.0e", ber),
+		"length cm", "budget dB", "scheme", "OPlaser µW", "Plaser mW", "feasible")
+	for _, cm := range []float64{2, 4, 6, 8, 10, 12} {
+		cfg := core.DefaultConfig()
+		cfg.Channel.Waveguide.LengthCM = cm
+		for _, code := range []ecc.Code{ecc.MustUncoded64(), ecc.MustHamming74()} {
+			ev, err := cfg.Evaluate(code, ber)
+			if err != nil {
+				return err
+			}
+			plaser := "-"
+			if ev.Feasible {
+				plaser = fmt.Sprintf("%.2f", ev.LaserPowerW*1e3)
+			}
+			t.AddRowf(fmt.Sprintf("%.0f", cm), fmt.Sprintf("%.2f", ev.Op.BudgetDB),
+				code.Name(), fmt.Sprintf("%.1f", ev.Op.LaserOpticalW*1e6), plaser,
+				fmt.Sprintf("%v", ev.Feasible))
+		}
+	}
+	return t.Render(os.Stdout)
+}

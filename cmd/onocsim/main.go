@@ -1,0 +1,99 @@
+// Command onocsim drives synthetic application traffic over the 12-ONI
+// MWSR interconnect with the runtime energy/performance manager in the
+// loop.
+//
+//	onocsim -pattern uniform -load 0.4 -messages 20000
+//	onocsim -pattern hotspot -hotspot 3 -load 0.25
+//	onocsim -pattern streaming -deadline 2.0 -adaptive -idleoff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"photonoc/internal/manager"
+	"photonoc/internal/netsim"
+	"photonoc/internal/report"
+)
+
+func main() {
+	pattern := flag.String("pattern", "uniform", "uniform|hotspot|permutation|streaming")
+	hotspot := flag.Int("hotspot", 0, "hotspot destination node")
+	load := flag.Float64("load", 0.4, "offered payload utilization per channel (0,1)")
+	messages := flag.Int("messages", 20000, "messages to simulate")
+	msgBytes := flag.Int("msgbytes", 4096, "payload per message in bytes")
+	ber := flag.Float64("ber", 1e-11, "target BER")
+	deadline := flag.Float64("deadline", 0, "deadline slack factor (0 = no deadlines)")
+	adaptive := flag.Bool("adaptive", false, "deadline-aware scheme adaptation")
+	idleOff := flag.Bool("idleoff", false, "turn lasers off on idle channels [9]")
+	objective := flag.String("objective", "min-energy", "min-power|min-energy|min-latency")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := netsim.DefaultConfig()
+	cfg.Load = *load
+	cfg.Messages = *messages
+	cfg.MessageBits = *msgBytes * 8
+	cfg.TargetBER = *ber
+	cfg.DeadlineSlack = *deadline
+	cfg.AdaptToDeadline = *adaptive
+	cfg.IdleLaserOff = *idleOff
+	cfg.HotspotNode = *hotspot
+	cfg.Seed = *seed
+
+	switch *pattern {
+	case "uniform":
+		cfg.Pattern = netsim.Uniform
+	case "hotspot":
+		cfg.Pattern = netsim.Hotspot
+	case "permutation":
+		cfg.Pattern = netsim.Permutation
+	case "streaming":
+		cfg.Pattern = netsim.Streaming
+	default:
+		fmt.Fprintf(os.Stderr, "onocsim: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	switch *objective {
+	case "min-power":
+		cfg.Objective = manager.MinPower
+	case "min-energy":
+		cfg.Objective = manager.MinEnergy
+	case "min-latency":
+		cfg.Objective = manager.MinLatency
+	default:
+		fmt.Fprintf(os.Stderr, "onocsim: unknown objective %q\n", *objective)
+		os.Exit(2)
+	}
+
+	res, err := netsim.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("onocsim — %s traffic, load %.2f, %d msgs, BER %.0e", *pattern, *load, *messages, *ber),
+		"metric", "value")
+	t.AddRowf("simulated time", fmt.Sprintf("%.3f ms", res.SimTimeSec*1e3))
+	t.AddRowf("throughput", fmt.Sprintf("%.2f Gb/s", res.ThroughputBitsPerSec/1e9))
+	t.AddRowf("channel utilization", fmt.Sprintf("%.1f%%", res.ChannelUtilization*100))
+	t.AddRowf("mean latency", fmt.Sprintf("%.3f µs", res.MeanLatencySec*1e6))
+	t.AddRowf("p50 / p95 / p99 latency", fmt.Sprintf("%.3f / %.3f / %.3f µs",
+		res.P50LatencySec*1e6, res.P95LatencySec*1e6, res.P99LatencySec*1e6))
+	t.AddRowf("mean queue wait", fmt.Sprintf("%.3f µs", res.MeanQueueWaitSec*1e6))
+	if cfg.DeadlineSlack > 0 {
+		t.AddRowf("deadline misses", fmt.Sprintf("%d / %d", res.DeadlineMisses, res.Messages))
+	}
+	t.AddRowf("laser energy", fmt.Sprintf("%.3f mJ", res.LaserEnergyJ*1e3))
+	t.AddRowf("modulator energy", fmt.Sprintf("%.3f mJ", res.ModulatorEnergyJ*1e3))
+	t.AddRowf("interface energy", fmt.Sprintf("%.6f mJ", res.InterfaceEnergyJ*1e3))
+	t.AddRowf("idle energy", fmt.Sprintf("%.3f mJ", res.IdleEnergyJ*1e3))
+	t.AddRowf("energy per payload bit", fmt.Sprintf("%.2f pJ", res.EnergyPerBitJ*1e12))
+	t.AddRowf("scheme mix", fmt.Sprintf("%v", res.SchemeUse))
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Package photonoc reproduces "Energy and Performance Trade-off in
+// Nanophotonic Interconnects using Coding Techniques" (Killian, Chillet,
+// Le Beux, Sentieys, Pham, O'Connor — DAC 2017) as a self-contained Go
+// library.
+//
+// The paper's idea: adding a cheap Hamming code in the electrical domain
+// relaxes the SNR an optical network-on-chip link needs for a target BER,
+// so the on-chip laser — the dominant, thermally-degraded power consumer —
+// can be driven at roughly half the power, at the price of a longer
+// transmission (CT = n/k).
+//
+// The package is a façade over the internal subsystems:
+//
+//   - internal/ecc        — Hamming(7,4), shortened Hamming(71,64), SECDED,
+//     BCH, repetition and parity codes with the paper's BER models (Eq. 1-3)
+//   - internal/photonics  — micro-ring (Fig. 3) and thermally-limited VCSEL
+//     (Fig. 4) device models
+//   - internal/onoc       — the MWSR channel: link budget, crosstalk and the
+//     minimum-laser-power solver (Eq. 4)
+//   - internal/core       — the joint ECC + laser-power configurator and the
+//     experiment harnesses for Figures 5, 6a, 6b
+//   - internal/synth      — gate-level netlists, timing and power of the
+//     electrical interfaces (Table I)
+//   - internal/serdes     — the bit-true encode/serialize/decode path
+//   - internal/noise      — Monte-Carlo and importance-sampled BER validation
+//   - internal/manager    — the runtime link manager with its laser DAC
+//   - internal/netsim     — a discrete-event traffic simulator over the
+//     interconnect (the paper's future-work evaluation)
+//
+// Quick start:
+//
+//	cfg := photonoc.DefaultConfig()
+//	ev, err := cfg.Evaluate(photonoc.Hamming74(), 1e-11)
+//	// ev.LaserPowerW ≈ 6.2 mW vs 13.7 mW uncoded — the paper's ≈50% cut.
+//
+// The benchmark harness in bench_test.go regenerates every table and figure
+// of the paper; see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-versus-measured results.
+package photonoc

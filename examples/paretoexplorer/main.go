@@ -1,0 +1,84 @@
+// Paretoexplorer: sweep target BERs across the paper's schemes plus the
+// extended code families and print which configurations survive on the
+// power/performance Pareto front (the Figure 6b analysis, generalized).
+//
+//	go run ./examples/paretoexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"photonoc"
+	"photonoc/internal/report"
+)
+
+func main() {
+	cfg := photonoc.DefaultConfig()
+	bers := []float64{1e-6, 1e-9, 1e-12}
+
+	for _, ber := range bers {
+		t := report.NewTable(
+			fmt.Sprintf("\nTrade-off plane @ BER %.0e (extended scheme pool)", ber),
+			"scheme", "CT", "Pchannel mW", "pJ/bit", "verdict")
+
+		evs := make([]photonoc.Evaluation, 0, len(photonoc.ExtendedSchemes()))
+		for _, code := range photonoc.ExtendedSchemes() {
+			ev, err := cfg.Evaluate(code, ber)
+			if err != nil {
+				log.Fatal(err)
+			}
+			evs = append(evs, ev)
+		}
+		front := map[string]bool{}
+		for _, ev := range paretoFront(evs) {
+			front[ev.Code.Name()] = true
+		}
+		for _, ev := range evs {
+			verdict := "dominated"
+			power, pj := "-", "-"
+			switch {
+			case !ev.Feasible:
+				verdict = "infeasible (laser limit)"
+			case front[ev.Code.Name()]:
+				verdict = "PARETO"
+			}
+			if ev.Feasible {
+				power = fmt.Sprintf("%.2f", ev.ChannelPowerW*1e3)
+				pj = fmt.Sprintf("%.2f", ev.EnergyPerBitJ*1e12)
+			}
+			t.AddRowf(ev.Code.Name(), fmt.Sprintf("%.3f", ev.CT), power, pj, verdict)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nNote how BCH(31,21) dominates the paper's H(7,4): the ablation result of DESIGN.md A3.")
+}
+
+// paretoFront is a tiny local reimplementation over the façade type so the
+// example stays self-contained.
+func paretoFront(evs []photonoc.Evaluation) []photonoc.Evaluation {
+	var front []photonoc.Evaluation
+	for i, a := range evs {
+		if !a.Feasible {
+			continue
+		}
+		dominated := false
+		for j, b := range evs {
+			if i == j || !b.Feasible {
+				continue
+			}
+			if b.CT <= a.CT && b.ChannelPowerW <= a.ChannelPowerW &&
+				(b.CT < a.CT || b.ChannelPowerW < a.ChannelPowerW) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	return front
+}

@@ -1,0 +1,53 @@
+// Quickstart: evaluate the paper's three communication schemes at the
+// headline operating point (BER 1e-11) and print the trade-off.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"photonoc"
+)
+
+func main() {
+	cfg := photonoc.DefaultConfig()
+
+	fmt.Println("MWSR channel: 12 ONIs, 16 wavelengths, 6 cm waveguide, BER 1e-11")
+	fmt.Println()
+	fmt.Printf("%-10s %8s %10s %10s %8s %9s\n",
+		"scheme", "CT", "OPlaser", "Plaser", "Pchan", "pJ/bit")
+
+	for _, code := range photonoc.PaperSchemes() {
+		ev, err := cfg.Evaluate(code, 1e-11)
+		if err != nil {
+			log.Fatalf("evaluate %s: %v", code.Name(), err)
+		}
+		if !ev.Feasible {
+			fmt.Printf("%-10s %8.3f %10s %10s %8s %9s  (%s)\n",
+				code.Name(), ev.CT, "-", "-", "-", "-", ev.InfeasibleReason)
+			continue
+		}
+		fmt.Printf("%-10s %8.3f %7.1f µW %7.2f mW %5.2f mW %6.2f pJ\n",
+			code.Name(), ev.CT,
+			ev.Op.LaserOpticalW*1e6,
+			ev.LaserPowerW*1e3,
+			ev.ChannelPowerW*1e3,
+			ev.EnergyPerBitJ*1e12)
+	}
+
+	// The feasibility cliff the paper highlights: BER 1e-12 needs ECC.
+	fmt.Println()
+	for _, code := range photonoc.PaperSchemes() {
+		ev, err := cfg.Evaluate(code, 1e-12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "feasible"
+		if !ev.Feasible {
+			status = "INFEASIBLE — exceeds the 700 µW laser limit"
+		}
+		fmt.Printf("BER 1e-12 with %-10s: %s\n", code.Name(), status)
+	}
+}

@@ -1,0 +1,60 @@
+package bits
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FlipPositions inverts the bits of v at each listed position.
+func FlipPositions(v Vector, positions ...int) error {
+	for _, p := range positions {
+		if p < 0 || p >= v.Len() {
+			return fmt.Errorf("bits: flip position %d out of range [0,%d)", p, v.Len())
+		}
+		v.Flip(p)
+	}
+	return nil
+}
+
+// FlipRandom inverts each bit of v independently with probability p and
+// returns how many bits were flipped. It models a memoryless binary symmetric
+// channel, the abstraction under the paper's Eq. 2.
+func FlipRandom(v Vector, rng *rand.Rand, p float64) int {
+	flips := 0
+	for i := 0; i < v.Len(); i++ {
+		if rng.Float64() < p {
+			v.Flip(i)
+			flips++
+		}
+	}
+	return flips
+}
+
+// FlipExactly inverts exactly k distinct uniformly-chosen bits of v and
+// returns their positions. It is the workhorse of the code-correction
+// property tests (all single-error patterns, random double errors, ...).
+func FlipExactly(v Vector, rng *rand.Rand, k int) ([]int, error) {
+	if k < 0 || k > v.Len() {
+		return nil, fmt.Errorf("bits: FlipExactly(%d) on %d-bit vector", k, v.Len())
+	}
+	perm := rng.Perm(v.Len())[:k]
+	for _, p := range perm {
+		v.Flip(p)
+	}
+	return perm, nil
+}
+
+// BurstError inverts length consecutive bits starting at start, wrapping at
+// the end of the vector. Bursts model multi-bit upsets from slow transients.
+func BurstError(v Vector, start, length int) error {
+	if start < 0 || start >= v.Len() {
+		return fmt.Errorf("bits: burst start %d out of range [0,%d)", start, v.Len())
+	}
+	if length < 0 || length > v.Len() {
+		return fmt.Errorf("bits: burst length %d out of range [0,%d]", length, v.Len())
+	}
+	for i := 0; i < length; i++ {
+		v.Flip((start + i) % v.Len())
+	}
+	return nil
+}

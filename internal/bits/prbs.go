@@ -1,0 +1,75 @@
+package bits
+
+import "fmt"
+
+// PRBS is a linear-feedback shift register pseudo-random binary sequence
+// generator in Fibonacci form, as used for link characterization in serial
+// I/O practice. Construct with NewPRBS or one of the standard-order helpers.
+type PRBS struct {
+	state uint32
+	taps  [2]uint // the two feedback tap positions (1-based)
+	order uint
+}
+
+// NewPRBS builds a generator of the given order with feedback polynomial
+// x^order + x^tap2 + 1 seeded with the given nonzero state.
+func NewPRBS(order, tap2 uint, seed uint32) (*PRBS, error) {
+	if order < 3 || order > 31 {
+		return nil, fmt.Errorf("bits: PRBS order %d out of range [3,31]", order)
+	}
+	if tap2 == 0 || tap2 >= order {
+		return nil, fmt.Errorf("bits: PRBS tap %d out of range (0,%d)", tap2, order)
+	}
+	mask := uint32(1)<<order - 1
+	seed &= mask
+	if seed == 0 {
+		seed = 1 // the all-zero state is a fixed point; avoid it
+	}
+	return &PRBS{state: seed, taps: [2]uint{order, tap2}, order: order}, nil
+}
+
+// NewPRBS7 returns the ITU-T PRBS7 generator (x^7 + x^6 + 1).
+func NewPRBS7(seed uint32) *PRBS {
+	p, err := NewPRBS(7, 6, seed)
+	if err != nil {
+		panic(err) // fixed parameters: cannot fail
+	}
+	return p
+}
+
+// NewPRBS15 returns the ITU-T PRBS15 generator (x^15 + x^14 + 1).
+func NewPRBS15(seed uint32) *PRBS {
+	p, err := NewPRBS(15, 14, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewPRBS31 returns the ITU-T PRBS31 generator (x^31 + x^28 + 1).
+func NewPRBS31(seed uint32) *PRBS {
+	p, err := NewPRBS(31, 28, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Next returns the next bit of the sequence.
+func (p *PRBS) Next() int {
+	b1 := (p.state >> (p.taps[0] - 1)) & 1
+	b2 := (p.state >> (p.taps[1] - 1)) & 1
+	out := b1 ^ b2
+	p.state = (p.state<<1 | out) & (uint32(1)<<p.order - 1)
+	return int(out)
+}
+
+// Fill overwrites every bit of v with successive sequence bits.
+func (p *PRBS) Fill(v Vector) {
+	for i := 0; i < v.Len(); i++ {
+		v.Set(i, p.Next())
+	}
+}
+
+// Period returns the sequence period, 2^order − 1.
+func (p *PRBS) Period() int { return 1<<p.order - 1 }

@@ -1,0 +1,84 @@
+package bits
+
+import "testing"
+
+func TestPRBSPeriods(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  *PRBS
+	}{
+		{"PRBS7", NewPRBS7(1)},
+		{"PRBS15", NewPRBS15(0xBEEF)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			period := c.gen.Period()
+			first := make([]int, period)
+			for i := range first {
+				first[i] = c.gen.Next()
+			}
+			// A maximal-length LFSR repeats exactly after its period.
+			for i := 0; i < period; i++ {
+				if got := c.gen.Next(); got != first[i] {
+					t.Fatalf("sequence not periodic at %d", i)
+				}
+			}
+			// Balance property: 2^(order-1) ones per period.
+			ones := 0
+			for _, b := range first {
+				ones += b
+			}
+			if want := (period + 1) / 2; ones != want {
+				t.Errorf("ones per period = %d, want %d", ones, want)
+			}
+		})
+	}
+}
+
+func TestPRBSZeroSeedAvoidsLockup(t *testing.T) {
+	g := NewPRBS7(0)
+	seen1 := false
+	for i := 0; i < 200; i++ {
+		if g.Next() == 1 {
+			seen1 = true
+		}
+	}
+	if !seen1 {
+		t.Error("zero-seeded PRBS locked up at all-zero state")
+	}
+}
+
+func TestPRBSValidation(t *testing.T) {
+	if _, err := NewPRBS(2, 1, 1); err == nil {
+		t.Error("order 2 should be rejected")
+	}
+	if _, err := NewPRBS(32, 28, 1); err == nil {
+		t.Error("order 32 should be rejected")
+	}
+	if _, err := NewPRBS(7, 0, 1); err == nil {
+		t.Error("tap 0 should be rejected")
+	}
+	if _, err := NewPRBS(7, 7, 1); err == nil {
+		t.Error("tap == order should be rejected")
+	}
+}
+
+func TestPRBSFill(t *testing.T) {
+	g := NewPRBS7(1)
+	v := New(127)
+	g.Fill(v)
+	g2 := NewPRBS7(1)
+	for i := 0; i < 127; i++ {
+		if v.Bit(i) != g2.Next() {
+			t.Fatalf("Fill diverges from Next at %d", i)
+		}
+	}
+}
+
+func BenchmarkPRBS31(b *testing.B) {
+	g := NewPRBS31(12345)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

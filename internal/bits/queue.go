@@ -1,0 +1,73 @@
+package bits
+
+import "fmt"
+
+// Queue is an unbounded FIFO of bits. It is the width-conversion element of
+// the interface model: the encoder pushes n-bit codewords at the IP clock and
+// the per-wavelength serializers pop one bit per modulation cycle, exactly
+// like the register-pipeline gearbox described in the paper's Section IV-C.
+// The zero value is an empty queue ready for use.
+type Queue struct {
+	buf  []uint64
+	head int // index of the next bit to pop
+	tail int // index one past the last pushed bit
+}
+
+// Len returns the number of bits currently queued.
+func (q *Queue) Len() int { return q.tail - q.head }
+
+// Push appends a single bit.
+func (q *Queue) Push(b int) {
+	i := q.tail
+	if i>>6 >= len(q.buf) {
+		q.buf = append(q.buf, 0)
+	}
+	if b&1 == 1 {
+		q.buf[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		q.buf[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	q.tail++
+}
+
+// PushVector appends all bits of v in order.
+func (q *Queue) PushVector(v Vector) {
+	for i := 0; i < v.Len(); i++ {
+		q.Push(v.Bit(i))
+	}
+}
+
+// Pop removes and returns the oldest bit. It panics on an empty queue.
+func (q *Queue) Pop() int {
+	if q.Len() == 0 {
+		panic("bits: Pop from empty Queue")
+	}
+	b := int(q.buf[q.head>>6]>>(uint(q.head)&63)) & 1
+	q.head++
+	q.maybeCompact()
+	return b
+}
+
+// PopVector removes the n oldest bits and returns them as a vector.
+func (q *Queue) PopVector(n int) (Vector, error) {
+	if n > q.Len() {
+		return Vector{}, fmt.Errorf("bits: PopVector(%d) with only %d queued", n, q.Len())
+	}
+	v := New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, q.Pop())
+	}
+	return v, nil
+}
+
+// maybeCompact reclaims consumed words once they dominate the buffer.
+func (q *Queue) maybeCompact() {
+	if q.head < 4096 || q.head*2 < q.tail {
+		return
+	}
+	wordShift := q.head >> 6
+	copy(q.buf, q.buf[wordShift:])
+	q.buf = q.buf[:len(q.buf)-wordShift]
+	q.head -= wordShift << 6
+	q.tail -= wordShift << 6
+}

@@ -1,0 +1,66 @@
+package core
+
+import "photonoc/internal/ecc"
+
+// EnergyPoint is one sample of the energy-per-bit sweep: the Fig. 6a
+// annotation extended into full curves over the BER axis.
+type EnergyPoint struct {
+	TargetBER      float64
+	Scheme         string
+	EnergyPerBitJ  float64
+	PayloadRateBps float64
+	Feasible       bool
+}
+
+// EnergySweep computes energy per payload bit for each scheme across the
+// BER grid — the data behind the paper's "without compromising energy per
+// bit" claim, as a full curve rather than a single point.
+func (cfg *LinkConfig) EnergySweep(codes []ecc.Code, targetBERs []float64) ([]EnergyPoint, error) {
+	var out []EnergyPoint
+	for _, ber := range targetBERs {
+		for _, code := range codes {
+			ev, err := cfg.Evaluate(code, ber)
+			if err != nil {
+				return nil, err
+			}
+			pt := EnergyPoint{
+				TargetBER: ber,
+				Scheme:    code.Name(),
+				Feasible:  ev.Feasible,
+			}
+			if ev.Feasible {
+				pt.EnergyPerBitJ = ev.EnergyPerBitJ
+				pt.PayloadRateBps = ev.PayloadRateBitsPerSec(cfg)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// BestEnergySchemeByBER returns, per BER, the feasible scheme with the
+// lowest energy per bit — the operating map a runtime manager would follow
+// under the MinEnergy objective.
+func (cfg *LinkConfig) BestEnergySchemeByBER(codes []ecc.Code, targetBERs []float64) (map[float64]string, error) {
+	out := make(map[float64]string, len(targetBERs))
+	for _, ber := range targetBERs {
+		best := ""
+		bestE := 0.0
+		for _, code := range codes {
+			ev, err := cfg.Evaluate(code, ber)
+			if err != nil {
+				return nil, err
+			}
+			if !ev.Feasible {
+				continue
+			}
+			if best == "" || ev.EnergyPerBitJ < bestE {
+				best, bestE = code.Name(), ev.EnergyPerBitJ
+			}
+		}
+		if best != "" {
+			out[ber] = best
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import "sort"
+
+// Dominates reports whether evaluation a dominates b in the paper's Fig. 6b
+// sense: minimize both communication time and channel power. Infeasible
+// points never dominate and are dominated by any feasible point.
+func Dominates(a, b Evaluation) bool {
+	if !a.Feasible {
+		return false
+	}
+	if !b.Feasible {
+		return true
+	}
+	noWorse := a.CT <= b.CT && a.ChannelPowerW <= b.ChannelPowerW
+	strictlyBetter := a.CT < b.CT || a.ChannelPowerW < b.ChannelPowerW
+	return noWorse && strictlyBetter
+}
+
+// ParetoFront filters evaluations (all at the same target BER) down to the
+// non-dominated set, sorted by increasing CT. The paper observes that for
+// every BER all three schemes sit on this front.
+func ParetoFront(evals []Evaluation) []Evaluation {
+	var front []Evaluation
+	for i, cand := range evals {
+		if !cand.Feasible {
+			continue
+		}
+		dominated := false
+		for j, other := range evals {
+			if i == j {
+				continue
+			}
+			if Dominates(other, cand) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, cand)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].CT != front[j].CT {
+			return front[i].CT < front[j].CT
+		}
+		return front[i].ChannelPowerW < front[j].ChannelPowerW
+	})
+	return front
+}
+
+// OnParetoFront reports, per input index, whether that evaluation belongs
+// to the non-dominated set of its slice.
+func OnParetoFront(evals []Evaluation) []bool {
+	out := make([]bool, len(evals))
+	for i, cand := range evals {
+		if !cand.Feasible {
+			continue
+		}
+		dominated := false
+		for j, other := range evals {
+			if i == j {
+				continue
+			}
+			if Dominates(other, cand) {
+				dominated = true
+				break
+			}
+		}
+		out[i] = !dominated
+	}
+	return out
+}

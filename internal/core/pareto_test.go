@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"photonoc/internal/ecc"
+)
+
+func mkEval(name string, ct, power float64, feasible bool) Evaluation {
+	code, _ := ecc.NewUncoded(64)
+	_ = name
+	return Evaluation{
+		Code:          code,
+		CT:            ct,
+		ChannelPowerW: power,
+		Feasible:      feasible,
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := mkEval("a", 1.0, 10.0, true)
+	b := mkEval("b", 1.5, 12.0, true)
+	c := mkEval("c", 1.0, 10.0, true) // ties a
+	d := mkEval("d", 0.9, 20.0, true) // trades off against a
+	inf := mkEval("x", 0.5, 1.0, false)
+
+	if !Dominates(a, b) {
+		t.Error("a should dominate b (better in both)")
+	}
+	if Dominates(b, a) {
+		t.Error("b must not dominate a")
+	}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Error("ties must not dominate")
+	}
+	if Dominates(a, d) || Dominates(d, a) {
+		t.Error("trade-offs must not dominate")
+	}
+	if Dominates(inf, a) {
+		t.Error("infeasible points never dominate")
+	}
+	if !Dominates(a, inf) {
+		t.Error("feasible points dominate infeasible ones")
+	}
+}
+
+func TestParetoFrontFiltersAndSorts(t *testing.T) {
+	evals := []Evaluation{
+		mkEval("fast-hungry", 1.0, 15.0, true),
+		mkEval("dominated", 1.5, 16.0, true), // worse than fast-hungry in both
+		mkEval("slow-frugal", 1.75, 8.0, true),
+		mkEval("mid", 1.11, 9.0, true),
+		mkEval("broken", 0.9, 1.0, false),
+	}
+	front := ParetoFront(evals)
+	if len(front) != 3 {
+		t.Fatalf("front size = %d, want 3", len(front))
+	}
+	// Sorted by CT.
+	for i := 1; i < len(front); i++ {
+		if front[i].CT < front[i-1].CT {
+			t.Error("front not sorted by CT")
+		}
+	}
+	// The dominated and infeasible points are gone.
+	for _, f := range front {
+		if f.ChannelPowerW == 16.0 || !f.Feasible {
+			t.Error("dominated/infeasible point leaked onto the front")
+		}
+	}
+}
+
+func TestOnParetoFrontFlags(t *testing.T) {
+	evals := []Evaluation{
+		mkEval("a", 1.0, 15.0, true),
+		mkEval("b", 1.2, 20.0, true), // dominated by a
+		mkEval("c", 1.75, 8.0, true),
+		mkEval("x", 1.0, 1.0, false),
+	}
+	flags := OnParetoFront(evals)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Errorf("flag[%d] = %v, want %v", i, flags[i], want[i])
+		}
+	}
+}
+
+func TestParetoFrontEmptyAndAllInfeasible(t *testing.T) {
+	if got := ParetoFront(nil); len(got) != 0 {
+		t.Error("empty input should give empty front")
+	}
+	evals := []Evaluation{mkEval("x", 1, 1, false), mkEval("y", 2, 2, false)}
+	if got := ParetoFront(evals); len(got) != 0 {
+		t.Error("all-infeasible input should give empty front")
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaveConfig serializes the full link configuration as indented JSON —
+// every calibration constant of a study in one reproducible artifact.
+func (cfg *LinkConfig) SaveConfig(w io.Writer) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// LoadConfig parses a configuration written by SaveConfig and validates it.
+func LoadConfig(r io.Reader) (LinkConfig, error) {
+	var cfg LinkConfig
+	if err := json.NewDecoder(r).Decode(&cfg); err != nil {
+		return LinkConfig{}, fmt.Errorf("core: decoding config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return LinkConfig{}, fmt.Errorf("core: loaded config invalid: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteReportContents(t *testing.T) {
+	cfg := DefaultConfig()
+	var sb strings.Builder
+	if err := cfg.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# photonoc experiment report",
+		"12 ONIs, 16 wavelengths",
+		"Fig. 5",
+		"Fig. 6a",
+		"Section V-C",
+		"BER boundary",
+		"infeasible", // the uncoded 1e-12 row
+		"best energy scheme: H(71,64)",
+		"no ceiling within the model range", // coded boundary rows
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Sanity on volume: the report should be a real document.
+	if len(out) < 1500 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+// failAfter fails the nth write to exercise the error path.
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWriteReportPropagatesWriterErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.WriteReport(&failAfter{n: 3}); err == nil {
+		t.Error("writer failure should surface")
+	}
+}
+
+func TestWriteReportInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FmodHz = 0
+	var sb strings.Builder
+	if err := cfg.WriteReport(&sb); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}

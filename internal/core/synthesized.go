@@ -1,0 +1,25 @@
+package core
+
+import "photonoc/internal/synth"
+
+// UseSynthesizedInterfaces replaces the published Table I interface powers
+// with the ones estimated from the gate netlists in internal/synth, making
+// the whole evaluation chain model-derived end to end. The headline results
+// are insensitive to this swap (the interface is µW next to a mW laser),
+// which the tests assert.
+func (cfg *LinkConfig) UseSynthesizedInterfaces(lib *synth.Library) error {
+	m, err := synth.InterfacePowerModel(lib)
+	if err != nil {
+		return err
+	}
+	if cfg.InterfacePowers == nil {
+		cfg.InterfacePowers = make(map[string]InterfacePower, len(m))
+	}
+	for mode, p := range m {
+		cfg.InterfacePowers[mode] = InterfacePower{
+			TransmitterW: p.TransmitterW,
+			ReceiverW:    p.ReceiverW,
+		}
+	}
+	return nil
+}

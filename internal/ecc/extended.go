@@ -1,0 +1,100 @@
+package ecc
+
+import (
+	"fmt"
+
+	"photonoc/internal/bits"
+)
+
+// ExtendedHamming is a Hamming code extended with one overall parity bit,
+// giving minimum distance 4: it corrects single errors and *detects* double
+// errors (SECDED), the organization used for ECC memory interfaces.
+type ExtendedHamming struct {
+	inner *LinearCode
+	name  string
+}
+
+// NewExtendedHamming wraps the (possibly shortened) m-bit Hamming code
+// shortened by s into its SECDED extension.
+func NewExtendedHamming(m, s int) (*ExtendedHamming, error) {
+	inner, err := NewShortenedHamming(m, s)
+	if err != nil {
+		return nil, err
+	}
+	return &ExtendedHamming{
+		inner: inner,
+		name:  fmt.Sprintf("SECDED(%d,%d)", inner.N()+1, inner.K()),
+	}, nil
+}
+
+// MustSECDED7264 returns the classic SECDED(72,64) organization
+// (H(71,64) plus an overall parity bit).
+func MustSECDED7264() *ExtendedHamming {
+	c, err := NewExtendedHamming(7, 56)
+	if err != nil {
+		panic(err) // fixed parameters: cannot fail
+	}
+	return c
+}
+
+// Name implements Code.
+func (c *ExtendedHamming) Name() string { return c.name }
+
+// N implements Code.
+func (c *ExtendedHamming) N() int { return c.inner.N() + 1 }
+
+// K implements Code.
+func (c *ExtendedHamming) K() int { return c.inner.K() }
+
+// T implements Code.
+func (c *ExtendedHamming) T() int { return 1 }
+
+// Encode implements Code: inner codeword plus an overall even-parity bit.
+func (c *ExtendedHamming) Encode(data bits.Vector) (bits.Vector, error) {
+	word, err := c.inner.Encode(data)
+	if err != nil {
+		return bits.Vector{}, err
+	}
+	out := bits.New(c.N())
+	word.CopyInto(out, 0)
+	out.Set(c.N()-1, word.PopCount()&1)
+	return out, nil
+}
+
+// Decode implements Code with the standard SECDED case analysis:
+//
+//	syndrome == 0, parity ok   → clean word
+//	syndrome == 0, parity bad  → the overall parity bit itself flipped
+//	syndrome != 0, parity bad  → single error, corrected by lookup
+//	syndrome != 0, parity ok   → double error, detected-uncorrectable
+func (c *ExtendedHamming) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
+	if err := checkWordLen(c, word); err != nil {
+		return bits.Vector{}, DecodeInfo{}, err
+	}
+	innerWord := word.Slice(0, c.inner.N())
+	syn, err := c.inner.Syndrome(innerWord)
+	if err != nil {
+		return bits.Vector{}, DecodeInfo{}, err
+	}
+	parityBad := word.PopCount()&1 == 1
+
+	switch {
+	case syn == 0 && !parityBad:
+		return innerWord.Slice(0, c.K()), DecodeInfo{}, nil
+	case syn == 0 && parityBad:
+		// Only the appended parity bit is wrong; the data is intact.
+		return innerWord.Slice(0, c.K()), DecodeInfo{Corrected: 1}, nil
+	case parityBad:
+		pos, known := c.inner.synDecode[syn]
+		if !known {
+			return innerWord.Slice(0, c.K()), DecodeInfo{Detected: true}, nil
+		}
+		fixed := innerWord.Clone()
+		fixed.Flip(pos)
+		return fixed.Slice(0, c.K()), DecodeInfo{Corrected: 1}, nil
+	default:
+		// Nonzero syndrome with good overall parity: an even number of
+		// errors. Uncorrectable by design.
+		return innerWord.Slice(0, c.K()), DecodeInfo{Detected: true}, nil
+	}
+}

@@ -1,0 +1,76 @@
+package ecc
+
+import (
+	"testing"
+
+	"photonoc/internal/bits"
+)
+
+// FuzzHamming7164Decode feeds arbitrary 71-bit words into the decoder: it
+// must never panic and must always return either a clean pass-through, a
+// correction, or a detection — and re-encoding a *successfully corrected*
+// word must reproduce a valid codeword.
+func FuzzHamming7164Decode(f *testing.F) {
+	code := MustHamming7164()
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0xA5, 0x5A, 0x0F, 0xF0, 0x33, 0xCC, 0x55, 0xAA, 0x01})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		word := bits.New(code.N())
+		for i := 0; i < code.N() && i/8 < len(raw); i++ {
+			word.Set(i, int(raw[i/8]>>(uint(i)%8))&1)
+		}
+		data, info, err := code.Decode(word)
+		if err != nil {
+			t.Fatalf("decode error on valid-size input: %v", err)
+		}
+		if data.Len() != code.K() {
+			t.Fatalf("decoded %d bits", data.Len())
+		}
+		if info.Detected {
+			return // uncorrectable: nothing more to check
+		}
+		// The corrected word must be a codeword: re-encode and compare
+		// the parity section.
+		re, err := code.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := code.Syndrome(re)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if syn != 0 {
+			t.Fatal("re-encoded word has nonzero syndrome")
+		}
+	})
+}
+
+// FuzzBCH157Decode exercises the algebraic decoder (syndromes, BM, Chien)
+// with arbitrary words: no panics, and any claimed correction must land on
+// a true codeword.
+func FuzzBCH157Decode(f *testing.F) {
+	code := MustBCH157()
+	f.Add(uint16(0))
+	f.Add(uint16(0x7FFF))
+	f.Add(uint16(0x1234))
+	f.Fuzz(func(t *testing.T, raw uint16) {
+		word := bits.FromUint(uint64(raw)&0x7FFF, 15)
+		data, info, err := code.Decode(word)
+		if err != nil {
+			t.Fatalf("decode error: %v", err)
+		}
+		if info.Detected {
+			return
+		}
+		re, err := code.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range code.Syndromes(re) {
+			if s != 0 {
+				t.Fatal("re-encoded BCH word not a codeword")
+			}
+		}
+	})
+}

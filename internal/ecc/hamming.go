@@ -1,0 +1,82 @@
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"photonoc/internal/gf2"
+)
+
+// NewHamming constructs the perfect binary Hamming code with m parity bits:
+// n = 2^m − 1, k = n − m, minimum distance 3 (t = 1). m must be in [2, 15].
+func NewHamming(m int) (*LinearCode, error) {
+	p, k, err := hammingParity(m, 0)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("H(%d,%d)", k+m, k)
+	return NewLinear(name, p, 1)
+}
+
+// NewShortenedHamming constructs a Hamming code shortened by s data bits:
+// (2^m−1−s, 2^m−1−m−s). Shortening preserves the minimum distance, so the
+// code still corrects one error; some syndromes become non-code patterns and
+// decode as detected-uncorrectable.
+func NewShortenedHamming(m, s int) (*LinearCode, error) {
+	p, k, err := hammingParity(m, s)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("H(%d,%d)", k+m, k)
+	return NewLinear(name, p, 1)
+}
+
+// hammingParity builds the parity submatrix P for a (possibly shortened)
+// Hamming code: the rows are the m-bit column patterns of H that are not
+// unit vectors, in increasing numeric order, with the last s rows dropped.
+func hammingParity(m, s int) (*gf2.Matrix, int, error) {
+	if m < 2 || m > 15 {
+		return nil, 0, fmt.Errorf("ecc: Hamming parameter m=%d out of range [2,15]", m)
+	}
+	kFull := (1 << m) - 1 - m
+	if s < 0 || s >= kFull {
+		return nil, 0, fmt.Errorf("ecc: shortening by %d out of range [0,%d)", s, kFull)
+	}
+	k := kFull - s
+	p := gf2.NewMatrix(k, m)
+	row := 0
+	for v := 3; row < k && v < 1<<m; v++ {
+		if bits.OnesCount(uint(v)) < 2 {
+			continue // powers of two are the identity columns of H
+		}
+		for j := 0; j < m; j++ {
+			if v>>uint(j)&1 == 1 {
+				p.Set(row, j, 1)
+			}
+		}
+		row++
+	}
+	if row != k {
+		return nil, 0, fmt.Errorf("ecc: internal: built %d of %d Hamming rows", row, k)
+	}
+	return p, k, nil
+}
+
+// MustHamming74 returns the paper's H(7,4) code (m = 3).
+func MustHamming74() *LinearCode {
+	c, err := NewHamming(3)
+	if err != nil {
+		panic(err) // fixed parameters: cannot fail
+	}
+	return c
+}
+
+// MustHamming7164 returns the paper's H(71,64) code: the m = 7 Hamming code
+// H(127,120) shortened by 56 data bits.
+func MustHamming7164() *LinearCode {
+	c, err := NewShortenedHamming(7, 56)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,156 @@
+package ecc
+
+import (
+	"fmt"
+
+	"photonoc/internal/bits"
+)
+
+// Interleaver is a block (row/column) interleaver of the given depth:
+// `depth` consecutive codewords are written as rows and transmitted column
+// by column, so a burst of up to `depth` consecutive channel errors lands
+// as at most one error per codeword — turning bursts (e.g. slow thermal
+// transients on the optical link) into patterns a single-error corrector
+// can repair.
+type Interleaver struct {
+	depth int
+	width int // codeword length n
+}
+
+// NewInterleaver builds an interleaver for `depth` codewords of n bits.
+func NewInterleaver(depth, width int) (*Interleaver, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("ecc: interleaver depth %d must be >= 1", depth)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("ecc: interleaver width %d must be >= 1", width)
+	}
+	return &Interleaver{depth: depth, width: width}, nil
+}
+
+// Depth returns the number of codewords per interleaving block.
+func (il *Interleaver) Depth() int { return il.depth }
+
+// BlockBits returns the size of one interleaved block, depth × width.
+func (il *Interleaver) BlockBits() int { return il.depth * il.width }
+
+// Interleave merges exactly `depth` codewords into one column-major stream.
+func (il *Interleaver) Interleave(words []bits.Vector) (bits.Vector, error) {
+	if len(words) != il.depth {
+		return bits.Vector{}, fmt.Errorf("ecc: interleaver needs %d words, got %d", il.depth, len(words))
+	}
+	for i, w := range words {
+		if w.Len() != il.width {
+			return bits.Vector{}, fmt.Errorf("ecc: word %d is %d bits, want %d", i, w.Len(), il.width)
+		}
+	}
+	out := bits.New(il.BlockBits())
+	pos := 0
+	for col := 0; col < il.width; col++ {
+		for row := 0; row < il.depth; row++ {
+			out.Set(pos, words[row].Bit(col))
+			pos++
+		}
+	}
+	return out, nil
+}
+
+// Deinterleave splits a column-major stream back into `depth` codewords.
+func (il *Interleaver) Deinterleave(stream bits.Vector) ([]bits.Vector, error) {
+	if stream.Len() != il.BlockBits() {
+		return nil, fmt.Errorf("ecc: stream is %d bits, want %d", stream.Len(), il.BlockBits())
+	}
+	words := make([]bits.Vector, il.depth)
+	for row := range words {
+		words[row] = bits.New(il.width)
+	}
+	pos := 0
+	for col := 0; col < il.width; col++ {
+		for row := 0; row < il.depth; row++ {
+			words[row].Set(col, stream.Bit(pos))
+			pos++
+		}
+	}
+	return words, nil
+}
+
+// InterleavedCode wraps a block code with an interleaver, presenting the
+// combination as a Code over depth·k data bits: a burst of up to
+// depth·t consecutive channel errors per block is always corrected.
+type InterleavedCode struct {
+	inner Code
+	il    *Interleaver
+	name  string
+}
+
+// NewInterleavedCode builds the composition.
+func NewInterleavedCode(inner Code, depth int) (*InterleavedCode, error) {
+	il, err := NewInterleaver(depth, inner.N())
+	if err != nil {
+		return nil, err
+	}
+	return &InterleavedCode{
+		inner: inner,
+		il:    il,
+		name:  fmt.Sprintf("IL%dx%s", depth, inner.Name()),
+	}, nil
+}
+
+// Name implements Code.
+func (c *InterleavedCode) Name() string { return c.name }
+
+// N implements Code.
+func (c *InterleavedCode) N() int { return c.il.BlockBits() }
+
+// K implements Code.
+func (c *InterleavedCode) K() int { return c.il.Depth() * c.inner.K() }
+
+// T implements Code: against *random* errors the guarantee is still the
+// inner code's t (one badly-placed pair defeats it); the burst guarantee
+// depth·t is what the interleaver actually buys and is exercised in tests.
+func (c *InterleavedCode) T() int { return c.inner.T() }
+
+// BurstTolerance returns the longest burst of consecutive errors the
+// composition always corrects: depth · t of the inner code.
+func (c *InterleavedCode) BurstTolerance() int { return c.il.Depth() * c.inner.T() }
+
+// Encode implements Code.
+func (c *InterleavedCode) Encode(data bits.Vector) (bits.Vector, error) {
+	if err := checkDataLen(c, data); err != nil {
+		return bits.Vector{}, err
+	}
+	words := make([]bits.Vector, c.il.Depth())
+	k := c.inner.K()
+	for i := range words {
+		w, err := c.inner.Encode(data.Slice(i*k, (i+1)*k))
+		if err != nil {
+			return bits.Vector{}, err
+		}
+		words[i] = w
+	}
+	return c.il.Interleave(words)
+}
+
+// Decode implements Code.
+func (c *InterleavedCode) Decode(stream bits.Vector) (bits.Vector, DecodeInfo, error) {
+	if err := checkWordLen(c, stream); err != nil {
+		return bits.Vector{}, DecodeInfo{}, err
+	}
+	words, err := c.il.Deinterleave(stream)
+	if err != nil {
+		return bits.Vector{}, DecodeInfo{}, err
+	}
+	out := bits.New(c.K())
+	var agg DecodeInfo
+	k := c.inner.K()
+	for i, w := range words {
+		data, info, err := c.inner.Decode(w)
+		if err != nil {
+			return bits.Vector{}, DecodeInfo{}, err
+		}
+		agg.Corrected += info.Corrected
+		agg.Detected = agg.Detected || info.Detected
+		data.CopyInto(out, i*k)
+	}
+	return out, agg, nil
+}

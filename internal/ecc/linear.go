@@ -1,0 +1,174 @@
+package ecc
+
+import (
+	"fmt"
+
+	"photonoc/internal/bits"
+	"photonoc/internal/gf2"
+)
+
+// LinearCode is a systematic binary linear block code described by its
+// parity submatrix P (k rows × r columns): the generator matrix is
+// G = [I_k | P] and the parity-check matrix H = [Pᵀ | I_r]. Codewords carry
+// the data bits first, then the r parity bits.
+//
+// Single-error-correcting instances (t = 1) decode by syndrome lookup; a
+// syndrome with no table entry — possible for shortened codes — is reported
+// as a detected, uncorrectable error.
+type LinearCode struct {
+	name string
+	k, r int
+	t    int
+	// parityMasks[j] is a packed mask over the data words: parity bit j is
+	// the parity of data AND mask. This is the bitwise image of column j
+	// of P and the hot loop of Encode.
+	parityMasks [][]uint64
+	// synDecode maps a syndrome (as an r-bit integer) to the codeword
+	// position it corrects. Populated only for t == 1 codes.
+	synDecode map[uint64]int
+	g, h      *gf2.Matrix
+}
+
+// NewLinear builds a systematic linear code from its parity submatrix.
+// t must be 0 (detect-only or no protection) or 1 (single-error correction
+// by syndrome lookup); higher-t codes use dedicated decoders (see BCH).
+func NewLinear(name string, p *gf2.Matrix, t int) (*LinearCode, error) {
+	k, r := p.Rows(), p.Cols()
+	if k <= 0 || r < 0 {
+		return nil, fmt.Errorf("ecc: %s: invalid parity matrix %dx%d", name, k, r)
+	}
+	if r > 63 {
+		return nil, fmt.Errorf("ecc: %s: %d parity bits exceed the 63-bit syndrome limit", name, r)
+	}
+	if t < 0 || t > 1 {
+		return nil, fmt.Errorf("ecc: %s: NewLinear supports t in {0,1}, got %d", name, t)
+	}
+	c := &LinearCode{name: name, k: k, r: r, t: t}
+
+	dataWords := (k + 63) / 64
+	c.parityMasks = make([][]uint64, r)
+	for j := 0; j < r; j++ {
+		mask := make([]uint64, dataWords)
+		for i := 0; i < k; i++ {
+			if p.At(i, j) == 1 {
+				mask[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		c.parityMasks[j] = mask
+	}
+
+	// G = [I_k | P], H = [Pᵀ | I_r]; retained for verification and tests.
+	var err error
+	if c.g, err = gf2.Identity(k).Augment(p); err != nil {
+		return nil, err
+	}
+	if c.h, err = p.Transpose().Augment(gf2.Identity(r)); err != nil {
+		return nil, err
+	}
+	prod, err := c.g.Mul(c.h.Transpose())
+	if err != nil {
+		return nil, err
+	}
+	if !prod.IsZero() {
+		return nil, fmt.Errorf("ecc: %s: G·Hᵀ != 0; inconsistent construction", name)
+	}
+
+	if t == 1 {
+		c.synDecode = make(map[uint64]int, k+r)
+		for i := 0; i < k; i++ {
+			var syn uint64
+			for j := 0; j < r; j++ {
+				if p.At(i, j) == 1 {
+					syn |= 1 << uint(j)
+				}
+			}
+			if syn == 0 {
+				return nil, fmt.Errorf("ecc: %s: data bit %d has empty parity footprint; d_min < 2", name, i)
+			}
+			if prev, dup := c.synDecode[syn]; dup {
+				return nil, fmt.Errorf("ecc: %s: data bits %d and %d share syndrome %#x; not single-error-correcting", name, prev, i, syn)
+			}
+			c.synDecode[syn] = i
+		}
+		for j := 0; j < r; j++ {
+			syn := uint64(1) << uint(j)
+			if prev, dup := c.synDecode[syn]; dup {
+				return nil, fmt.Errorf("ecc: %s: parity bit %d collides with position %d; not single-error-correcting", name, j, prev)
+			}
+			c.synDecode[syn] = k + j
+		}
+	}
+	return c, nil
+}
+
+// Name implements Code.
+func (c *LinearCode) Name() string { return c.name }
+
+// N implements Code.
+func (c *LinearCode) N() int { return c.k + c.r }
+
+// K implements Code.
+func (c *LinearCode) K() int { return c.k }
+
+// T implements Code.
+func (c *LinearCode) T() int { return c.t }
+
+// Generator returns a copy of the generator matrix G = [I_k | P].
+func (c *LinearCode) Generator() *gf2.Matrix { return c.g.Clone() }
+
+// ParityCheck returns a copy of the parity-check matrix H = [Pᵀ | I_r].
+func (c *LinearCode) ParityCheck() *gf2.Matrix { return c.h.Clone() }
+
+// ParityMask returns the packed data mask of parity bit j (aliased, for the
+// synthesis netlist builders which need the exact XOR-tree footprints).
+func (c *LinearCode) ParityMask(j int) []uint64 { return c.parityMasks[j] }
+
+// Encode implements Code: codeword = data ++ parity.
+func (c *LinearCode) Encode(data bits.Vector) (bits.Vector, error) {
+	if err := checkDataLen(c, data); err != nil {
+		return bits.Vector{}, err
+	}
+	out := bits.New(c.N())
+	data.CopyInto(out, 0)
+	for j, mask := range c.parityMasks {
+		out.Set(c.k+j, data.AndMaskParity(mask))
+	}
+	return out, nil
+}
+
+// Syndrome returns the r-bit syndrome of a received word as an integer.
+func (c *LinearCode) Syndrome(word bits.Vector) (uint64, error) {
+	if err := checkWordLen(c, word); err != nil {
+		return 0, err
+	}
+	data := word.Slice(0, c.k)
+	var syn uint64
+	for j, mask := range c.parityMasks {
+		bit := data.AndMaskParity(mask) ^ word.Bit(c.k+j)
+		syn |= uint64(bit) << uint(j)
+	}
+	return syn, nil
+}
+
+// Decode implements Code. For t = 1 codes a nonzero syndrome is corrected by
+// table lookup; unknown syndromes (shortened codes) are flagged Detected.
+// For t = 0 codes any nonzero syndrome is Detected.
+func (c *LinearCode) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
+	syn, err := c.Syndrome(word)
+	if err != nil {
+		return bits.Vector{}, DecodeInfo{}, err
+	}
+	if syn == 0 {
+		return word.Slice(0, c.k), DecodeInfo{}, nil
+	}
+	if c.t == 0 {
+		return word.Slice(0, c.k), DecodeInfo{Detected: true}, nil
+	}
+	pos, known := c.synDecode[syn]
+	if !known {
+		return word.Slice(0, c.k), DecodeInfo{Detected: true}, nil
+	}
+	fixed := word.Clone()
+	fixed.Flip(pos)
+	return fixed.Slice(0, c.k), DecodeInfo{Corrected: 1}, nil
+}

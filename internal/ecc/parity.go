@@ -1,0 +1,25 @@
+package ecc
+
+import (
+	"fmt"
+
+	"photonoc/internal/gf2"
+)
+
+// NewParity builds the (k+1, k) single-parity-check code: it detects any
+// single (odd-weight) error but corrects nothing (t = 0). Useful as the
+// cheapest detection-only point on the trade-off plane.
+func NewParity(k int) (*LinearCode, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ecc: NewParity(%d): need k > 0", k)
+	}
+	p := gf2.NewMatrix(k, 1)
+	for i := 0; i < k; i++ {
+		p.Set(i, 0, 1)
+	}
+	c, err := NewLinear(fmt.Sprintf("Parity(%d,%d)", k+1, k), p, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}

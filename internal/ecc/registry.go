@@ -1,0 +1,50 @@
+package ecc
+
+// PaperSchemes returns the three communication schemes the paper evaluates,
+// in the order of Figure 5/6: uncoded (64-bit), H(71,64) and H(7,4).
+func PaperSchemes() []Code {
+	return []Code{
+		MustUncoded64(),
+		MustHamming7164(),
+		MustHamming74(),
+	}
+}
+
+// ExtendedSchemes returns the paper's schemes plus the additional coding
+// techniques the paper leaves open ("other coding techniques can be used"):
+// SECDED(72,64), double-error-correcting BCH codes, triple repetition and a
+// parity check. These populate the ablation benches on the trade-off plane.
+func ExtendedSchemes() []Code {
+	mustRep := func(k, r int) Code {
+		c, err := NewRepetition(k, r)
+		if err != nil {
+			panic(err) // fixed parameters: cannot fail
+		}
+		return c
+	}
+	mustParity := func(k int) Code {
+		c, err := NewParity(k)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	return append(PaperSchemes(),
+		MustSECDED7264(),
+		MustBCH157(),
+		MustBCH3121(),
+		mustRep(16, 3),
+		mustParity(64),
+	)
+}
+
+// SchemeByName finds a code by display name among the extended schemes;
+// the boolean reports whether it was found.
+func SchemeByName(name string) (Code, bool) {
+	for _, c := range ExtendedSchemes() {
+		if c.Name() == name {
+			return c, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,149 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+
+	"photonoc/internal/bits"
+)
+
+func TestPaperSchemesRoster(t *testing.T) {
+	schemes := PaperSchemes()
+	if len(schemes) != 3 {
+		t.Fatalf("len = %d", len(schemes))
+	}
+	wantNames := []string{"w/o ECC", "H(71,64)", "H(7,4)"}
+	wantCT := []float64{1, 71.0 / 64.0, 1.75}
+	for i, c := range schemes {
+		if c.Name() != wantNames[i] {
+			t.Errorf("scheme %d = %q, want %q", i, c.Name(), wantNames[i])
+		}
+		if !approx(CT(c), wantCT[i], 1e-12) {
+			t.Errorf("%s CT = %g, want %g", c.Name(), CT(c), wantCT[i])
+		}
+	}
+}
+
+func TestExtendedSchemesAllRoundTrip(t *testing.T) {
+	// Generic contract test over every registered scheme: clean encode →
+	// decode restores the payload; t ≥ 1 schemes repair any single error.
+	rng := rand.New(rand.NewSource(31))
+	for _, c := range ExtendedSchemes() {
+		for trial := 0; trial < 50; trial++ {
+			data := randomData(rng, c.K())
+			word, err := c.Encode(data)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name(), err)
+			}
+			if word.Len() != c.N() {
+				t.Fatalf("%s: wrong codeword length", c.Name())
+			}
+			got, info, err := c.Decode(word)
+			if err != nil || !got.Equal(data) || info.Detected {
+				t.Fatalf("%s: clean roundtrip failed (%+v, %v)", c.Name(), info, err)
+			}
+			if c.T() >= 1 {
+				pos := rng.Intn(c.N())
+				word.Flip(pos)
+				got, _, err := c.Decode(word)
+				if err != nil {
+					t.Fatalf("%s: %v", c.Name(), err)
+				}
+				if !got.Equal(data) {
+					t.Fatalf("%s: single error at %d not corrected", c.Name(), pos)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	c, ok := SchemeByName("H(7,4)")
+	if !ok || c.N() != 7 {
+		t.Error("H(7,4) lookup failed")
+	}
+	if _, ok := SchemeByName("H(255,247)"); ok {
+		t.Error("unknown scheme should not be found")
+	}
+}
+
+func TestDescribeFormat(t *testing.T) {
+	got := Describe(MustHamming74())
+	want := "H(7,4): (n=7, k=4, t=1) rate=0.571 CT=1.750"
+	if got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+}
+
+func TestRateOverheadConsistency(t *testing.T) {
+	for _, c := range ExtendedSchemes() {
+		if r, o := Rate(c), Overhead(c); !approx(r+o, 1, 1e-12) {
+			t.Errorf("%s: rate %g + overhead %g != 1", c.Name(), r, o)
+		}
+		if ct := CT(c); !approx(ct*Rate(c), 1, 1e-12) {
+			t.Errorf("%s: CT·rate != 1", c.Name())
+		}
+	}
+}
+
+func BenchmarkHamming74Encode(b *testing.B) {
+	code := MustHamming74()
+	rng := rand.New(rand.NewSource(1))
+	data := randomData(rng, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHamming7164Encode(b *testing.B) {
+	code := MustHamming7164()
+	rng := rand.New(rand.NewSource(1))
+	data := randomData(rng, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHamming7164DecodeWithError(b *testing.B) {
+	code := MustHamming7164()
+	rng := rand.New(rand.NewSource(1))
+	data := randomData(rng, 64)
+	word, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	word.Flip(17)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := code.Decode(word); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBCH157DecodeDoubleError(b *testing.B) {
+	code := MustBCH157()
+	rng := rand.New(rand.NewSource(1))
+	data := randomData(rng, 7)
+	word, err := code.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	word.Flip(3)
+	word.Flip(11)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := code.Decode(word); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// randomDataBench avoids the unused warning for bits import in some builds.
+var _ = bits.New

@@ -1,0 +1,92 @@
+package ecc
+
+import (
+	"fmt"
+	"math"
+
+	"photonoc/internal/bits"
+)
+
+// Repetition repeats every data bit r times (r odd) and decodes by majority
+// vote. It is the simplest — and least rate-efficient — baseline on the
+// power/performance plane: t = (r−1)/2 per bit at rate 1/r.
+type Repetition struct {
+	k, r int
+	name string
+}
+
+// NewRepetition builds a k-data-bit repetition code with odd factor r ≥ 3.
+func NewRepetition(k, r int) (*Repetition, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ecc: NewRepetition: need k > 0, got %d", k)
+	}
+	if r < 3 || r%2 == 0 {
+		return nil, fmt.Errorf("ecc: NewRepetition: factor must be odd and >= 3, got %d", r)
+	}
+	return &Repetition{k: k, r: r, name: fmt.Sprintf("Rep(%dx%d)", k, r)}, nil
+}
+
+// Name implements Code.
+func (c *Repetition) Name() string { return c.name }
+
+// N implements Code.
+func (c *Repetition) N() int { return c.k * c.r }
+
+// K implements Code.
+func (c *Repetition) K() int { return c.k }
+
+// T implements Code: majority vote fixes up to (r−1)/2 flips per data bit.
+func (c *Repetition) T() int { return (c.r - 1) / 2 }
+
+// Encode implements Code: bit i occupies positions [i·r, (i+1)·r).
+func (c *Repetition) Encode(data bits.Vector) (bits.Vector, error) {
+	if err := checkDataLen(c, data); err != nil {
+		return bits.Vector{}, err
+	}
+	out := bits.New(c.N())
+	for i := 0; i < c.k; i++ {
+		if data.Bit(i) == 1 {
+			for j := 0; j < c.r; j++ {
+				out.Set(i*c.r+j, 1)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Decode implements Code by per-bit majority vote.
+func (c *Repetition) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
+	if err := checkWordLen(c, word); err != nil {
+		return bits.Vector{}, DecodeInfo{}, err
+	}
+	data := bits.New(c.k)
+	info := DecodeInfo{}
+	for i := 0; i < c.k; i++ {
+		ones := 0
+		for j := 0; j < c.r; j++ {
+			ones += word.Bit(i*c.r + j)
+		}
+		bit := 0
+		if 2*ones > c.r {
+			bit = 1
+		}
+		data.Set(i, bit)
+		// Minority copies are the corrections the majority vote implied.
+		if bit == 1 {
+			info.Corrected += c.r - ones
+		} else {
+			info.Corrected += ones
+		}
+	}
+	return data, info, nil
+}
+
+// PostDecodeBER implements BERModeler with the exact majority-vote error
+// probability: P(more than r/2 of r copies flip) at raw flip probability p.
+func (c *Repetition) PostDecodeBER(p float64) float64 {
+	var sum float64
+	for i := c.r/2 + 1; i <= c.r; i++ {
+		sum += binomialTerm(c.r, i, p)
+	}
+	return math.Min(sum, 1)
+}

@@ -1,0 +1,62 @@
+package manager
+
+import "fmt"
+
+// DAC models the configurable CMOS current generator driving the laser
+// sources (the paper's Laser Output Power Controller, one control per
+// channel): the optical output is settable in 2^Bits equal steps up to
+// MaxOpticalW, and the manager rounds *up* to the next step so the BER
+// requirement always holds.
+type DAC struct {
+	// Bits is the DAC resolution.
+	Bits int
+	// MaxOpticalW is the full-scale optical output.
+	MaxOpticalW float64
+}
+
+// Validate checks the DAC parameters.
+func (d DAC) Validate() error {
+	if d.Bits < 1 || d.Bits > 16 {
+		return fmt.Errorf("manager: DAC resolution %d bits outside [1,16]", d.Bits)
+	}
+	if d.MaxOpticalW <= 0 {
+		return fmt.Errorf("manager: DAC full scale %g must be positive", d.MaxOpticalW)
+	}
+	return nil
+}
+
+// Steps returns the number of programmable levels.
+func (d DAC) Steps() int { return 1 << d.Bits }
+
+// StepW returns the optical power per step.
+func (d DAC) StepW() float64 { return d.MaxOpticalW / float64(d.Steps()) }
+
+// Quantize rounds the requested optical power up to the next programmable
+// level, returning the code and the realized power. Requests above full
+// scale fail.
+func (d DAC) Quantize(opticalW float64) (code int, quantW float64, err error) {
+	if err := d.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if opticalW < 0 {
+		return 0, 0, fmt.Errorf("manager: negative optical power %g", opticalW)
+	}
+	if opticalW > d.MaxOpticalW {
+		return 0, 0, fmt.Errorf("manager: request %.1f µW exceeds DAC full scale %.1f µW", opticalW*1e6, d.MaxOpticalW*1e6)
+	}
+	step := d.StepW()
+	code = int((opticalW + step - 1e-18) / step)
+	if float64(code)*step < opticalW {
+		code++
+	}
+	if code > d.Steps() {
+		code = d.Steps()
+	}
+	return code, float64(code) * step, nil
+}
+
+// PaperDAC returns a plausible controller for the paper's laser: 6 bits over
+// the 700 µW rated range (≈11 µW steps).
+func PaperDAC() DAC {
+	return DAC{Bits: 6, MaxOpticalW: 700e-6}
+}

@@ -1,0 +1,210 @@
+// Package manager implements the paper's Optical Link Energy/Performance
+// Manager (Section III-C): the runtime component that, given a source's
+// communication requirements (target BER, deadline pressure, objective),
+// selects the communication scheme (with or without ECC, and which code)
+// and programs the laser output power through a finite-resolution current
+// DAC on both the source and destination interfaces.
+package manager
+
+import (
+	"errors"
+	"fmt"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+)
+
+// ErrNoFeasibleScheme is returned when no registered scheme can satisfy the
+// requirements (e.g. uncoded-only manager asked for BER 1e-12).
+var ErrNoFeasibleScheme = errors.New("manager: no feasible scheme for the requirements")
+
+// Objective selects what the manager optimizes once the constraints are met.
+type Objective int
+
+// Objectives. MinPower minimizes channel power (the paper's headline),
+// MinEnergy minimizes energy per payload bit, MinLatency minimizes CT.
+const (
+	MinPower Objective = iota
+	MinEnergy
+	MinLatency
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinPower:
+		return "min-power"
+	case MinEnergy:
+		return "min-energy"
+	case MinLatency:
+		return "min-latency"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Requirements is a source core's request to the manager.
+type Requirements struct {
+	// TargetBER is the required post-decoding bit error rate.
+	TargetBER float64
+	// MaxCT caps the tolerable communication-time expansion n/k
+	// (0 means unconstrained). Real-time traffic sets this from its
+	// deadline slack.
+	MaxCT float64
+	// Objective picks the optimization goal among feasible schemes.
+	Objective Objective
+}
+
+// Decision is the manager's response: the scheme to configure on both ONIs
+// and the quantized laser setting.
+type Decision struct {
+	// Eval is the full link evaluation backing the decision.
+	Eval core.Evaluation
+	// DACCode is the programmed laser-current step.
+	DACCode int
+	// QuantizedOpticalW is the laser output after DAC rounding (always
+	// at or above the exact requirement).
+	QuantizedOpticalW float64
+	// QuantizedLaserPowerW is the electrical laser power at the
+	// quantized setting.
+	QuantizedLaserPowerW float64
+	// QuantizationWasteW is the extra electrical power paid for the
+	// finite DAC resolution.
+	QuantizationWasteW float64
+}
+
+// ChannelPowerW returns the per-wavelength channel power of the decision
+// including the quantization waste.
+func (d Decision) ChannelPowerW() float64 {
+	return d.Eval.ChannelPowerW + d.QuantizationWasteW
+}
+
+// Manager evaluates the registered schemes against a link configuration and
+// answers configuration requests.
+type Manager struct {
+	cfg     *core.LinkConfig
+	schemes []ecc.Code
+	dac     DAC
+	// cache avoids re-solving the link for repeated (scheme, BER) pairs —
+	// the manager is on the critical path of every transfer setup.
+	cache map[cacheKey]core.Evaluation
+}
+
+type cacheKey struct {
+	scheme string
+	ber    float64
+}
+
+// New builds a manager over the given configuration, scheme roster and DAC.
+func New(cfg *core.LinkConfig, schemes []ecc.Code, dac DAC) (*Manager, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("manager: nil link config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("manager: empty scheme roster")
+	}
+	if err := dac.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:     cfg,
+		schemes: schemes,
+		dac:     dac,
+		cache:   make(map[cacheKey]core.Evaluation),
+	}, nil
+}
+
+// evaluate returns the (cached) link evaluation of one scheme.
+func (m *Manager) evaluate(code ecc.Code, ber float64) (core.Evaluation, error) {
+	key := cacheKey{scheme: code.Name(), ber: ber}
+	if ev, ok := m.cache[key]; ok {
+		return ev, nil
+	}
+	ev, err := m.cfg.Evaluate(code, ber)
+	if err != nil {
+		return core.Evaluation{}, err
+	}
+	m.cache[key] = ev
+	return ev, nil
+}
+
+// Configure answers a request: it evaluates every registered scheme at the
+// target BER, filters by feasibility and the CT cap, optimizes the
+// objective, and programs the laser DAC.
+func (m *Manager) Configure(req Requirements) (Decision, error) {
+	if req.TargetBER <= 0 || req.TargetBER >= 0.5 {
+		return Decision{}, fmt.Errorf("manager: target BER %g outside (0, 0.5)", req.TargetBER)
+	}
+	if req.MaxCT < 0 {
+		return Decision{}, fmt.Errorf("manager: negative CT cap %g", req.MaxCT)
+	}
+	var best *core.Evaluation
+	for _, code := range m.schemes {
+		ev, err := m.evaluate(code, req.TargetBER)
+		if err != nil {
+			return Decision{}, err
+		}
+		if !ev.Feasible {
+			continue
+		}
+		if req.MaxCT > 0 && ev.CT > req.MaxCT {
+			continue
+		}
+		if best == nil || m.better(ev, *best, req.Objective) {
+			evCopy := ev
+			best = &evCopy
+		}
+	}
+	if best == nil {
+		return Decision{}, fmt.Errorf("%w: BER %g, CT cap %g", ErrNoFeasibleScheme, req.TargetBER, req.MaxCT)
+	}
+	return m.program(*best)
+}
+
+// better reports whether a beats b under the objective, breaking ties
+// toward lower channel power and then lower CT.
+func (m *Manager) better(a, b core.Evaluation, obj Objective) bool {
+	switch obj {
+	case MinEnergy:
+		if a.EnergyPerBitJ != b.EnergyPerBitJ {
+			return a.EnergyPerBitJ < b.EnergyPerBitJ
+		}
+	case MinLatency:
+		if a.CT != b.CT {
+			return a.CT < b.CT
+		}
+	default: // MinPower
+		if a.ChannelPowerW != b.ChannelPowerW {
+			return a.ChannelPowerW < b.ChannelPowerW
+		}
+	}
+	if a.ChannelPowerW != b.ChannelPowerW {
+		return a.ChannelPowerW < b.ChannelPowerW
+	}
+	return a.CT < b.CT
+}
+
+// program quantizes the laser setting for the chosen evaluation.
+func (m *Manager) program(ev core.Evaluation) (Decision, error) {
+	code, quantW, err := m.dac.Quantize(ev.Op.LaserOpticalW)
+	if err != nil {
+		return Decision{}, fmt.Errorf("manager: programming %s: %w", ev.Code.Name(), err)
+	}
+	pe, err := m.cfg.Channel.Laser.ElectricalPower(quantW, m.cfg.Channel.Activity)
+	if err != nil {
+		return Decision{}, fmt.Errorf("manager: quantized setting infeasible: %w", err)
+	}
+	return Decision{
+		Eval:                 ev,
+		DACCode:              code,
+		QuantizedOpticalW:    quantW,
+		QuantizedLaserPowerW: pe,
+		QuantizationWasteW:   pe - ev.LaserPowerW,
+	}, nil
+}
+
+// Schemes returns the registered scheme roster.
+func (m *Manager) Schemes() []ecc.Code { return m.schemes }

@@ -1,0 +1,226 @@
+package manager
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+)
+
+func newTestManager(t *testing.T) *Manager {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	m, err := New(&cfg, ecc.PaperSchemes(), PaperDAC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestManagerValidation(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if _, err := New(nil, ecc.PaperSchemes(), PaperDAC()); err == nil {
+		t.Error("nil config should be rejected")
+	}
+	if _, err := New(&cfg, nil, PaperDAC()); err == nil {
+		t.Error("empty roster should be rejected")
+	}
+	if _, err := New(&cfg, ecc.PaperSchemes(), DAC{Bits: 0, MaxOpticalW: 1}); err == nil {
+		t.Error("bad DAC should be rejected")
+	}
+}
+
+func TestConfigureMinPowerPrefersH74(t *testing.T) {
+	// At BER 1e-11 without a deadline, H(7,4) has the lowest channel
+	// power of the paper's three schemes.
+	m := newTestManager(t)
+	d, err := m.Configure(Requirements{TargetBER: 1e-11, Objective: MinPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eval.Code.Name() != "H(7,4)" {
+		t.Errorf("min-power picked %s, want H(7,4)", d.Eval.Code.Name())
+	}
+}
+
+func TestConfigureMinEnergyPrefersH7164(t *testing.T) {
+	// The paper's Section V-C: H(71,64) is the most energy-efficient.
+	m := newTestManager(t)
+	d, err := m.Configure(Requirements{TargetBER: 1e-11, Objective: MinEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eval.Code.Name() != "H(71,64)" {
+		t.Errorf("min-energy picked %s, want H(71,64)", d.Eval.Code.Name())
+	}
+}
+
+func TestConfigureMinLatencyPrefersUncoded(t *testing.T) {
+	m := newTestManager(t)
+	d, err := m.Configure(Requirements{TargetBER: 1e-9, Objective: MinLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eval.Code.Name() != "w/o ECC" {
+		t.Errorf("min-latency picked %s, want w/o ECC", d.Eval.Code.Name())
+	}
+}
+
+func TestConfigureDeadlineCapForcesUncoded(t *testing.T) {
+	// A CT cap below 71/64 leaves only the uncoded scheme.
+	m := newTestManager(t)
+	d, err := m.Configure(Requirements{TargetBER: 1e-9, MaxCT: 1.05, Objective: MinPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eval.Code.Name() != "w/o ECC" {
+		t.Errorf("CT cap 1.05 picked %s, want w/o ECC", d.Eval.Code.Name())
+	}
+	// A cap between the two codes excludes only H(7,4).
+	d, err = m.Configure(Requirements{TargetBER: 1e-9, MaxCT: 1.2, Objective: MinPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eval.Code.Name() != "H(71,64)" {
+		t.Errorf("CT cap 1.2 picked %s, want H(71,64)", d.Eval.Code.Name())
+	}
+}
+
+func TestConfigureInfeasibleCombination(t *testing.T) {
+	// BER 1e-12 with CT capped at 1 leaves nothing: uncoded can't reach
+	// the BER (laser cap) and the codes can't meet the CT.
+	m := newTestManager(t)
+	_, err := m.Configure(Requirements{TargetBER: 1e-12, MaxCT: 1.0, Objective: MinPower})
+	if !errors.Is(err, ErrNoFeasibleScheme) {
+		t.Errorf("want ErrNoFeasibleScheme, got %v", err)
+	}
+	// Lifting the CT cap makes it feasible via ECC — the paper's point.
+	d, err := m.Configure(Requirements{TargetBER: 1e-12, Objective: MinPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eval.Code.T() < 1 {
+		t.Error("BER 1e-12 requires a correcting code")
+	}
+}
+
+func TestConfigureRejectsBadRequirements(t *testing.T) {
+	m := newTestManager(t)
+	for _, req := range []Requirements{
+		{TargetBER: 0},
+		{TargetBER: 0.5},
+		{TargetBER: 1e-9, MaxCT: -1},
+	} {
+		if _, err := m.Configure(req); err == nil {
+			t.Errorf("requirements %+v should be rejected", req)
+		}
+	}
+}
+
+func TestDecisionQuantization(t *testing.T) {
+	m := newTestManager(t)
+	d, err := m.Configure(Requirements{TargetBER: 1e-11, Objective: MinPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DAC rounds up: quantized ≥ exact, waste ≥ 0, and the step
+	// error is below one LSB.
+	if d.QuantizedOpticalW < d.Eval.Op.LaserOpticalW {
+		t.Error("DAC must round up, never down (BER would be violated)")
+	}
+	if d.QuantizationWasteW < 0 {
+		t.Errorf("negative quantization waste %g", d.QuantizationWasteW)
+	}
+	if d.QuantizedOpticalW-d.Eval.Op.LaserOpticalW > PaperDAC().StepW() {
+		t.Error("quantization error exceeds one DAC step")
+	}
+	if d.ChannelPowerW() < d.Eval.ChannelPowerW {
+		t.Error("decision channel power must include the waste")
+	}
+	if d.DACCode < 1 || d.DACCode > PaperDAC().Steps() {
+		t.Errorf("DAC code %d out of range", d.DACCode)
+	}
+}
+
+func TestFinerDACWastesLess(t *testing.T) {
+	// Ablation A2: quantization waste shrinks monotonically (on average)
+	// with DAC resolution.
+	cfg := core.DefaultConfig()
+	prevWaste := math.Inf(1)
+	for _, bitsN := range []int{2, 4, 6, 8} {
+		m, err := New(&cfg, ecc.PaperSchemes(), DAC{Bits: bitsN, MaxOpticalW: 700e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var waste float64
+		for _, ber := range []float64{1e-6, 1e-8, 1e-10, 1e-11} {
+			d, err := m.Configure(Requirements{TargetBER: ber, Objective: MinPower})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waste += d.QuantizationWasteW
+		}
+		if waste > prevWaste {
+			t.Errorf("%d-bit DAC wastes %.3g W, more than the coarser DAC %.3g", bitsN, waste, prevWaste)
+		}
+		prevWaste = waste
+	}
+}
+
+func TestDACQuantize(t *testing.T) {
+	d := DAC{Bits: 3, MaxOpticalW: 800e-6} // 8 steps of 100 µW
+	code, q, err := d.Quantize(250e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 || math.Abs(q-300e-6) > 1e-12 {
+		t.Errorf("Quantize(250µW) = code %d, %.0f µW; want 3, 300", code, q*1e6)
+	}
+	// Exact grid point stays put.
+	code, q, err = d.Quantize(300e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 || math.Abs(q-300e-6) > 1e-12 {
+		t.Errorf("Quantize(300µW) = code %d, %.0f µW; want 3, 300", code, q*1e6)
+	}
+	if _, _, err := d.Quantize(900e-6); err == nil {
+		t.Error("above full scale should fail")
+	}
+	if _, _, err := d.Quantize(-1); err == nil {
+		t.Error("negative request should fail")
+	}
+}
+
+func TestManagerCacheConsistency(t *testing.T) {
+	// Two identical requests must produce identical decisions (and hit
+	// the cache the second time).
+	m := newTestManager(t)
+	a, err := m.Configure(Requirements{TargetBER: 1e-10, Objective: MinEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Configure(Requirements{TargetBER: 1e-10, Objective: MinEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Eval.Code.Name() != b.Eval.Code.Name() || a.DACCode != b.DACCode {
+		t.Error("repeated requests diverged")
+	}
+}
+
+func BenchmarkConfigure(b *testing.B) {
+	cfg := core.DefaultConfig()
+	m, err := New(&cfg, ecc.PaperSchemes(), PaperDAC())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Configure(Requirements{TargetBER: 1e-11, Objective: MinPower}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErfcInvKnownValues(t *testing.T) {
+	cases := []struct {
+		y, want float64
+	}{
+		{1.0, 0},
+		{0.5, 0.47693627620446987},  // erfc(0.4769...) = 0.5
+		{0.1, 1.1630871536766738},   // erfc(1.1630...) = 0.1
+		{0.01, 1.8213863677184492},  // erfc(1.8213...) = 0.01
+		{1.5, -0.47693627620446987}, // symmetry about y=1
+		{1.9, -1.1630871536766738},  // symmetry
+		{2e-11, 4.7418744480446202}, // BER 1e-11 operating point of the paper
+		{2e-12, 4.9741312150175157}, // BER 1e-12
+	}
+	for _, c := range cases {
+		got := ErfcInv(c.y)
+		if !ApproxEqual(got, c.want, 1e-9) {
+			t.Errorf("ErfcInv(%g) = %.15g, want %.15g", c.y, got, c.want)
+		}
+	}
+}
+
+func TestErfcInvMatchesStdlib(t *testing.T) {
+	// Cross-validate against math.Erfcinv. The stdlib inverse is only
+	// accurate to a few 1e-9 relative in the deep tail (its own erfc
+	// roundtrip drifts), so the comparison tolerance is set accordingly;
+	// the roundtrip test below enforces the much tighter property that
+	// actually matters: Erfc(ErfcInv(y)) == y.
+	for _, y := range Logspace(1e-12, 1.0, 400) {
+		got := ErfcInv(y)
+		want := math.Erfcinv(y)
+		if !ApproxEqual(got, want, 1e-4) {
+			t.Fatalf("ErfcInv(%g) = %.17g, stdlib %.17g", y, got, want)
+		}
+	}
+}
+
+func TestErfcInvForwardRoundTrip(t *testing.T) {
+	// Property: Erfc(ErfcInv(y)) reproduces y to near machine precision
+	// across the entire BER range used by the link models. This is the
+	// defining property of the inverse and is *stronger* than agreement
+	// with math.Erfcinv.
+	for _, y := range Logspace(1e-15, 1.0, 400) {
+		x := ErfcInv(y)
+		back := Erfc(x)
+		if !ApproxEqual(back/y, 1, 1e-11) {
+			t.Fatalf("Erfc(ErfcInv(%g)) = %.17g (rel err %.3g)", y, back, back/y-1)
+		}
+	}
+}
+
+func TestErfcInvRoundTripProperty(t *testing.T) {
+	// Property: ErfcInv(Erfc(x)) == x for x where erfc does not underflow.
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 5.0) // x in [0, 5)
+		y := Erfc(x)
+		back := ErfcInv(y)
+		return ApproxEqual(back, x, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErfcInvEdgeCases(t *testing.T) {
+	if got := ErfcInv(0); !math.IsInf(got, 1) {
+		t.Errorf("ErfcInv(0) = %g, want +Inf", got)
+	}
+	if got := ErfcInv(2); !math.IsInf(got, -1) {
+		t.Errorf("ErfcInv(2) = %g, want -Inf", got)
+	}
+	for _, y := range []float64{-0.1, 2.1, math.NaN()} {
+		if got := ErfcInv(y); !math.IsNaN(got) {
+			t.Errorf("ErfcInv(%g) = %g, want NaN", y, got)
+		}
+	}
+	if got := ErfcInv(1); got != 0 {
+		t.Errorf("ErfcInv(1) = %g, want 0", got)
+	}
+}
+
+func TestQAndQInv(t *testing.T) {
+	// Q(0) = 0.5, Q(1.2815...) ~ 0.1, and QInv inverts Q.
+	if got := Q(0); !ApproxEqual(got, 0.5, 1e-12) {
+		t.Errorf("Q(0) = %g, want 0.5", got)
+	}
+	for _, x := range []float64{0.1, 0.5, 1, 2, 3, 4, 5, 6, 7} {
+		p := Q(x)
+		if got := QInv(p); !ApproxEqual(got, x, 1e-8) {
+			t.Errorf("QInv(Q(%g)) = %g", x, got)
+		}
+	}
+	// The classic value used for BER 1e-9 links: Q(5.998) ~ 1e-9.
+	if got := QInv(1e-9); !ApproxEqual(got, 5.9978, 1e-3) {
+		t.Errorf("QInv(1e-9) = %g, want ~5.998", got)
+	}
+}
+
+func BenchmarkErfcInv(b *testing.B) {
+	ys := Logspace(1e-14, 1, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ErfcInv(ys[i%len(ys)])
+	}
+}

@@ -1,0 +1,74 @@
+package mathx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LinearTable is a piecewise-linear interpolant over a strictly increasing
+// abscissa grid. The zero value is not usable; construct with NewLinearTable.
+type LinearTable struct {
+	xs, ys []float64
+}
+
+// NewLinearTable builds an interpolant from parallel slices. xs must be
+// strictly increasing and the slices must have equal length of at least 2.
+func NewLinearTable(xs, ys []float64) (*LinearTable, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("mathx: table length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("mathx: table needs at least 2 points, got %d", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("mathx: table abscissae not strictly increasing at index %d", i)
+		}
+	}
+	t := &LinearTable{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+	return t, nil
+}
+
+// At evaluates the interpolant at x, clamping to the end values outside the
+// tabulated range.
+func (t *LinearTable) At(x float64) float64 {
+	n := len(t.xs)
+	switch {
+	case x <= t.xs[0]:
+		return t.ys[0]
+	case x >= t.xs[n-1]:
+		return t.ys[n-1]
+	}
+	// Index of the first grid point strictly greater than x.
+	i := sort.SearchFloat64s(t.xs, x)
+	if t.xs[i] == x {
+		return t.ys[i]
+	}
+	frac := (x - t.xs[i-1]) / (t.xs[i] - t.xs[i-1])
+	return Lerp(t.ys[i-1], t.ys[i], frac)
+}
+
+// Min returns the smallest tabulated ordinate.
+func (t *LinearTable) Min() float64 {
+	m := t.ys[0]
+	for _, y := range t.ys[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Max returns the largest tabulated ordinate.
+func (t *LinearTable) Max() float64 {
+	m := t.ys[0]
+	for _, y := range t.ys[1:] {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// Domain returns the tabulated abscissa range.
+func (t *LinearTable) Domain() (lo, hi float64) { return t.xs[0], t.xs[len(t.xs)-1] }

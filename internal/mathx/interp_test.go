@@ -1,0 +1,78 @@
+package mathx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLinearTableValidation(t *testing.T) {
+	if _, err := NewLinearTable([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := NewLinearTable([]float64{0}, []float64{0}); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := NewLinearTable([]float64{0, 0}, []float64{0, 1}); err == nil {
+		t.Error("non-increasing xs: want error")
+	}
+	if _, err := NewLinearTable([]float64{1, 0}, []float64{0, 1}); err == nil {
+		t.Error("decreasing xs: want error")
+	}
+}
+
+func TestLinearTableAt(t *testing.T) {
+	tab, err := NewLinearTable([]float64{0, 1, 3}, []float64{0, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-1, 0},  // clamp low
+		{0, 0},   // grid point
+		{0.5, 5}, // interior
+		{1, 10},  // grid point
+		{2, 20},  // interior, second segment
+		{3, 30},  // grid point
+		{99, 30}, // clamp high
+	}
+	for _, c := range cases {
+		if got := tab.At(c.x); !ApproxEqual(got, c.want, 1e-12) {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLinearTableInterpolatesLinearFunctions(t *testing.T) {
+	// Property: a piecewise-linear interpolant reproduces any affine
+	// function exactly inside the domain.
+	xs := Linspace(-5, 5, 23)
+	a, b := 2.5, -1.25
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = a*x + b
+	}
+	tab, err := NewLinearTable(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(raw float64) bool {
+		x := Clamp(raw, -5, 5)
+		return ApproxEqual(tab.At(x), a*x+b, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearTableMinMaxDomain(t *testing.T) {
+	tab, err := NewLinearTable([]float64{0, 1, 2}, []float64{5, -3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Min() != -3 || tab.Max() != 5 {
+		t.Errorf("Min/Max = %g/%g, want -3/5", tab.Min(), tab.Max())
+	}
+	lo, hi := tab.Domain()
+	if lo != 0 || hi != 2 {
+		t.Errorf("Domain = [%g, %g], want [0, 2]", lo, hi)
+	}
+}

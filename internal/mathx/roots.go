@@ -1,0 +1,111 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned when a root finder is given an interval whose
+// endpoints do not bracket a sign change.
+var ErrNoBracket = errors.New("mathx: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative solver exhausts its iteration
+// budget without meeting its tolerance.
+var ErrNoConverge = errors.New("mathx: solver failed to converge")
+
+// Bisect finds a root of f in [lo, hi] to absolute tolerance tol using
+// bisection with a secant (false-position) acceleration step. f(lo) and
+// f(hi) must have opposite signs (zero endpoints are accepted as roots).
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, fhi := f(lo), f(hi)
+	switch {
+	case flo == 0:
+		return lo, nil
+	case fhi == 0:
+		return hi, nil
+	case math.IsNaN(flo) || math.IsNaN(fhi):
+		return 0, fmt.Errorf("%w: f is NaN at an endpoint", ErrNoBracket)
+	case (flo > 0) == (fhi > 0):
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	for i := 0; i < 200; i++ {
+		if hi-lo <= tol {
+			return 0.5 * (lo + hi), nil
+		}
+		mid := 0.5 * (lo + hi)
+		// Alternate a false-position probe with plain bisection so smooth
+		// functions converge super-linearly while pathological ones still
+		// halve the interval every other step.
+		if i%2 == 1 && fhi != flo {
+			sec := lo - flo*(hi-lo)/(fhi-flo)
+			if sec > lo+0.01*(hi-lo) && sec < hi-0.01*(hi-lo) {
+				mid = sec
+			}
+		}
+		fm := f(mid)
+		switch {
+		case fm == 0:
+			return mid, nil
+		case math.IsNaN(fm):
+			return 0, fmt.Errorf("%w: f(%g) is NaN", ErrNoConverge, mid)
+		case (fm > 0) == (fhi > 0):
+			hi, fhi = mid, fm
+		default:
+			lo, flo = mid, fm
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// SolveMonotone solves f(x) == target for x in [lo, hi], assuming f is
+// monotone (either direction) on the interval. It is the workhorse used to
+// invert the post-decoding BER and the laser thermal characteristic.
+func SolveMonotone(f func(float64) float64, target, lo, hi, tol float64) (float64, error) {
+	g := func(x float64) float64 { return f(x) - target }
+	return Bisect(g, lo, hi, tol)
+}
+
+// FixedPoint iterates x ← g(x) from x0 until successive values differ by at
+// most tol, for at most maxIter iterations.
+func FixedPoint(g func(float64) float64, x0, tol float64, maxIter int) (float64, error) {
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		nx := g(x)
+		if math.IsNaN(nx) || math.IsInf(nx, 0) {
+			return 0, fmt.Errorf("%w: iterate diverged at step %d", ErrNoConverge, i)
+		}
+		if math.Abs(nx-x) <= tol {
+			return nx, nil
+		}
+		x = nx
+	}
+	return 0, ErrNoConverge
+}
+
+// GoldenMax locates the maximizer of a unimodal function f on [lo, hi] to
+// absolute tolerance tol using golden-section search. It is used to find the
+// peak optical output of the thermally-limited laser characteristic.
+func GoldenMax(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	const invPhi = 0.6180339887498949 // (sqrt(5)-1)/2
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = 0.5 * (a + b)
+	return x, f(x)
+}

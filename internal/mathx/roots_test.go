@@ -1,0 +1,92 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimpleRoots(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      func(float64) float64
+		lo, hi float64
+		want   float64
+	}{
+		{"linear", func(x float64) float64 { return 2*x - 3 }, 0, 10, 1.5},
+		{"cubic", func(x float64) float64 { return x*x*x - 2 }, 0, 4, math.Cbrt(2)},
+		{"cos", math.Cos, 0, 3, math.Pi / 2},
+		{"reversed-interval", func(x float64) float64 { return x - 1 }, 5, 0, 1},
+		{"steep-exp", func(x float64) float64 { return math.Exp(x) - 100 }, 0, 10, math.Log(100)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := Bisect(c.f, c.lo, c.hi, 1e-12)
+			if err != nil {
+				t.Fatalf("Bisect: %v", err)
+			}
+			if !ApproxEqual(got, c.want, 1e-9) {
+				t.Errorf("root = %.15g, want %.15g", got, c.want)
+			}
+		})
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return x*x + 1 }, -5, 5, 1e-9)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	got, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-9)
+	if err != nil || got != 0 {
+		t.Errorf("got %g, %v; want root at endpoint 0", got, err)
+	}
+}
+
+func TestSolveMonotoneProperty(t *testing.T) {
+	// Property: for a strictly increasing function, SolveMonotone recovers
+	// the preimage of f at any target inside the range.
+	f := func(x float64) float64 { return x*x*x + 0.5*x } // strictly increasing
+	prop := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 8.0)
+		target := f(x)
+		got, err := SolveMonotone(f, target, 0, 8, 1e-13)
+		return err == nil && ApproxEqual(got, x, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedPoint(t *testing.T) {
+	// x = cos(x) has the Dottie number as its unique fixed point.
+	got, err := FixedPoint(math.Cos, 1.0, 1e-12, 500)
+	if err != nil {
+		t.Fatalf("FixedPoint: %v", err)
+	}
+	if !ApproxEqual(got, 0.7390851332151607, 1e-9) {
+		t.Errorf("fixed point = %.15g, want Dottie number", got)
+	}
+
+	// A diverging map must report failure rather than loop forever.
+	if _, err := FixedPoint(func(x float64) float64 { return 2*x + 1 }, 1, 1e-12, 50); err == nil {
+		t.Error("diverging map: want error, got nil")
+	}
+}
+
+func TestGoldenMax(t *testing.T) {
+	// Peak of the laser-like characteristic x·(1-x^4) on [0,1] is at (1/5)^(1/4).
+	f := func(x float64) float64 { return x * (1 - math.Pow(x, 4)) }
+	x, fx := GoldenMax(f, 0, 1, 1e-10)
+	wantX := math.Pow(0.2, 0.25)
+	if !ApproxEqual(x, wantX, 1e-6) {
+		t.Errorf("argmax = %.10g, want %.10g", x, wantX)
+	}
+	if fx < f(wantX)-1e-9 {
+		t.Errorf("max value %.10g below true max %.10g", fx, f(wantX))
+	}
+}

@@ -1,0 +1,177 @@
+// Package netsim is a discrete-event simulator of application traffic over
+// the paper's MWSR optical interconnect: every ONI sources messages toward
+// the other ONIs' channels, the optical link manager configures the ECC
+// scheme and laser power per transfer, and the simulator accounts latency,
+// deadline behaviour and energy — the "benchmark applications" evaluation
+// the paper defers to future work (Section VI), driven here by synthetic
+// workloads. It also implements the idle-laser-off extension of [9].
+package netsim
+
+import (
+	"fmt"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/manager"
+)
+
+// Pattern selects the synthetic traffic workload.
+type Pattern int
+
+// Traffic patterns.
+const (
+	// Uniform sends each message to a uniformly random other ONI.
+	Uniform Pattern = iota
+	// Hotspot concentrates 30% of the traffic on one destination.
+	Hotspot
+	// Permutation fixes dst = (src + N/2) mod N (a transpose-like map).
+	Permutation
+	// Streaming emits periodic, deadline-tagged flows (multimedia-like)
+	// from half of the sources, Poisson background from the rest.
+	Streaming
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Hotspot:
+		return "hotspot"
+	case Permutation:
+		return "permutation"
+	case Streaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Config drives one simulation run.
+type Config struct {
+	// Link is the channel/interface configuration (paper defaults via
+	// core.DefaultConfig).
+	Link core.LinkConfig
+	// Schemes is the manager's roster (paper: the three schemes).
+	Schemes []ecc.Code
+	// DAC is the laser controller resolution.
+	DAC manager.DAC
+	// TargetBER applies to every transfer.
+	TargetBER float64
+	// Pattern picks the workload; HotspotNode the hot destination.
+	Pattern     Pattern
+	HotspotNode int
+	// MessageBits is the payload per message.
+	MessageBits int
+	// Load is the offered payload utilization per channel (0, 1):
+	// the fraction of NW·Fmod each reader would receive uncoded.
+	Load float64
+	// DeadlineSlack tags each message with
+	// deadline = arrival + slack · (uncoded transfer time); 0 disables
+	// deadlines.
+	DeadlineSlack float64
+	// Objective is the manager goal for non-deadline traffic.
+	Objective manager.Objective
+	// AdaptToDeadline lets the manager cap CT from the remaining slack
+	// (the paper's real-time scenario).
+	AdaptToDeadline bool
+	// IdleLaserOff turns lasers off on idle channels (extension [9]).
+	IdleLaserOff bool
+	// Messages is the number of messages to simulate (across all sources).
+	Messages int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a ready-to-run paper-scale simulation: 12 ONIs,
+// 4 KiB messages, uniform traffic at 40% load, BER 1e-11.
+func DefaultConfig() Config {
+	return Config{
+		Link:          core.DefaultConfig(),
+		Schemes:       ecc.PaperSchemes(),
+		DAC:           manager.PaperDAC(),
+		TargetBER:     1e-11,
+		Pattern:       Uniform,
+		MessageBits:   4096 * 8,
+		Load:          0.4,
+		DeadlineSlack: 0,
+		Objective:     manager.MinEnergy,
+		Messages:      20000,
+		Seed:          1,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if len(c.Schemes) == 0 {
+		return fmt.Errorf("netsim: empty scheme roster")
+	}
+	if c.TargetBER <= 0 || c.TargetBER >= 0.5 {
+		return fmt.Errorf("netsim: target BER %g outside (0, 0.5)", c.TargetBER)
+	}
+	if c.MessageBits <= 0 {
+		return fmt.Errorf("netsim: message size %d must be positive", c.MessageBits)
+	}
+	if c.Load <= 0 || c.Load >= 1 {
+		return fmt.Errorf("netsim: load %g outside (0, 1)", c.Load)
+	}
+	if c.Messages <= 0 {
+		return fmt.Errorf("netsim: message count %d must be positive", c.Messages)
+	}
+	if c.DeadlineSlack < 0 {
+		return fmt.Errorf("netsim: negative deadline slack %g", c.DeadlineSlack)
+	}
+	n := c.Link.Channel.Topo.ONIs
+	if c.Pattern == Hotspot && (c.HotspotNode < 0 || c.HotspotNode >= n) {
+		return fmt.Errorf("netsim: hotspot node %d outside [0,%d)", c.HotspotNode, n)
+	}
+	return nil
+}
+
+// Results summarizes one run.
+type Results struct {
+	Messages      int64
+	DeliveredBits int64
+	SimTimeSec    float64
+	// Latency statistics in seconds (arrival → delivery).
+	MeanLatencySec float64
+	P50LatencySec  float64
+	P95LatencySec  float64
+	P99LatencySec  float64
+	MaxLatencySec  float64
+	// MeanQueueWaitSec is the arbitration/queueing component alone.
+	MeanQueueWaitSec float64
+	// Deadline accounting (when DeadlineSlack > 0).
+	DeadlineMisses int64
+	// Energy breakdown in joules.
+	LaserEnergyJ     float64
+	ModulatorEnergyJ float64
+	InterfaceEnergyJ float64
+	IdleEnergyJ      float64
+	TotalEnergyJ     float64
+	// EnergyPerBitJ is total energy over delivered payload bits.
+	EnergyPerBitJ float64
+	// ThroughputBitsPerSec is delivered payload over simulated time.
+	ThroughputBitsPerSec float64
+	// SchemeUse counts transfers per scheme name.
+	SchemeUse map[string]int64
+	// ChannelUtilization is mean busy fraction across channels.
+	ChannelUtilization float64
+	// PerChannel breaks the run down by destination (reader) channel.
+	PerChannel []ChannelStats
+}
+
+// ChannelStats is the per-destination view of a run.
+type ChannelStats struct {
+	// Channel is the reader/destination ONI index.
+	Channel int
+	// Messages received on this channel.
+	Messages int64
+	// BusyFraction of the simulated time the channel served transfers.
+	BusyFraction float64
+	// ActiveEnergyJ spent on transfers into this channel (laser+MR+intf).
+	ActiveEnergyJ float64
+}

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"photonoc/internal/manager"
+)
+
+// message is one in-flight transfer.
+type message struct {
+	src, dst int
+	arrival  float64
+	deadline float64 // 0 = none
+	bits     int
+}
+
+// arrivalEvent orders message generation on the event heap.
+type arrivalEvent struct {
+	at  float64
+	msg message
+}
+
+type eventHeap []arrivalEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(arrivalEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// tokenOverheadSec is the fixed MWSR arbitration cost per transfer
+// (token grant + manager request/response round trip).
+const tokenOverheadSec = 10e-9
+
+// Run generates the configured workload and executes the simulation. It is
+// exactly RecordTrace followed by RunTrace, which guarantees that recorded
+// traces replay to identical results.
+func Run(cfg Config) (Results, error) {
+	tr, err := RecordTrace(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return RunTrace(cfg, tr)
+}
+
+// runMessages is the service/energy/statistics core shared by Run and
+// RunTrace. feed must yield messages in non-decreasing arrival order.
+func runMessages(cfg Config, feed func(yield func(message))) (Results, error) {
+	mgr, err := manager.New(&cfg.Link, cfg.Schemes, cfg.DAC)
+	if err != nil {
+		return Results{}, err
+	}
+	topo := cfg.Link.Channel.Topo
+	n := topo.ONIs
+	nw := float64(topo.Wavelengths)
+	capacity := nw * cfg.Link.FmodHz
+	baseTransfer := float64(cfg.MessageBits) / capacity
+
+	// Channel (reader) server state.
+	nextFree := make([]float64, n)
+	busyTime := make([]float64, n)
+	idleLaserW := make([]float64, n) // standing laser power while idle
+	chMessages := make([]int64, n)
+	chEnergy := make([]float64, n)
+
+	res := Results{SchemeUse: make(map[string]int64)}
+	latencies := make([]float64, 0, cfg.Messages)
+	var queueWaitSum float64
+	var feedErr error
+
+	feed(func(m message) {
+		if feedErr != nil {
+			return
+		}
+		start := m.arrival
+		if nextFree[m.dst] > start {
+			start = nextFree[m.dst]
+		}
+		start += tokenOverheadSec
+
+		// The manager configures the link for this transfer.
+		req := manager.Requirements{TargetBER: cfg.TargetBER, Objective: cfg.Objective}
+		if cfg.AdaptToDeadline && m.deadline > 0 {
+			avail := m.deadline - start
+			if maxCT := avail / baseTransfer; maxCT >= 1 {
+				req.MaxCT = maxCT
+			} else {
+				req.Objective = manager.MinLatency // already late: go fastest
+			}
+		}
+		dec, err := mgr.Configure(req)
+		if err != nil {
+			// Deadline pressure can make every scheme ineligible; retry
+			// without the cap (best effort, counted as a miss below).
+			req.MaxCT = 0
+			req.Objective = manager.MinLatency
+			dec, err = mgr.Configure(req)
+			if err != nil {
+				feedErr = fmt.Errorf("netsim: configuring transfer: %w", err)
+				return
+			}
+		}
+
+		transfer := float64(m.bits) / capacity * dec.Eval.CT
+		done := start + transfer
+		nextFree[m.dst] = done
+		busyTime[m.dst] += transfer
+		idleLaserW[m.dst] = dec.QuantizedLaserPowerW * nw
+
+		latency := done - m.arrival
+		latencies = append(latencies, latency)
+		queueWaitSum += start - m.arrival
+		if m.deadline > 0 && done > m.deadline {
+			res.DeadlineMisses++
+		}
+
+		// Active energy of the transfer, all wavelengths of the channel.
+		laserE := dec.QuantizedLaserPowerW * nw * transfer
+		modE := cfg.Link.ModulatorPowerW * nw * transfer
+		intfE := cfg.Link.InterfacePowerFor(dec.Eval.Code).TotalW() * transfer
+		res.LaserEnergyJ += laserE
+		res.ModulatorEnergyJ += modE
+		res.InterfaceEnergyJ += intfE
+		chMessages[m.dst]++
+		chEnergy[m.dst] += laserE + modE + intfE
+		res.SchemeUse[dec.Eval.Code.Name()]++
+		res.Messages++
+		res.DeliveredBits += int64(m.bits)
+		if done > res.SimTimeSec {
+			res.SimTimeSec = done
+		}
+	})
+	if feedErr != nil {
+		return Results{}, feedErr
+	}
+
+	// Idle energy: lasers of an idle channel keep their standing power
+	// unless the idle-laser-off extension [9] is active.
+	if !cfg.IdleLaserOff {
+		for d := 0; d < n; d++ {
+			idle := res.SimTimeSec - busyTime[d]
+			if idle > 0 {
+				res.IdleEnergyJ += idleLaserW[d] * idle
+			}
+		}
+	}
+	res.TotalEnergyJ = res.LaserEnergyJ + res.ModulatorEnergyJ + res.InterfaceEnergyJ + res.IdleEnergyJ
+
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLatencySec = sum / float64(len(latencies))
+		res.P50LatencySec = percentile(latencies, 0.50)
+		res.P95LatencySec = percentile(latencies, 0.95)
+		res.P99LatencySec = percentile(latencies, 0.99)
+		res.MaxLatencySec = latencies[len(latencies)-1]
+		res.MeanQueueWaitSec = queueWaitSum / float64(len(latencies))
+	}
+	if res.DeliveredBits > 0 {
+		res.EnergyPerBitJ = res.TotalEnergyJ / float64(res.DeliveredBits)
+	}
+	if res.SimTimeSec > 0 {
+		res.ThroughputBitsPerSec = float64(res.DeliveredBits) / res.SimTimeSec
+		var busy float64
+		for _, b := range busyTime {
+			busy += b
+		}
+		res.ChannelUtilization = busy / (res.SimTimeSec * float64(n))
+		res.PerChannel = make([]ChannelStats, n)
+		for d := 0; d < n; d++ {
+			res.PerChannel[d] = ChannelStats{
+				Channel:       d,
+				Messages:      chMessages[d],
+				BusyFraction:  busyTime[d] / res.SimTimeSec,
+				ActiveEnergyJ: chEnergy[d],
+			}
+		}
+	}
+	return res, nil
+}
+
+// percentile reads a quantile from an ascending-sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+)
+
+// TraceEvent is one recorded message arrival — the unit of the portable
+// trace format used to replay workloads (the "benchmark applications" of
+// the paper's future work, captured once and re-run against different link
+// policies).
+type TraceEvent struct {
+	TimeSec     float64 `json:"t"`
+	Src         int     `json:"src"`
+	Dst         int     `json:"dst"`
+	Bits        int     `json:"bits"`
+	DeadlineSec float64 `json:"deadline,omitempty"`
+}
+
+// Trace is a time-ordered sequence of message arrivals.
+type Trace []TraceEvent
+
+// Validate checks ordering and topology bounds for an n-ONI interconnect.
+func (tr Trace) Validate(n int) error {
+	for i, ev := range tr {
+		if ev.Src < 0 || ev.Src >= n || ev.Dst < 0 || ev.Dst >= n {
+			return fmt.Errorf("netsim: trace event %d endpoints (%d→%d) outside [0,%d)", i, ev.Src, ev.Dst, n)
+		}
+		if ev.Src == ev.Dst {
+			return fmt.Errorf("netsim: trace event %d sends to itself", i)
+		}
+		if ev.Bits <= 0 {
+			return fmt.Errorf("netsim: trace event %d has %d bits", i, ev.Bits)
+		}
+		if i > 0 && ev.TimeSec < tr[i-1].TimeSec {
+			return fmt.Errorf("netsim: trace not time-ordered at event %d", i)
+		}
+		if ev.DeadlineSec != 0 && ev.DeadlineSec < ev.TimeSec {
+			return fmt.Errorf("netsim: trace event %d deadline precedes arrival", i)
+		}
+	}
+	return nil
+}
+
+// WriteJSON streams the trace as JSON.
+func (tr Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// ReadTraceJSON parses a trace written by WriteJSON.
+func ReadTraceJSON(r io.Reader) (Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("netsim: decoding trace: %w", err)
+	}
+	return tr, nil
+}
+
+// RecordTrace generates the arrival stream the configured workload would
+// produce, without simulating the link — a reusable, inspectable workload
+// artifact.
+func RecordTrace(cfg Config) (Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topo := cfg.Link.Channel.Topo
+	capacity := float64(topo.Wavelengths) * cfg.Link.FmodHz
+	baseTransfer := float64(cfg.MessageBits) / capacity
+	srcRate := cfg.Load * capacity / float64(cfg.MessageBits)
+	gen := newTrafficGenerator(cfg, rng, srcRate, baseTransfer)
+
+	events := &eventHeap{}
+	heap.Init(events)
+	for s := 0; s < topo.ONIs; s++ {
+		if ev, ok := gen.next(s, 0); ok {
+			heap.Push(events, ev)
+		}
+	}
+	tr := make(Trace, 0, cfg.Messages)
+	for events.Len() > 0 && len(tr) < cfg.Messages {
+		ev := heap.Pop(events).(arrivalEvent)
+		if nx, ok := gen.next(ev.msg.src, ev.at); ok {
+			heap.Push(events, nx)
+		}
+		tr = append(tr, TraceEvent{
+			TimeSec:     ev.msg.arrival,
+			Src:         ev.msg.src,
+			Dst:         ev.msg.dst,
+			Bits:        ev.msg.bits,
+			DeadlineSec: ev.msg.deadline,
+		})
+	}
+	sort.Slice(tr, func(i, j int) bool { return tr[i].TimeSec < tr[j].TimeSec })
+	return tr, nil
+}
+
+// RunTrace replays a recorded trace against the configured link and
+// policies. The traffic fields of cfg (Pattern, Load, Messages, Seed,
+// DeadlineSlack) are ignored; everything else applies.
+func RunTrace(cfg Config, tr Trace) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	if err := tr.Validate(cfg.Link.Channel.Topo.ONIs); err != nil {
+		return Results{}, err
+	}
+	replay := cfg
+	replay.Messages = len(tr)
+	return runMessages(replay, func(yield func(message)) {
+		for _, ev := range tr {
+			yield(message{
+				src:      ev.Src,
+				dst:      ev.Dst,
+				arrival:  ev.TimeSec,
+				deadline: ev.DeadlineSec,
+				bits:     ev.Bits,
+			})
+		}
+	})
+}

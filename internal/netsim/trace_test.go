@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordTraceShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Messages = 1500
+	cfg.DeadlineSlack = 2.0
+	tr, err := RecordTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1500 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	if err := tr.Validate(12); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	// Time-ordered, all deadlines after arrivals.
+	for i, ev := range tr {
+		if ev.DeadlineSec == 0 {
+			t.Fatalf("event %d missing deadline despite slack config", i)
+		}
+	}
+}
+
+func TestRunEqualsRecordPlusReplay(t *testing.T) {
+	// The structural guarantee of the refactor: Run == RecordTrace →
+	// RunTrace, bit for bit.
+	cfg := DefaultConfig()
+	cfg.Messages = 2000
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := RecordTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := RunTrace(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.MeanLatencySec != replayed.MeanLatencySec ||
+		direct.TotalEnergyJ != replayed.TotalEnergyJ ||
+		direct.Messages != replayed.Messages {
+		t.Error("replaying the recorded trace diverged from the direct run")
+	}
+}
+
+func TestTraceReplayAcrossPolicies(t *testing.T) {
+	// The point of traces: the *same* workload compared under different
+	// link policies. Latency-optimal must beat power-optimal on latency
+	// on the identical arrival sequence.
+	cfg := DefaultConfig()
+	cfg.Messages = 3000
+	tr, err := RecordTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := cfg
+	fast.Objective = 2 // MinLatency
+	slow := cfg
+	slow.Objective = 0 // MinPower
+	fastRes, err := RunTrace(fast, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRes, err := RunTrace(slow, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastRes.MeanLatencySec >= slowRes.MeanLatencySec {
+		t.Errorf("min-latency %g should beat min-power %g on the same trace",
+			fastRes.MeanLatencySec, slowRes.MeanLatencySec)
+	}
+	if fastRes.Messages != slowRes.Messages {
+		t.Error("same trace must deliver the same message count")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Messages = 200
+	cfg.DeadlineSlack = 1.5
+	tr, err := RecordTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr) {
+		t.Fatalf("roundtrip length %d vs %d", len(back), len(tr))
+	}
+	for i := range tr {
+		if back[i] != tr[i] {
+			t.Fatalf("event %d changed in JSON roundtrip", i)
+		}
+	}
+	// Replay of the deserialized trace still works.
+	if _, err := RunTrace(cfg, back); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage JSON errors out.
+	if _, err := ReadTraceJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage JSON should error")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := Trace{{TimeSec: 0, Src: 0, Dst: 1, Bits: 8}}
+	if err := good.Validate(12); err != nil {
+		t.Errorf("good trace rejected: %v", err)
+	}
+	bad := []Trace{
+		{{TimeSec: 0, Src: 0, Dst: 99, Bits: 8}},                                       // bad dst
+		{{TimeSec: 0, Src: 3, Dst: 3, Bits: 8}},                                        // self-send
+		{{TimeSec: 0, Src: 0, Dst: 1, Bits: 0}},                                        // no payload
+		{{TimeSec: 5, Src: 0, Dst: 1, Bits: 8}, {TimeSec: 1, Src: 0, Dst: 1, Bits: 8}}, // unordered
+		{{TimeSec: 5, Src: 0, Dst: 1, Bits: 8, DeadlineSec: 1}},                        // deadline in the past
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(12); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package netsim
+
+import "math/rand"
+
+// trafficGenerator produces each source's next message according to the
+// configured pattern.
+type trafficGenerator struct {
+	cfg          Config
+	rng          *rand.Rand
+	srcRate      float64
+	baseTransfer float64
+	n            int
+}
+
+func newTrafficGenerator(cfg Config, rng *rand.Rand, srcRate, baseTransfer float64) *trafficGenerator {
+	return &trafficGenerator{
+		cfg:          cfg,
+		rng:          rng,
+		srcRate:      srcRate,
+		baseTransfer: baseTransfer,
+		n:            cfg.Link.Channel.Topo.ONIs,
+	}
+}
+
+// next returns the source's next arrival after `now`, or ok=false when the
+// source emits nothing (never happens with the current patterns).
+func (g *trafficGenerator) next(src int, now float64) (arrivalEvent, bool) {
+	var at float64
+	switch g.cfg.Pattern {
+	case Streaming:
+		if src%2 == 0 {
+			// Streaming sources are periodic with 20% jitter.
+			period := 1 / g.srcRate
+			at = now + period*(0.9+0.2*g.rng.Float64())
+		} else {
+			at = now + g.rng.ExpFloat64()/g.srcRate
+		}
+	default:
+		at = now + g.rng.ExpFloat64()/g.srcRate
+	}
+
+	dst := g.pickDestination(src)
+	m := message{
+		src:     src,
+		dst:     dst,
+		arrival: at,
+		bits:    g.cfg.MessageBits,
+	}
+	if g.cfg.DeadlineSlack > 0 {
+		slack := g.cfg.DeadlineSlack
+		if g.cfg.Pattern == Streaming && src%2 == 0 {
+			// Streaming flows carry the tight deadlines.
+			slack = max(1.05, slack/2)
+		}
+		m.deadline = at + slack*g.baseTransfer
+	}
+	return arrivalEvent{at: at, msg: m}, true
+}
+
+// pickDestination applies the pattern's destination distribution.
+func (g *trafficGenerator) pickDestination(src int) int {
+	switch g.cfg.Pattern {
+	case Hotspot:
+		if src != g.cfg.HotspotNode && g.rng.Float64() < 0.30 {
+			return g.cfg.HotspotNode
+		}
+		return g.uniformOther(src)
+	case Permutation:
+		dst := (src + g.n/2) % g.n
+		if dst == src {
+			dst = (dst + 1) % g.n
+		}
+		return dst
+	default:
+		return g.uniformOther(src)
+	}
+}
+
+// uniformOther picks a uniformly random destination other than src.
+func (g *trafficGenerator) uniformOther(src int) int {
+	dst := g.rng.Intn(g.n - 1)
+	if dst >= src {
+		dst++
+	}
+	return dst
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package onoc
+
+import "fmt"
+
+// LinkBudget itemizes the worst-case optical loss (in dB) between a laser
+// and the reader photodetector for one wavelength: the farthest writer
+// modulates, every other writer's rings are parked, and the signal crosses
+// the full drop bank. This mirrors the transmission accounting of [8].
+type LinkBudget struct {
+	// CouplingDB is the laser-to-waveguide coupling interface loss.
+	CouplingDB float64
+	// MuxDB is the MMI multiplexer insertion loss.
+	MuxDB float64
+	// PropagationDB is the waveguide propagation loss over the full span.
+	PropagationDB float64
+	// ModulatorSameLambdaDB sums the OFF-state crossings of the rings
+	// tuned to this wavelength at every writer (including the sender's
+	// own modulator carrying a '1').
+	ModulatorSameLambdaDB float64
+	// ModulatorOffLambdaDB sums the Lorentzian-tail losses through the
+	// other wavelengths' parked modulators.
+	ModulatorOffLambdaDB float64
+	// DropBankPassDB sums the tail losses through the reader's other
+	// drop filters.
+	DropBankPassDB float64
+	// DropLossDB is the insertion loss into the target drop port.
+	DropLossDB float64
+}
+
+// TotalDB returns the end-to-end loss.
+func (b LinkBudget) TotalDB() float64 {
+	return b.CouplingDB + b.MuxDB + b.PropagationDB +
+		b.ModulatorSameLambdaDB + b.ModulatorOffLambdaDB +
+		b.DropBankPassDB + b.DropLossDB
+}
+
+// String renders the budget as a single line of dB contributions.
+func (b LinkBudget) String() string {
+	return fmt.Sprintf("coupling %.2f + mux %.2f + prop %.2f + modSame %.2f + modOff %.2f + dropBank %.2f + drop %.2f = %.2f dB",
+		b.CouplingDB, b.MuxDB, b.PropagationDB, b.ModulatorSameLambdaDB,
+		b.ModulatorOffLambdaDB, b.DropBankPassDB, b.DropLossDB, b.TotalDB())
+}
+
+// Budget computes the worst-case link budget for channel ch.
+func (c *ChannelSpec) Budget(ch int) (LinkBudget, error) {
+	if err := c.Validate(); err != nil {
+		return LinkBudget{}, err
+	}
+	if ch < 0 || ch >= c.Grid.Count {
+		return LinkBudget{}, fmt.Errorf("onoc: channel %d out of range [0,%d)", ch, c.Grid.Count)
+	}
+	lambda := c.Grid.Wavelength(ch)
+	writers := c.Topo.Writers()
+
+	b := LinkBudget{
+		CouplingDB:    c.CouplingLossDB,
+		MuxDB:         c.Mux.InsertionLossDB,
+		PropagationDB: c.Waveguide.LossDB(),
+	}
+
+	// Same-wavelength modulators: one OFF crossing per writer. The
+	// sender's own ring is OFF for a '1' (the level the budget sizes).
+	b.ModulatorSameLambdaDB = float64(writers) * c.ModulatorAt(ch).OffStateLossDB()
+
+	// Other wavelengths' parked modulators at every writer.
+	var offPerWriter float64
+	for j := 0; j < c.Grid.Count; j++ {
+		if j == ch {
+			continue
+		}
+		offPerWriter += dbFromTransmission(c.ModulatorAt(j).ThroughTransmission(lambda, false))
+	}
+	b.ModulatorOffLambdaDB = float64(writers) * offPerWriter
+
+	// Reader drop bank: worst case crosses every other drop filter.
+	for j := 0; j < c.Grid.Count; j++ {
+		if j == ch {
+			continue
+		}
+		b.DropBankPassDB += dbFromTransmission(c.DropFilterAt(j).ThroughTransmission(lambda, false))
+	}
+
+	// Finally the target drop port.
+	b.DropLossDB = dbFromTransmission(c.DropFilterAt(ch).DropTransmission(lambda, false))
+	return b, nil
+}

@@ -1,0 +1,108 @@
+package onoc
+
+import (
+	"fmt"
+
+	"photonoc/internal/photonics"
+)
+
+// ChannelSpec gathers every physical parameter of one MWSR channel. The
+// Modulator and DropFilter fields are prototypes: their resonances are
+// re-targeted per wavelength by ModulatorAt / DropFilterAt.
+type ChannelSpec struct {
+	Topo Topology
+	Grid WavelengthGrid
+	// Modulator is the writer-side ring prototype (paper: ER 6.9 dB [15]).
+	Modulator photonics.Ring
+	// DropFilter is the reader-side ring prototype.
+	DropFilter photonics.Ring
+	// Waveguide is the shared bus (paper: 6 cm at 0.274 dB/cm [17]).
+	Waveguide photonics.Waveguide
+	// Mux combines the laser comb onto the waveguide.
+	Mux photonics.MMIMux
+	// CouplingLossDB covers the laser-to-waveguide coupling interface.
+	CouplingLossDB float64
+	// Detector is the reader photodetector (ℜ = 1 A/W, i_n = 4 µA).
+	Detector photonics.Photodetector
+	// Laser is the per-wavelength source model.
+	Laser photonics.Laser
+	// Activity is the electrical-layer activity entering the laser
+	// thermal model (the paper evaluates 25%).
+	Activity float64
+}
+
+// PaperChannel returns the channel calibrated to the paper's evaluation:
+// 12 ONIs, 16 wavelengths, 6 cm waveguide, ER 6.9 dB, 700 µW laser cap.
+// With this calibration the uncoded link needs ≈666 µW of laser output at
+// BER 1e-11 (just inside the cap) and ≈733 µW at 1e-12 (infeasible), the
+// paper's headline feasibility boundary.
+func PaperChannel() ChannelSpec {
+	return ChannelSpec{
+		Topo:           PaperTopology(),
+		Grid:           PaperGrid(),
+		Modulator:      photonics.PaperModulator(PaperGrid().CenterNM), // re-targeted per channel
+		DropFilter:     photonics.PaperDropFilter(PaperGrid().CenterNM),
+		Waveguide:      photonics.PaperWaveguide(),
+		Mux:            photonics.MMIMux{Ports: 16, InsertionLossDB: 1.0},
+		CouplingLossDB: 2.3,
+		Detector:       photonics.PaperDetector(),
+		Laser:          photonics.PaperLaser(),
+		Activity:       0.25,
+	}
+}
+
+// Validate checks the whole specification.
+func (c *ChannelSpec) Validate() error {
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if c.Grid.Count != c.Topo.Wavelengths {
+		return fmt.Errorf("onoc: grid has %d channels but topology says %d wavelengths", c.Grid.Count, c.Topo.Wavelengths)
+	}
+	if err := c.Modulator.Validate(); err != nil {
+		return fmt.Errorf("onoc: modulator: %w", err)
+	}
+	if err := c.DropFilter.Validate(); err != nil {
+		return fmt.Errorf("onoc: drop filter: %w", err)
+	}
+	if err := c.Waveguide.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mux.Validate(); err != nil {
+		return err
+	}
+	if c.CouplingLossDB < 0 {
+		return fmt.Errorf("onoc: coupling loss %g dB must be non-negative", c.CouplingLossDB)
+	}
+	if err := c.Detector.Validate(); err != nil {
+		return err
+	}
+	if err := c.Laser.Validate(); err != nil {
+		return err
+	}
+	if c.Activity < 0 || c.Activity > 1 {
+		return fmt.Errorf("onoc: activity %g outside [0,1]", c.Activity)
+	}
+	return nil
+}
+
+// ModulatorAt returns the writer ring serving channel ch: parked (OFF)
+// resonance sits ShiftNM above the signal so the ON state blue-shifts onto
+// the carrier.
+func (c *ChannelSpec) ModulatorAt(ch int) photonics.Ring {
+	r := c.Modulator
+	r.ResonanceNM = c.Grid.Wavelength(ch) + r.ShiftNM
+	return r
+}
+
+// DropFilterAt returns the reader ring for channel ch, permanently aligned
+// with the carrier.
+func (c *ChannelSpec) DropFilterAt(ch int) photonics.Ring {
+	r := c.DropFilter
+	r.ResonanceNM = c.Grid.Wavelength(ch)
+	r.ShiftNM = 0
+	return r
+}

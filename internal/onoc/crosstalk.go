@@ -1,0 +1,41 @@
+package onoc
+
+import "fmt"
+
+// CrosstalkFraction returns χ for channel ch: the worst-case crosstalk power
+// collected by the channel's drop filter from the other carriers, relative
+// to the in-band received power (all aggressors assumed at the same '1'
+// level, the worst case of Eq. 4's OPcrosstalk term).
+func (c *ChannelSpec) CrosstalkFraction(ch int) (float64, error) {
+	if ch < 0 || ch >= c.Grid.Count {
+		return 0, fmt.Errorf("onoc: channel %d out of range [0,%d)", ch, c.Grid.Count)
+	}
+	drop := c.DropFilterAt(ch)
+	inBand := drop.DropTransmission(c.Grid.Wavelength(ch), false)
+	if inBand <= 0 {
+		return 0, fmt.Errorf("onoc: channel %d drop filter passes no in-band power", ch)
+	}
+	var leak float64
+	for j := 0; j < c.Grid.Count; j++ {
+		if j == ch {
+			continue
+		}
+		leak += drop.DropTransmission(c.Grid.Wavelength(j), false)
+	}
+	return leak / inBand, nil
+}
+
+// WorstCrosstalk returns the highest χ over all channels and its index —
+// the centre of the comb, where aggressors sit on both sides.
+func (c *ChannelSpec) WorstCrosstalk() (chi float64, channel int, err error) {
+	for ch := 0; ch < c.Grid.Count; ch++ {
+		x, err := c.CrosstalkFraction(ch)
+		if err != nil {
+			return 0, 0, err
+		}
+		if x > chi {
+			chi, channel = x, ch
+		}
+	}
+	return chi, channel, nil
+}

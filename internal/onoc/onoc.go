@@ -1,0 +1,94 @@
+// Package onoc models the paper's Multiple-Writer Single-Reader (MWSR)
+// nanophotonic channel (Section IV): the topology, the wavelength grid, the
+// worst-case optical link budget through the cascade of modulator and drop
+// micro-rings (after the transmission model of Li et al. [8]), the
+// inter-channel crosstalk entering Eq. 4, and the solver that turns a
+// required SNR into the minimum laser output power.
+package onoc
+
+import (
+	"fmt"
+
+	"photonoc/internal/mathx"
+)
+
+// Topology describes the interconnect scale: the paper evaluates 12 ONIs,
+// 16 wavelengths per channel and 16 waveguides per MWSR channel.
+type Topology struct {
+	// ONIs is the number of optical network interfaces on the channel:
+	// one reader and ONIs−1 potential writers.
+	ONIs int
+	// Wavelengths is NW, the number of signal wavelengths per waveguide.
+	Wavelengths int
+	// WaveguidesPerChannel scales the interconnect-level power totals.
+	WaveguidesPerChannel int
+}
+
+// PaperTopology returns the evaluation topology of Section V-B.
+func PaperTopology() Topology {
+	return Topology{ONIs: 12, Wavelengths: 16, WaveguidesPerChannel: 16}
+}
+
+// Writers returns the number of writer interfaces the optical signal
+// crosses on its way to the reader.
+func (t Topology) Writers() int { return t.ONIs - 1 }
+
+// Validate checks structural sanity.
+func (t Topology) Validate() error {
+	switch {
+	case t.ONIs < 2:
+		return fmt.Errorf("onoc: need at least 2 ONIs, got %d", t.ONIs)
+	case t.Wavelengths < 1:
+		return fmt.Errorf("onoc: need at least 1 wavelength, got %d", t.Wavelengths)
+	case t.WaveguidesPerChannel < 1:
+		return fmt.Errorf("onoc: need at least 1 waveguide, got %d", t.WaveguidesPerChannel)
+	}
+	return nil
+}
+
+// WavelengthGrid is the evenly spaced WDM comb carried by one waveguide.
+type WavelengthGrid struct {
+	CenterNM  float64
+	SpacingNM float64
+	Count     int
+}
+
+// PaperGrid returns the 16-channel, 0.8 nm (100 GHz) grid used by the
+// calibrated model.
+func PaperGrid() WavelengthGrid {
+	return WavelengthGrid{CenterNM: 1536.0, SpacingNM: 0.8, Count: 16}
+}
+
+// Validate checks grid sanity.
+func (g WavelengthGrid) Validate() error {
+	switch {
+	case g.Count < 1:
+		return fmt.Errorf("onoc: grid needs at least 1 channel, got %d", g.Count)
+	case g.CenterNM <= 0:
+		return fmt.Errorf("onoc: grid center %g nm must be positive", g.CenterNM)
+	case g.SpacingNM <= 0 && g.Count > 1:
+		return fmt.Errorf("onoc: grid spacing %g nm must be positive", g.SpacingNM)
+	}
+	return nil
+}
+
+// Wavelength returns λ_i for channel index i in [0, Count).
+func (g WavelengthGrid) Wavelength(i int) float64 {
+	if i < 0 || i >= g.Count {
+		panic(fmt.Sprintf("onoc: channel %d out of range [0,%d)", i, g.Count))
+	}
+	offset := float64(i) - float64(g.Count-1)/2
+	return g.CenterNM + offset*g.SpacingNM
+}
+
+// Wavelengths returns the full comb.
+func (g WavelengthGrid) Wavelengths() []float64 {
+	out := make([]float64, g.Count)
+	for i := range out {
+		out[i] = g.Wavelength(i)
+	}
+	return out
+}
+
+// dbFromTransmission converts a linear transmission into positive dB loss.
+func dbFromTransmission(t float64) float64 { return -mathx.DB(t) }

@@ -1,0 +1,204 @@
+package onoc
+
+import (
+	"math"
+	"testing"
+
+	"photonoc/internal/mathx"
+)
+
+func TestPaperTopology(t *testing.T) {
+	topo := PaperTopology()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.ONIs != 12 || topo.Wavelengths != 16 || topo.WaveguidesPerChannel != 16 {
+		t.Errorf("paper topology wrong: %+v", topo)
+	}
+	if topo.Writers() != 11 {
+		t.Errorf("Writers = %d, want 11", topo.Writers())
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	bad := []Topology{
+		{ONIs: 1, Wavelengths: 16, WaveguidesPerChannel: 16},
+		{ONIs: 12, Wavelengths: 0, WaveguidesPerChannel: 16},
+		{ONIs: 12, Wavelengths: 16, WaveguidesPerChannel: 0},
+	}
+	for i, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestWavelengthGrid(t *testing.T) {
+	g := PaperGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ls := g.Wavelengths()
+	if len(ls) != 16 {
+		t.Fatalf("wavelength count = %d", len(ls))
+	}
+	// Centered comb with exact spacing.
+	for i := 1; i < len(ls); i++ {
+		if !mathx.ApproxEqual(ls[i]-ls[i-1], 0.8, 1e-9) {
+			t.Errorf("spacing at %d = %g", i, ls[i]-ls[i-1])
+		}
+	}
+	mid := (ls[7] + ls[8]) / 2
+	if !mathx.ApproxEqual(mid, 1536.0, 1e-9) {
+		t.Errorf("comb centre = %g, want 1536", mid)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range channel should panic")
+		}
+	}()
+	g.Wavelength(16)
+}
+
+func TestGridValidate(t *testing.T) {
+	bad := []WavelengthGrid{
+		{CenterNM: 1536, SpacingNM: 0.8, Count: 0},
+		{CenterNM: 0, SpacingNM: 0.8, Count: 4},
+		{CenterNM: 1536, SpacingNM: 0, Count: 4},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// A single-channel grid tolerates zero spacing.
+	single := WavelengthGrid{CenterNM: 1536, SpacingNM: 0, Count: 1}
+	if err := single.Validate(); err != nil {
+		t.Errorf("single channel grid: %v", err)
+	}
+}
+
+func TestChannelSpecValidate(t *testing.T) {
+	c := PaperChannel()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Grid/topology mismatch is caught.
+	c2 := PaperChannel()
+	c2.Grid.Count = 8
+	if err := c2.Validate(); err == nil {
+		t.Error("grid/topology mismatch should fail")
+	}
+	c3 := PaperChannel()
+	c3.CouplingLossDB = -1
+	if err := c3.Validate(); err == nil {
+		t.Error("negative coupling loss should fail")
+	}
+	c4 := PaperChannel()
+	c4.Activity = 1.5
+	if err := c4.Validate(); err == nil {
+		t.Error("activity > 1 should fail")
+	}
+}
+
+func TestModulatorAtRetargets(t *testing.T) {
+	c := PaperChannel()
+	for ch := 0; ch < 16; ch++ {
+		mod := c.ModulatorAt(ch)
+		// The ON state must align exactly with the carrier.
+		if !mathx.ApproxEqual(mod.SignalWavelengthNM(), c.Grid.Wavelength(ch), 1e-9) {
+			t.Errorf("ch %d: modulator targets %g, carrier %g", ch, mod.SignalWavelengthNM(), c.Grid.Wavelength(ch))
+		}
+		drop := c.DropFilterAt(ch)
+		if !mathx.ApproxEqual(drop.ResonanceNM, c.Grid.Wavelength(ch), 1e-9) {
+			t.Errorf("ch %d: drop filter at %g", ch, drop.ResonanceNM)
+		}
+		if drop.ShiftNM != 0 {
+			t.Errorf("ch %d: drop filter must not shift", ch)
+		}
+	}
+}
+
+func TestBudgetComposition(t *testing.T) {
+	c := PaperChannel()
+	b, err := c.Budget(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed contributions are exact.
+	if b.CouplingDB != 2.3 || b.MuxDB != 1.0 {
+		t.Errorf("coupling/mux = %g/%g", b.CouplingDB, b.MuxDB)
+	}
+	if !mathx.ApproxEqual(b.PropagationDB, 1.644, 1e-9) {
+		t.Errorf("propagation = %g", b.PropagationDB)
+	}
+	// 11 same-wavelength OFF crossings at ≈0.15 dB each.
+	if b.ModulatorSameLambdaDB < 1.5 || b.ModulatorSameLambdaDB > 1.8 {
+		t.Errorf("same-λ crossings = %g dB, want ≈1.65", b.ModulatorSameLambdaDB)
+	}
+	// Lorentzian tails: noticeable but sub-dB.
+	if b.ModulatorOffLambdaDB < 0.3 || b.ModulatorOffLambdaDB > 0.9 {
+		t.Errorf("off-λ crossings = %g dB", b.ModulatorOffLambdaDB)
+	}
+	if b.DropBankPassDB < 0.01 || b.DropBankPassDB > 0.15 {
+		t.Errorf("drop-bank pass = %g dB", b.DropBankPassDB)
+	}
+	if !mathx.ApproxEqual(b.DropLossDB, -10*math.Log10(0.9), 1e-9) {
+		t.Errorf("drop loss = %g dB", b.DropLossDB)
+	}
+	// Calibrated total: ≈7.65 dB.
+	if tot := b.TotalDB(); tot < 7.4 || tot > 7.9 {
+		t.Errorf("total budget = %g dB, want ≈7.65", tot)
+	}
+	// Totals must add up.
+	sum := b.CouplingDB + b.MuxDB + b.PropagationDB + b.ModulatorSameLambdaDB +
+		b.ModulatorOffLambdaDB + b.DropBankPassDB + b.DropLossDB
+	if !mathx.ApproxEqual(sum, b.TotalDB(), 1e-12) {
+		t.Error("TotalDB does not equal the sum of parts")
+	}
+	if _, err := c.Budget(16); err == nil {
+		t.Error("out-of-range channel should error")
+	}
+}
+
+func TestBudgetEdgeVsCentre(t *testing.T) {
+	// Edge channels see fewer Lorentzian aggressor tails than the centre.
+	c := PaperChannel()
+	centre, err := c.Budget(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := c.Budget(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.ModulatorOffLambdaDB >= centre.ModulatorOffLambdaDB {
+		t.Errorf("edge off-λ %g should be below centre %g", edge.ModulatorOffLambdaDB, centre.ModulatorOffLambdaDB)
+	}
+}
+
+func TestCrosstalkWorstAtCentre(t *testing.T) {
+	c := PaperChannel()
+	chi, ch, err := c.WorstCrosstalk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated χ ≈ 0.0118 (≈ −19 dB) in the middle of the comb.
+	if chi < 0.008 || chi > 0.016 {
+		t.Errorf("worst χ = %g, want ≈0.012", chi)
+	}
+	if ch != 7 && ch != 8 {
+		t.Errorf("worst channel = %d, want centre (7 or 8)", ch)
+	}
+	// Edges collect less.
+	edge, err := c.CrosstalkFraction(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge >= chi {
+		t.Errorf("edge χ %g should be below centre %g", edge, chi)
+	}
+	if _, err := c.CrosstalkFraction(99); err == nil {
+		t.Error("out-of-range channel should error")
+	}
+}

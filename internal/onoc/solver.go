@@ -1,0 +1,103 @@
+package onoc
+
+import (
+	"errors"
+	"fmt"
+
+	"photonoc/internal/mathx"
+	"photonoc/internal/photonics"
+)
+
+// OperatingPoint is the solved optical state of one wavelength of the
+// channel at a required SNR: how much the laser must emit and what that
+// costs electrically. Feasible is false when the request exceeds the
+// laser's deliverable power (the paper's unreachable-BER case).
+type OperatingPoint struct {
+	Channel int
+	// SNR is the required SNR at the detector (paper Eq. 4).
+	SNR float64
+	// EyeFraction is (1 − 1/ER): the fraction of the received '1' level
+	// that forms the detection eye.
+	EyeFraction float64
+	// CrosstalkFraction is χ, the relative crosstalk power at the drop.
+	CrosstalkFraction float64
+	// ReceivedOneLevelW is the required '1'-level power at the detector.
+	ReceivedOneLevelW float64
+	// BudgetDB is the worst-case path loss between laser and detector.
+	BudgetDB float64
+	// LaserOpticalW is the minimum laser output power OPlaser.
+	LaserOpticalW float64
+	// LaserElectricalW is Plaser, the electrical power drawn by the laser
+	// (zero when infeasible).
+	LaserElectricalW float64
+	// Feasible reports whether the laser can deliver LaserOpticalW.
+	Feasible bool
+	// InfeasibleReason carries the laser error text when Feasible is false.
+	InfeasibleReason string
+}
+
+// OperatingPoint solves channel ch for a required SNR, implementing Eq. 4:
+//
+//	SNR = ℜ·(OPsignal − OPcrosstalk) / i_n
+//
+// with OPsignal the received eye amplitude P1·(1 − 1/ER) and
+// OPcrosstalk = χ·P1, then walking the '1' level back through the link
+// budget to the laser facet and through the thermal model to Plaser.
+func (c *ChannelSpec) OperatingPoint(snr float64, ch int) (OperatingPoint, error) {
+	if snr <= 0 {
+		return OperatingPoint{}, fmt.Errorf("onoc: SNR %g must be positive", snr)
+	}
+	budget, err := c.Budget(ch)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	chi, err := c.CrosstalkFraction(ch)
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	erDB := c.ModulatorAt(ch).ExtinctionRatioDB()
+	eyeFraction := 1 - 1/mathx.FromDB(erDB)
+	margin := eyeFraction - chi
+	if margin <= 0 {
+		return OperatingPoint{}, fmt.Errorf("onoc: channel %d crosstalk (χ=%.4f) closes the eye (fraction %.4f)", ch, chi, eyeFraction)
+	}
+
+	op := OperatingPoint{
+		Channel:           ch,
+		SNR:               snr,
+		EyeFraction:       eyeFraction,
+		CrosstalkFraction: chi,
+		BudgetDB:          budget.TotalDB(),
+	}
+	op.ReceivedOneLevelW = c.Detector.RequiredSignalPower(snr) / margin
+	op.LaserOpticalW = op.ReceivedOneLevelW * mathx.FromDB(budget.TotalDB())
+
+	pe, err := c.Laser.ElectricalPower(op.LaserOpticalW, c.Activity)
+	switch {
+	case err == nil:
+		op.LaserElectricalW = pe
+		op.Feasible = true
+	case errors.Is(err, photonics.ErrLaserInfeasible):
+		op.InfeasibleReason = err.Error()
+	default:
+		return OperatingPoint{}, err
+	}
+	return op, nil
+}
+
+// WorstOperatingPoint solves every channel and returns the one demanding
+// the most laser power — the wavelength that sizes the shared laser-current
+// setting (the paper drives all the channel's lasers with one control).
+func (c *ChannelSpec) WorstOperatingPoint(snr float64) (OperatingPoint, error) {
+	var worst OperatingPoint
+	for ch := 0; ch < c.Grid.Count; ch++ {
+		op, err := c.OperatingPoint(snr, ch)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		if ch == 0 || op.LaserOpticalW > worst.LaserOpticalW {
+			worst = op
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,54 @@
+package onoc
+
+import "fmt"
+
+// ChannelContribution is one aggressor's share of the power arriving at a
+// drop port.
+type ChannelContribution struct {
+	// FromChannel is the aggressor wavelength index.
+	FromChannel int
+	// Fraction is that carrier's drop transmission at this port relative
+	// to the in-band carrier's (1.0 for the victim channel itself).
+	Fraction float64
+}
+
+// ReceivedSpectrum decomposes the worst-case power at channel ch's drop
+// port per aggressor carrier — the full crosstalk picture behind Eq. 4's
+// single OPcrosstalk number. Contributions are ordered by channel index.
+func (c *ChannelSpec) ReceivedSpectrum(ch int) ([]ChannelContribution, error) {
+	if ch < 0 || ch >= c.Grid.Count {
+		return nil, fmt.Errorf("onoc: channel %d out of range [0,%d)", ch, c.Grid.Count)
+	}
+	drop := c.DropFilterAt(ch)
+	inBand := drop.DropTransmission(c.Grid.Wavelength(ch), false)
+	if inBand <= 0 {
+		return nil, fmt.Errorf("onoc: channel %d drop filter passes no in-band power", ch)
+	}
+	out := make([]ChannelContribution, c.Grid.Count)
+	for j := 0; j < c.Grid.Count; j++ {
+		out[j] = ChannelContribution{
+			FromChannel: j,
+			Fraction:    drop.DropTransmission(c.Grid.Wavelength(j), false) / inBand,
+		}
+	}
+	return out, nil
+}
+
+// CrosstalkMatrix returns M[i][j]: the relative power channel i's drop port
+// collects from carrier j (diagonal = 1). Row sums minus one reproduce
+// CrosstalkFraction.
+func (c *ChannelSpec) CrosstalkMatrix() ([][]float64, error) {
+	m := make([][]float64, c.Grid.Count)
+	for i := range m {
+		spec, err := c.ReceivedSpectrum(i)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, c.Grid.Count)
+		for j, contrib := range spec {
+			row[j] = contrib.Fraction
+		}
+		m[i] = row
+	}
+	return m, nil
+}

@@ -1,0 +1,71 @@
+package onoc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReceivedSpectrumShape(t *testing.T) {
+	c := PaperChannel()
+	spec, err := c.ReceivedSpectrum(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 16 {
+		t.Fatalf("contributions = %d", len(spec))
+	}
+	// The victim channel dominates; fractions fall off with spectral
+	// distance on both sides.
+	if spec[8].Fraction != 1 {
+		t.Errorf("in-band fraction = %g, want 1", spec[8].Fraction)
+	}
+	for j := 0; j < 16; j++ {
+		if j == 8 {
+			continue
+		}
+		if spec[j].Fraction <= 0 || spec[j].Fraction >= 0.01 {
+			t.Errorf("aggressor %d fraction %g outside (0, 1%%)", j, spec[j].Fraction)
+		}
+	}
+	if !(spec[7].Fraction > spec[6].Fraction && spec[6].Fraction > spec[5].Fraction) {
+		t.Error("fractions should decay with distance below the victim")
+	}
+	if !(spec[9].Fraction > spec[10].Fraction && spec[10].Fraction > spec[11].Fraction) {
+		t.Error("fractions should decay with distance above the victim")
+	}
+	if _, err := c.ReceivedSpectrum(99); err == nil {
+		t.Error("out-of-range channel should error")
+	}
+}
+
+func TestCrosstalkMatrixConsistency(t *testing.T) {
+	// Row sums minus the diagonal must equal CrosstalkFraction, and the
+	// matrix must be symmetric for a uniform grid (equal filters).
+	c := PaperChannel()
+	m, err := c.CrosstalkMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		var off float64
+		for j, v := range m[i] {
+			if j != i {
+				off += v
+			}
+		}
+		chi, err := c.CrosstalkFraction(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(off-chi) > 1e-12 {
+			t.Errorf("row %d off-diagonal sum %g != χ %g", i, off, chi)
+		}
+	}
+	for i := range m {
+		for j := range m {
+			if math.Abs(m[i][j]-m[j][i]) > 1e-12 {
+				t.Errorf("asymmetry at (%d,%d): %g vs %g", i, j, m[i][j], m[j][i])
+			}
+		}
+	}
+}

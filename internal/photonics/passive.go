@@ -1,0 +1,94 @@
+package photonics
+
+import (
+	"fmt"
+
+	"photonoc/internal/mathx"
+)
+
+// Waveguide is a silicon waveguide with uniform propagation loss; the paper
+// uses 6 cm at 0.274 dB/cm [17].
+type Waveguide struct {
+	LengthCM    float64
+	LossDBPerCM float64
+}
+
+// Validate checks parameter sanity.
+func (w Waveguide) Validate() error {
+	if w.LengthCM < 0 || w.LossDBPerCM < 0 {
+		return fmt.Errorf("photonics: waveguide length %g cm / loss %g dB/cm must be non-negative", w.LengthCM, w.LossDBPerCM)
+	}
+	return nil
+}
+
+// LossDB returns the end-to-end propagation loss in dB.
+func (w Waveguide) LossDB() float64 { return w.LengthCM * w.LossDBPerCM }
+
+// Transmission returns the linear power transmission.
+func (w Waveguide) Transmission() float64 { return mathx.FromDB(-w.LossDB()) }
+
+// PaperWaveguide returns the 6 cm, 0.274 dB/cm waveguide of the evaluation.
+func PaperWaveguide() Waveguide {
+	return Waveguide{LengthCM: 6, LossDBPerCM: 0.274}
+}
+
+// MMIMux is the multimode-interference coupler combining the NW laser
+// wavelengths onto the channel waveguide [12].
+type MMIMux struct {
+	Ports           int
+	InsertionLossDB float64
+}
+
+// Validate checks parameter sanity.
+func (m MMIMux) Validate() error {
+	if m.Ports < 1 {
+		return fmt.Errorf("photonics: mux needs at least 1 port, got %d", m.Ports)
+	}
+	if m.InsertionLossDB < 0 {
+		return fmt.Errorf("photonics: mux insertion loss %g dB must be non-negative", m.InsertionLossDB)
+	}
+	return nil
+}
+
+// Transmission returns the linear power transmission through the mux.
+func (m MMIMux) Transmission() float64 { return mathx.FromDB(-m.InsertionLossDB) }
+
+// Photodetector converts received optical power to photocurrent; the paper
+// uses responsivity 1 A/W and dark current 4 µA (Section IV-D).
+type Photodetector struct {
+	ResponsivityAPerW float64
+	DarkCurrentA      float64
+}
+
+// PaperDetector returns the evaluation's photodetector.
+func PaperDetector() Photodetector {
+	return Photodetector{ResponsivityAPerW: 1.0, DarkCurrentA: 4e-6}
+}
+
+// Validate checks parameter sanity.
+func (d Photodetector) Validate() error {
+	if d.ResponsivityAPerW <= 0 {
+		return fmt.Errorf("photonics: responsivity %g must be positive", d.ResponsivityAPerW)
+	}
+	if d.DarkCurrentA <= 0 {
+		return fmt.Errorf("photonics: dark current %g must be positive", d.DarkCurrentA)
+	}
+	return nil
+}
+
+// PhotoCurrent returns ℜ·OP for received optical power opticalW.
+func (d Photodetector) PhotoCurrent(opticalW float64) float64 {
+	return d.ResponsivityAPerW * opticalW
+}
+
+// SNR implements the paper's Eq. 4 for an already crosstalk-corrected
+// signal amplitude: SNR = ℜ·OPsignal / i_n.
+func (d Photodetector) SNR(signalW float64) float64 {
+	return d.ResponsivityAPerW * signalW / d.DarkCurrentA
+}
+
+// RequiredSignalPower inverts Eq. 4: the effective signal amplitude at the
+// detector needed for a given SNR.
+func (d Photodetector) RequiredSignalPower(snr float64) float64 {
+	return snr * d.DarkCurrentA / d.ResponsivityAPerW
+}

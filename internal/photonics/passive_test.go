@@ -1,0 +1,68 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+
+	"photonoc/internal/mathx"
+)
+
+func TestPaperWaveguide(t *testing.T) {
+	w := PaperWaveguide()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LossDB(); math.Abs(got-1.644) > 1e-9 {
+		t.Errorf("waveguide loss = %g dB, want 1.644 (6 cm × 0.274)", got)
+	}
+	if got := w.Transmission(); !mathx.ApproxEqual(got, mathx.FromDB(-1.644), 1e-12) {
+		t.Errorf("transmission = %g", got)
+	}
+	if (Waveguide{LengthCM: -1, LossDBPerCM: 1}).Validate() == nil {
+		t.Error("negative length should fail validation")
+	}
+}
+
+func TestMMIMux(t *testing.T) {
+	m := MMIMux{Ports: 16, InsertionLossDB: 1.0}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Transmission(); !mathx.ApproxEqual(got, mathx.FromDB(-1), 1e-12) {
+		t.Errorf("mux transmission = %g", got)
+	}
+	if (MMIMux{Ports: 0}).Validate() == nil {
+		t.Error("portless mux should fail validation")
+	}
+	if (MMIMux{Ports: 2, InsertionLossDB: -1}).Validate() == nil {
+		t.Error("negative loss should fail validation")
+	}
+}
+
+func TestPhotodetectorEq4(t *testing.T) {
+	d := PaperDetector()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 4 with ℜ = 1 A/W, i_n = 4 µA: 90 µW of signal ≈ SNR 22.5 —
+	// the uncoded BER 1e-11 operating point.
+	if got := d.SNR(89.94e-6); math.Abs(got-22.485) > 0.01 {
+		t.Errorf("SNR(89.94 µW) = %g, want ≈22.49", got)
+	}
+	// The two directions invert each other.
+	for _, snr := range []float64{1, 5, 22.485, 24.74} {
+		p := d.RequiredSignalPower(snr)
+		if back := d.SNR(p); !mathx.ApproxEqual(back, snr, 1e-12) {
+			t.Errorf("roundtrip SNR %g → %g", snr, back)
+		}
+	}
+	if got := d.PhotoCurrent(100e-6); !mathx.ApproxEqual(got, 100e-6, 1e-15) {
+		t.Errorf("photocurrent = %g A, want 100 µA at 1 A/W", got)
+	}
+	if (Photodetector{ResponsivityAPerW: 0, DarkCurrentA: 1e-6}).Validate() == nil {
+		t.Error("zero responsivity should fail")
+	}
+	if (Photodetector{ResponsivityAPerW: 1, DarkCurrentA: 0}).Validate() == nil {
+		t.Error("zero dark current should fail")
+	}
+}

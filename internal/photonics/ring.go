@@ -1,0 +1,142 @@
+// Package photonics models the optical devices of the paper's MWSR channel:
+// micro-ring resonators (modulators and drop filters, Fig. 3), the
+// thermally-limited CMOS-compatible VCSEL laser sources (Fig. 4, after [16]),
+// waveguides, multiplexers and photodetectors.
+//
+// Conventions: wavelengths are in nanometres (float64), powers in watts,
+// transmissions are linear power ratios in [0, 1]; use mathx.DB/FromDB to
+// convert. All models are first-order analytic — the level of detail the
+// paper's own evaluation (after Li et al. [8]) uses.
+package photonics
+
+import (
+	"fmt"
+
+	"photonoc/internal/mathx"
+)
+
+// Ring is a first-order (Lorentzian) micro-ring resonator. In the OFF state
+// the resonance sits at ResonanceNM; driving the ring ON blue-shifts the
+// resonance by ShiftNM onto the signal wavelength (the paper's electro-optic
+// modulation, Section III-A). A modulator parks OFF; a receive-side drop
+// filter is built with ShiftNM = 0 so that it is permanently aligned.
+type Ring struct {
+	// ResonanceNM is the OFF-state resonance wavelength λMR.
+	ResonanceNM float64
+	// FWHMNM is the full width at half maximum of the Lorentzian response.
+	FWHMNM float64
+	// ShiftNM is the blue shift Δλ applied in the ON state.
+	ShiftNM float64
+	// ThroughMin is the through-port power transmission exactly on
+	// resonance (the depth of the notch), linear.
+	ThroughMin float64
+	// DropMax is the drop-port power transmission exactly on resonance,
+	// linear.
+	DropMax float64
+}
+
+// Validate checks the physical sanity of the ring parameters.
+func (r Ring) Validate() error {
+	switch {
+	case r.ResonanceNM <= 0:
+		return fmt.Errorf("photonics: ring resonance %g nm must be positive", r.ResonanceNM)
+	case r.FWHMNM <= 0:
+		return fmt.Errorf("photonics: ring FWHM %g nm must be positive", r.FWHMNM)
+	case r.ShiftNM < 0:
+		return fmt.Errorf("photonics: ring shift %g nm must be non-negative", r.ShiftNM)
+	case r.ThroughMin < 0 || r.ThroughMin > 1:
+		return fmt.Errorf("photonics: ThroughMin %g outside [0,1]", r.ThroughMin)
+	case r.DropMax < 0 || r.DropMax > 1:
+		return fmt.Errorf("photonics: DropMax %g outside [0,1]", r.DropMax)
+	}
+	return nil
+}
+
+// resonance returns the active resonance wavelength for the given state.
+func (r Ring) resonance(on bool) float64 {
+	if on {
+		return r.ResonanceNM - r.ShiftNM
+	}
+	return r.ResonanceNM
+}
+
+// lorentzian is the normalized line shape L(δ) = δ½²/(δ½² + δ²).
+func (r Ring) lorentzian(detuneNM float64) float64 {
+	half := r.FWHMNM / 2
+	return half * half / (half*half + detuneNM*detuneNM)
+}
+
+// ThroughTransmission returns the through-port power transmission at
+// wavelength lambdaNM with the ring in the given state.
+func (r Ring) ThroughTransmission(lambdaNM float64, on bool) float64 {
+	l := r.lorentzian(lambdaNM - r.resonance(on))
+	return 1 - (1-r.ThroughMin)*l
+}
+
+// DropTransmission returns the drop-port power transmission at wavelength
+// lambdaNM with the ring in the given state.
+func (r Ring) DropTransmission(lambdaNM float64, on bool) float64 {
+	return r.DropMax * r.lorentzian(lambdaNM-r.resonance(on))
+}
+
+// SignalWavelengthNM returns the wavelength this modulator is designed for:
+// the ON-state resonance (the OFF state parks the notch ShiftNM away).
+func (r Ring) SignalWavelengthNM() float64 { return r.ResonanceNM - r.ShiftNM }
+
+// ExtinctionRatioDB returns the modulation extinction ratio at the signal
+// wavelength: through-port OFF over ON. With the paper's calibration this is
+// 6.9 dB (value reported in [15]).
+func (r Ring) ExtinctionRatioDB() float64 {
+	ls := r.SignalWavelengthNM()
+	return mathx.DB(r.ThroughTransmission(ls, false) / r.ThroughTransmission(ls, true))
+}
+
+// OffStateLossDB returns the through loss a '1' (OFF-state crossing) suffers
+// at the signal wavelength, in dB (positive number).
+func (r Ring) OffStateLossDB() float64 {
+	return -mathx.DB(r.ThroughTransmission(r.SignalWavelengthNM(), false))
+}
+
+// Q returns the resonator quality factor λ/FWHM.
+func (r Ring) Q() float64 { return r.ResonanceNM / r.FWHMNM }
+
+// SpectrumPoint is one sample of a transmission spectrum.
+type SpectrumPoint struct {
+	LambdaNM  float64
+	ThroughDB float64
+}
+
+// ThroughSpectrum samples the through-port response over [loNM, hiNM] in
+// the given state; this regenerates the two curves of the paper's Fig. 3.
+func (r Ring) ThroughSpectrum(loNM, hiNM float64, points int, on bool) []SpectrumPoint {
+	out := make([]SpectrumPoint, points)
+	for i, l := range mathx.Linspace(loNM, hiNM, points) {
+		out[i] = SpectrumPoint{LambdaNM: l, ThroughDB: mathx.DB(r.ThroughTransmission(l, on))}
+	}
+	return out
+}
+
+// PaperModulator returns the modulator ring calibrated to the paper's cited
+// device [15]: ER = 6.9 dB with a 0.15 dB OFF-state crossing loss
+// (FWHM 0.10 nm, Δλ 0.238 nm, on-resonance through notch −7.06 dB).
+func PaperModulator(resonanceNM float64) Ring {
+	return Ring{
+		ResonanceNM: resonanceNM,
+		FWHMNM:      0.10,
+		ShiftNM:     0.238,
+		ThroughMin:  0.197,
+		DropMax:     0.90,
+	}
+}
+
+// PaperDropFilter returns the receive-side drop ring used by the reader:
+// permanently aligned (no shift) with a 0.46 dB drop loss (DropMax 0.9).
+func PaperDropFilter(resonanceNM float64) Ring {
+	return Ring{
+		ResonanceNM: resonanceNM,
+		FWHMNM:      0.10,
+		ShiftNM:     0,
+		ThroughMin:  0.10,
+		DropMax:     0.90,
+	}
+}

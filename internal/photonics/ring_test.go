@@ -1,0 +1,147 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+
+	"photonoc/internal/mathx"
+)
+
+func TestPaperModulatorCalibration(t *testing.T) {
+	r := PaperModulator(1536.0)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's extinction ratio from [15]: 6.9 dB.
+	if er := r.ExtinctionRatioDB(); math.Abs(er-6.9) > 0.05 {
+		t.Errorf("ER = %.3f dB, want 6.9 ± 0.05", er)
+	}
+	// OFF-state crossing loss must be small (the '1' insertion loss).
+	if loss := r.OffStateLossDB(); loss < 0.1 || loss > 0.2 {
+		t.Errorf("OFF-state loss = %.3f dB, want ≈0.15", loss)
+	}
+	// Q in the usual silicon micro-ring range.
+	if q := r.Q(); q < 10000 || q > 20000 {
+		t.Errorf("Q = %.0f, implausible", q)
+	}
+}
+
+func TestRingThroughTransmissionShape(t *testing.T) {
+	r := PaperModulator(1536.0)
+	// On resonance (OFF state, at λMR) the notch bottoms out at ThroughMin.
+	if got := r.ThroughTransmission(1536.0, false); !mathx.ApproxEqual(got, r.ThroughMin, 1e-9) {
+		t.Errorf("on-resonance through = %g, want %g", got, r.ThroughMin)
+	}
+	// Far away the ring is transparent.
+	if got := r.ThroughTransmission(1536.0+50, false); got < 0.999999 {
+		t.Errorf("far-detuned through = %g, want ≈1", got)
+	}
+	// Half-width point: the notch depth halves.
+	half := r.FWHMNM / 2
+	atHalf := r.ThroughTransmission(1536.0+half, false)
+	want := 1 - (1-r.ThroughMin)/2
+	if !mathx.ApproxEqual(atHalf, want, 1e-9) {
+		t.Errorf("half-width through = %g, want %g", atHalf, want)
+	}
+	// Symmetry about resonance.
+	for _, d := range []float64{0.01, 0.1, 0.5, 2} {
+		lo := r.ThroughTransmission(1536.0-d, false)
+		hi := r.ThroughTransmission(1536.0+d, false)
+		if !mathx.ApproxEqual(lo, hi, 1e-12) {
+			t.Errorf("asymmetric response at ±%g nm: %g vs %g", d, lo, hi)
+		}
+	}
+}
+
+func TestRingOnStateShiftsResonance(t *testing.T) {
+	r := PaperModulator(1536.0)
+	ls := r.SignalWavelengthNM()
+	if !mathx.ApproxEqual(ls, 1536.0-0.238, 1e-12) {
+		t.Fatalf("signal wavelength = %g", ls)
+	}
+	// ON: aligned with the signal → deep notch. OFF: detuned → nearly clear.
+	on := r.ThroughTransmission(ls, true)
+	off := r.ThroughTransmission(ls, false)
+	if on >= off {
+		t.Errorf("ON transmission %g should be below OFF %g", on, off)
+	}
+	if !mathx.ApproxEqual(on, r.ThroughMin, 1e-9) {
+		t.Errorf("ON at signal = %g, want the notch floor %g", on, r.ThroughMin)
+	}
+}
+
+func TestDropFilterShape(t *testing.T) {
+	d := PaperDropFilter(1536.0)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Aligned: drops DropMax of the power.
+	if got := d.DropTransmission(1536.0, false); !mathx.ApproxEqual(got, 0.9, 1e-12) {
+		t.Errorf("aligned drop = %g, want 0.9", got)
+	}
+	// The neighbor channel 0.8 nm away leaks only the Lorentzian tail —
+	// this is the crosstalk term of Eq. 4.
+	leak := d.DropTransmission(1536.8, false)
+	if rel := leak / 0.9; rel < 0.003 || rel > 0.005 {
+		t.Errorf("adjacent-channel relative leak = %g, want ≈0.0039", rel)
+	}
+	// Drop loss in dB ≈ 0.46.
+	if lossDB := -mathx.DB(0.9); math.Abs(lossDB-0.458) > 0.01 {
+		t.Errorf("drop loss = %g dB", lossDB)
+	}
+}
+
+func TestRingSpectrumFig3(t *testing.T) {
+	// Regenerate the Fig. 3 curves and check their qualitative features:
+	// both are notches; the ON notch sits ShiftNM below the OFF notch; the
+	// gap between the curves at the signal wavelength is the ER.
+	r := PaperModulator(1536.0)
+	lo, hi := 1535.4, 1536.4
+	off := r.ThroughSpectrum(lo, hi, 801, false)
+	on := r.ThroughSpectrum(lo, hi, 801, true)
+	if len(off) != 801 || len(on) != 801 {
+		t.Fatal("spectrum length wrong")
+	}
+	minAt := func(s []SpectrumPoint) float64 {
+		best := s[0]
+		for _, p := range s {
+			if p.ThroughDB < best.ThroughDB {
+				best = p
+			}
+		}
+		return best.LambdaNM
+	}
+	offMin, onMin := minAt(off), minAt(on)
+	if math.Abs(offMin-1536.0) > 0.002 {
+		t.Errorf("OFF notch at %g, want 1536.0", offMin)
+	}
+	if math.Abs(onMin-(1536.0-0.238)) > 0.002 {
+		t.Errorf("ON notch at %g, want %g", onMin, 1536.0-0.238)
+	}
+	// ER read off the curves at the signal wavelength.
+	idx := 0
+	for i, p := range on {
+		if math.Abs(p.LambdaNM-r.SignalWavelengthNM()) < math.Abs(on[idx].LambdaNM-r.SignalWavelengthNM()) {
+			idx = i
+		}
+	}
+	gap := off[idx].ThroughDB - on[idx].ThroughDB
+	if math.Abs(gap-6.9) > 0.1 {
+		t.Errorf("spectral ER gap = %g dB, want ≈6.9", gap)
+	}
+}
+
+func TestRingValidate(t *testing.T) {
+	bad := []Ring{
+		{ResonanceNM: 0, FWHMNM: 0.1, ThroughMin: 0.2, DropMax: 0.9},
+		{ResonanceNM: 1536, FWHMNM: 0, ThroughMin: 0.2, DropMax: 0.9},
+		{ResonanceNM: 1536, FWHMNM: 0.1, ShiftNM: -1, ThroughMin: 0.2, DropMax: 0.9},
+		{ResonanceNM: 1536, FWHMNM: 0.1, ThroughMin: 1.2, DropMax: 0.9},
+		{ResonanceNM: 1536, FWHMNM: 0.1, ThroughMin: 0.2, DropMax: -0.1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}

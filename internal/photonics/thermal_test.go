@@ -1,0 +1,41 @@
+package photonics
+
+import "testing"
+
+func TestJunctionTempRise(t *testing.T) {
+	l := PaperLaser()
+	// At the uncoded 1e-11 operating point (≈668 µW, ≈13.7 mW electrical)
+	// the junction runs ≈27 K above the activity baseline — most of the
+	// 50 K headroom, which is exactly why the curve is about to blow up.
+	rise, err := l.JunctionTempRiseK(668e-6, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rise < 20 || rise > 40 {
+		t.Errorf("temp rise at 668 µW = %.1f K, want ≈27", rise)
+	}
+	// The coded operating point runs much cooler.
+	riseCoded, err := l.JunctionTempRiseK(330e-6, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if riseCoded >= rise/2 {
+		t.Errorf("coded point rise %.1f K should be under half of %.1f K", riseCoded, rise)
+	}
+	// Monotone in optical power.
+	prev := 0.0
+	for _, op := range []float64{50e-6, 150e-6, 300e-6, 500e-6, 650e-6} {
+		r, err := l.JunctionTempRiseK(op, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= prev {
+			t.Fatalf("temp rise not increasing at %.0f µW", op*1e6)
+		}
+		prev = r
+	}
+	// Infeasible request propagates the error.
+	if _, err := l.JunctionTempRiseK(800e-6, 0.25); err == nil {
+		t.Error("infeasible optical power should error")
+	}
+}

@@ -1,0 +1,76 @@
+package photonics
+
+import "fmt"
+
+// ThermalTuner models the micro-ring thermal tuning subsystem. The paper
+// excludes it from the power budget with the argument that it is "the same
+// for communications with and without ECC" (Section IV-E); this model makes
+// that assumption checkable: tuning power depends only on the thermal
+// environment (resonance drift), never on the selected coding scheme, so
+// adding it shifts every Fig. 6a bar by the same constant.
+type ThermalTuner struct {
+	// DriftNMPerK is the passive resonance drift with temperature
+	// (silicon micro-rings: ≈0.08 nm/K).
+	DriftNMPerK float64
+	// EfficiencyNMPerW is the heater tuning efficiency: how far one watt
+	// of heater power pulls the resonance (≈0.25 nm/mW → 250 nm/W).
+	EfficiencyNMPerW float64
+	// MaxTuneNM caps the reachable correction range.
+	MaxTuneNM float64
+}
+
+// PaperTuner returns a tuner with typical silicon-photonics values.
+func PaperTuner() ThermalTuner {
+	return ThermalTuner{
+		DriftNMPerK:      0.08,
+		EfficiencyNMPerW: 250,
+		MaxTuneNM:        1.6,
+	}
+}
+
+// Validate checks the tuner parameters.
+func (t ThermalTuner) Validate() error {
+	switch {
+	case t.DriftNMPerK <= 0:
+		return fmt.Errorf("photonics: drift %g nm/K must be positive", t.DriftNMPerK)
+	case t.EfficiencyNMPerW <= 0:
+		return fmt.Errorf("photonics: tuning efficiency %g nm/W must be positive", t.EfficiencyNMPerW)
+	case t.MaxTuneNM <= 0:
+		return fmt.Errorf("photonics: tuning range %g nm must be positive", t.MaxTuneNM)
+	}
+	return nil
+}
+
+// TuningPowerW returns the heater power needed to pull a ring back by
+// detuneNM (sign-insensitive).
+func (t ThermalTuner) TuningPowerW(detuneNM float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if detuneNM < 0 {
+		detuneNM = -detuneNM
+	}
+	if detuneNM > t.MaxTuneNM {
+		return 0, fmt.Errorf("photonics: detuning %.3f nm exceeds the %.3f nm tuning range", detuneNM, t.MaxTuneNM)
+	}
+	return detuneNM / t.EfficiencyNMPerW, nil
+}
+
+// PowerForTempOffsetW returns the per-ring heater power that compensates a
+// deltaK temperature excursion of the ring relative to its calibration.
+func (t ThermalTuner) PowerForTempOffsetW(deltaK float64) (float64, error) {
+	if deltaK < 0 {
+		deltaK = -deltaK
+	}
+	return t.TuningPowerW(deltaK * t.DriftNMPerK)
+}
+
+// ChannelTuningPowerW returns the tuning power of one wavelength's ring
+// pair (modulator + drop filter) at a deltaK excursion.
+func (t ThermalTuner) ChannelTuningPowerW(deltaK float64) (float64, error) {
+	perRing, err := t.PowerForTempOffsetW(deltaK)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * perRing, nil
+}

@@ -1,0 +1,85 @@
+package photonics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTunerBasics(t *testing.T) {
+	tn := PaperTuner()
+	if err := tn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 0.25 nm of correction at 250 nm/W costs 1 mW.
+	p, err := tn.TuningPowerW(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1e-3) > 1e-12 {
+		t.Errorf("0.25 nm costs %g W, want 1 mW", p)
+	}
+	// Sign-insensitive.
+	pn, err := tn.TuningPowerW(-0.25)
+	if err != nil || pn != p {
+		t.Error("negative detuning should cost the same")
+	}
+	// Out of range.
+	if _, err := tn.TuningPowerW(2.0); err == nil {
+		t.Error("beyond MaxTuneNM should error")
+	}
+}
+
+func TestTunerTempOffset(t *testing.T) {
+	tn := PaperTuner()
+	// 10 K excursion → 0.8 nm drift → 3.2 mW per ring at 250 nm/W.
+	p, err := tn.PowerForTempOffsetW(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-3.2e-3) > 1e-9 {
+		t.Errorf("10 K costs %g W, want 3.2 mW", p)
+	}
+	ch, err := tn.ChannelTuningPowerW(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ch-2*p) > 1e-12 {
+		t.Error("channel power should be modulator + drop ring")
+	}
+}
+
+func TestTunerSchemeIndependence(t *testing.T) {
+	// The paper's Section IV-E assumption, made checkable: the tuning
+	// power depends only on the thermal excursion, so adding it to every
+	// scheme's channel power is a constant offset. With a 5 K excursion
+	// (2×1.6 mW) the H(7,4) channel-power reduction moves from ≈50% to
+	// ≈44% — shifted but qualitatively intact.
+	tn := PaperTuner()
+	tune, err := tn.ChannelTuningPowerW(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncoded := 15.09e-3 // the Fig. 6a totals of the reproduction
+	h74 := 7.52e-3
+	before := 1 - h74/uncoded
+	after := 1 - (h74+tune)/(uncoded+tune)
+	if after >= before {
+		t.Error("constant tuning power must shrink the relative reduction")
+	}
+	if after < 0.40 {
+		t.Errorf("reduction with tuning = %.1f%%, should stay above 40%%", after*100)
+	}
+}
+
+func TestTunerValidate(t *testing.T) {
+	bad := []ThermalTuner{
+		{DriftNMPerK: 0, EfficiencyNMPerW: 1, MaxTuneNM: 1},
+		{DriftNMPerK: 1, EfficiencyNMPerW: 0, MaxTuneNM: 1},
+		{DriftNMPerK: 1, EfficiencyNMPerW: 1, MaxTuneNM: 0},
+	}
+	for i, tn := range bad {
+		if err := tn.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

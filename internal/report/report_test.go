@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "22.5")
+	out := tab.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The value column must start at the same offset in both data rows.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22.5")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x")           // short: pads
+	tab.AddRow("y", "z", "w") // long: truncates
+	out := tab.String()
+	if strings.Contains(out, "w") {
+		t.Error("extra cell should be dropped")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tab := NewTable("", "n", "f", "s")
+	tab.AddRowf(42, 3.5, "hi")
+	out := tab.String()
+	for _, want := range []string{"42", "3.5", "hi"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("ignored", "a", "b")
+	tab.AddRow("1", "x,y") // comma must be quoted
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Errorf("CSV header wrong: %q", got)
+	}
+	if !strings.Contains(got, `"x,y"`) {
+		t.Errorf("CSV quoting wrong: %q", got)
+	}
+}
+
+func TestRenderColumns(t *testing.T) {
+	series := []Series{
+		{Name: "s1", X: []float64{1e-12, 1e-9}, Y: []float64{14.3, 9.1}},
+		{Name: "s2", X: []float64{1e-12, 1e-9}, Y: []float64{7.1, 4.0}, Mask: []bool{false, true}},
+	}
+	var sb strings.Builder
+	if err := RenderColumns(&sb, "Fig", "BER", "%.0e", "%.1f", series); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "14.3") || !strings.Contains(out, "4.0") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	// The masked point renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("masked point should render as '-':\n%s", out)
+	}
+	if err := RenderColumns(&sb, "x", "y", "%g", "%g", nil); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	series := []Series{
+		{Name: "up", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}},
+		{Name: "down", X: []float64{1, 10, 100}, Y: []float64{3, 2, 1}},
+	}
+	var sb strings.Builder
+	err := ASCIIPlot(&sb, "trend", series, PlotOptions{Width: 40, Height: 10, LogX: true, XLabel: "x", YLabel: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "trend") || !strings.Contains(out, "[1]=up") {
+		t.Errorf("plot annotations missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Error("series marks missing")
+	}
+	// Crossing curves must produce an overlap marker somewhere near the
+	// middle — or at least both marks must be present.
+	if err := ASCIIPlot(&sb, "", nil, PlotOptions{}); err == nil {
+		t.Error("empty plot should error")
+	}
+}
+
+func TestASCIIPlotDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	series := []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}
+	var sb strings.Builder
+	if err := ASCIIPlot(&sb, "", series, PlotOptions{Width: 20, Height: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

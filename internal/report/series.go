@@ -1,0 +1,143 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Mask, when non-nil, marks valid points (false = infeasible/absent).
+	Mask []bool
+}
+
+// valid reports whether point i carries data.
+func (s Series) valid(i int) bool {
+	return i < len(s.Y) && (s.Mask == nil || s.Mask[i])
+}
+
+// RenderColumns writes several series sharing one x-grid as aligned
+// columns; absent points render as "-". xFmt/yFmt are fmt verbs such as
+// "%.0e" or "%.2f".
+func RenderColumns(w io.Writer, title, xLabel, xFmt, yFmt string, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	headers := append([]string{xLabel}, make([]string, len(series))...)
+	for i, s := range series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable(title, headers...)
+	for i, x := range series[0].X {
+		row := make([]string, len(series)+1)
+		row[0] = fmt.Sprintf(xFmt, x)
+		for j, s := range series {
+			if s.valid(i) {
+				row[j+1] = fmt.Sprintf(yFmt, s.Y[i])
+			} else {
+				row[j+1] = "-"
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}
+
+// PlotOptions controls ASCIIPlot.
+type PlotOptions struct {
+	Width, Height int
+	LogX          bool
+	XLabel        string
+	YLabel        string
+}
+
+// ASCIIPlot draws the series on a character grid, one digit per series
+// ('1', '2', ...; '*' where several overlap). It is deliberately crude —
+// enough to eyeball a curve's shape in benchmark logs.
+func ASCIIPlot(w io.Writer, title string, series []Series, opt PlotOptions) error {
+	if opt.Width < 16 {
+		opt.Width = 72
+	}
+	if opt.Height < 6 {
+		opt.Height = 20
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	xval := func(x float64) float64 {
+		if opt.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	any := false
+	for _, s := range series {
+		for i, x := range s.X {
+			if !s.valid(i) {
+				continue
+			}
+			any = true
+			xv := xval(x)
+			xlo, xhi = math.Min(xlo, xv), math.Max(xhi, xv)
+			ylo, yhi = math.Min(ylo, s.Y[i]), math.Max(yhi, s.Y[i])
+		}
+	}
+	if !any {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		mark := byte('1' + si)
+		if si > 8 {
+			mark = '+'
+		}
+		for i, x := range s.X {
+			if !s.valid(i) {
+				continue
+			}
+			cx := int((xval(x) - xlo) / (xhi - xlo) * float64(opt.Width-1))
+			cy := int((s.Y[i] - ylo) / (yhi - ylo) * float64(opt.Height-1))
+			row := opt.Height - 1 - cy
+			if grid[row][cx] != ' ' && grid[row][cx] != mark {
+				grid[row][cx] = '*'
+			} else {
+				grid[row][cx] = mark
+			}
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	fmt.Fprintf(&sb, "%s: %.4g .. %.4g\n", opt.YLabel, ylo, yhi)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	xleft, xright := xlo, xhi
+	if opt.LogX {
+		xleft, xright = math.Pow(10, xlo), math.Pow(10, xhi)
+	}
+	fmt.Fprintf(&sb, "%s: %.4g .. %.4g", opt.XLabel, xleft, xright)
+	for si, s := range series {
+		mark := string(rune('1' + si))
+		fmt.Fprintf(&sb, "  [%s]=%s", mark, s.Name)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,57 @@
+package serdes
+
+import (
+	"fmt"
+
+	"photonoc/internal/ecc"
+)
+
+// LatencyBreakdown itemizes the interface contribution to one word's
+// end-to-end latency (Fig. 2c/2d path). Queueing and arbitration live in
+// the network simulator; this is the per-word pipeline floor.
+type LatencyBreakdown struct {
+	// EncodeSec is one IP clock for the combinational codec + register.
+	EncodeSec float64
+	// SerializeSec is the time the coded word occupies the serializers:
+	// ceil(n / lanes) modulation cycles.
+	SerializeSec float64
+	// FlightSec is the optical time of flight over the waveguide.
+	FlightSec float64
+	// DeserializeSec mirrors SerializeSec on the receive side.
+	DeserializeSec float64
+	// DecodeSec is one IP clock for syndrome + correction + register.
+	DecodeSec float64
+}
+
+// TotalSec sums the pipeline stages.
+func (l LatencyBreakdown) TotalSec() float64 {
+	return l.EncodeSec + l.SerializeSec + l.FlightSec + l.DeserializeSec + l.DecodeSec
+}
+
+// groupVelocityMPerS is the optical group velocity in a silicon waveguide
+// (c / n_g with group index ≈ 4.2).
+const groupVelocityMPerS = 7.1e7
+
+// InterfaceLatency computes the pipeline latency of one Ndata-bit word
+// under the given scheme and clocks. waveguideCM sets the time of flight.
+func InterfaceLatency(code ecc.Code, nData, lanes int, fipHz, fmodHz, waveguideCM float64) (LatencyBreakdown, error) {
+	if nData <= 0 || lanes <= 0 {
+		return LatencyBreakdown{}, fmt.Errorf("serdes: invalid geometry Ndata=%d lanes=%d", nData, lanes)
+	}
+	if fipHz <= 0 || fmodHz <= 0 {
+		return LatencyBreakdown{}, fmt.Errorf("serdes: invalid clocks FIP=%g Fmod=%g", fipHz, fmodHz)
+	}
+	if nData%code.K() != 0 {
+		return LatencyBreakdown{}, fmt.Errorf("serdes: Ndata %d not divisible by %s block size %d", nData, code.Name(), code.K())
+	}
+	codedBits := nData / code.K() * code.N()
+	cyclesPerLane := (codedBits + lanes - 1) / lanes
+	ser := float64(cyclesPerLane) / fmodHz
+	return LatencyBreakdown{
+		EncodeSec:      1 / fipHz,
+		SerializeSec:   ser,
+		FlightSec:      waveguideCM * 1e-2 / groupVelocityMPerS,
+		DeserializeSec: ser,
+		DecodeSec:      1 / fipHz,
+	}, nil
+}

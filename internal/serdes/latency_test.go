@@ -1,0 +1,67 @@
+package serdes
+
+import (
+	"math"
+	"testing"
+
+	"photonoc/internal/ecc"
+)
+
+func TestInterfaceLatencyPaperNumbers(t *testing.T) {
+	// Uncoded 64 bits over 16 lanes at 10 GHz: 4 cycles per lane =
+	// 0.4 ns each way; encode/decode 1 ns each at 1 GHz; 6 cm of silicon
+	// ≈ 0.85 ns of flight.
+	lb, err := InterfaceLatency(ecc.MustUncoded64(), 64, 16, 1e9, 10e9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb.SerializeSec-0.4e-9) > 1e-15 {
+		t.Errorf("serialize = %g, want 0.4 ns", lb.SerializeSec)
+	}
+	if lb.FlightSec < 0.7e-9 || lb.FlightSec > 1.0e-9 {
+		t.Errorf("flight = %g, want ≈0.85 ns", lb.FlightSec)
+	}
+	if math.Abs(lb.TotalSec()-(lb.EncodeSec+lb.SerializeSec+lb.FlightSec+lb.DeserializeSec+lb.DecodeSec)) > 1e-18 {
+		t.Error("total must sum the stages")
+	}
+}
+
+func TestInterfaceLatencyGrowsWithCT(t *testing.T) {
+	// H(7,4) serializes 112 coded bits: 7 cycles per lane vs 4 uncoded —
+	// exactly the CT = 1.75 stretch on the serialization stage.
+	u, err := InterfaceLatency(ecc.MustUncoded64(), 64, 16, 1e9, 10e9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := InterfaceLatency(ecc.MustHamming74(), 64, 16, 1e9, 10e9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := h.SerializeSec / u.SerializeSec; math.Abs(ratio-1.75) > 1e-9 {
+		t.Errorf("serialization stretch = %g, want 1.75", ratio)
+	}
+	// H(71,64): 71 bits over 16 lanes → ceil = 5 cycles (integer gearing
+	// rounds the 1.109 CT up at this word size).
+	h71, err := InterfaceLatency(ecc.MustHamming7164(), 64, 16, 1e9, 10e9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h71.SerializeSec-0.5e-9) > 1e-15 {
+		t.Errorf("H(71,64) serialize = %g, want 0.5 ns", h71.SerializeSec)
+	}
+}
+
+func TestInterfaceLatencyValidation(t *testing.T) {
+	if _, err := InterfaceLatency(ecc.MustUncoded64(), 0, 16, 1e9, 10e9, 6); err == nil {
+		t.Error("Ndata 0 should fail")
+	}
+	if _, err := InterfaceLatency(ecc.MustUncoded64(), 64, 0, 1e9, 10e9, 6); err == nil {
+		t.Error("0 lanes should fail")
+	}
+	if _, err := InterfaceLatency(ecc.MustUncoded64(), 64, 16, 0, 10e9, 6); err == nil {
+		t.Error("FIP 0 should fail")
+	}
+	if _, err := InterfaceLatency(ecc.MustHamming74(), 63, 16, 1e9, 10e9, 6); err == nil {
+		t.Error("non-tiling Ndata should fail")
+	}
+}

@@ -1,0 +1,170 @@
+package serdes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"photonoc/internal/bits"
+	"photonoc/internal/ecc"
+)
+
+// ChannelFunc transforms one lane's bitstream in flight, returning the
+// received stream and the number of bit flips. It lets callers plug in a
+// physical channel model (e.g. the OOK/AWGN channel in internal/noise)
+// instead of the default binary symmetric channel.
+type ChannelFunc func(bits.Vector) (bits.Vector, int)
+
+// PipelineConfig describes an end-to-end TX → channel → RX run.
+type PipelineConfig struct {
+	// Code is the communication scheme.
+	Code ecc.Code
+	// NData is the IP word width (64 in the paper).
+	NData int
+	// Lanes is the number of wavelength lanes (16 in the paper).
+	Lanes int
+	// RawBER is the binary-symmetric channel flip probability applied to
+	// every coded bit in flight (ignored when Channel is set).
+	RawBER float64
+	// Channel, when non-nil, replaces the BSC with a custom channel.
+	Channel ChannelFunc
+	// Rng drives both payload generation and error injection.
+	Rng *rand.Rand
+}
+
+// PipelineStats reports what an end-to-end run did.
+type PipelineStats struct {
+	Words             int64
+	PayloadBits       int64
+	CodedBits         int64
+	InjectedErrors    int64
+	ResidualBitErrors int64
+	CorrectedBits     int64
+	DetectedBlocks    int64
+	WordErrors        int64
+}
+
+// MeasuredCT is the empirically observed bandwidth expansion: coded bits on
+// the wire per payload bit. It must equal n/k — the paper's CT metric.
+func (s PipelineStats) MeasuredCT() float64 {
+	if s.PayloadBits == 0 {
+		return 0
+	}
+	return float64(s.CodedBits) / float64(s.PayloadBits)
+}
+
+// ResidualBER is the post-decoding bit error rate observed.
+func (s PipelineStats) ResidualBER() float64 {
+	if s.PayloadBits == 0 {
+		return 0
+	}
+	return float64(s.ResidualBitErrors) / float64(s.PayloadBits)
+}
+
+// RunPipeline pushes `words` random IP words through the full encode →
+// serialize → noisy channel → deserialize → decode path and verifies
+// payload integrity bit by bit.
+func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
+	if cfg.Rng == nil {
+		return PipelineStats{}, fmt.Errorf("serdes: pipeline needs an RNG")
+	}
+	if cfg.RawBER < 0 || cfg.RawBER >= 1 {
+		return PipelineStats{}, fmt.Errorf("serdes: raw BER %g outside [0,1)", cfg.RawBER)
+	}
+	iface, err := NewInterface(cfg.Code, cfg.NData)
+	if err != nil {
+		return PipelineStats{}, err
+	}
+	ser, err := NewSerializer(cfg.Lanes)
+	if err != nil {
+		return PipelineStats{}, err
+	}
+	des, err := NewDeserializer(cfg.Lanes, cfg.Code.N())
+	if err != nil {
+		return PipelineStats{}, err
+	}
+
+	stats := PipelineStats{}
+	var sent []bits.Vector
+	var received []bits.Vector
+
+	flushLanes := func() error {
+		for lane := 0; lane < cfg.Lanes; lane++ {
+			n := ser.LaneLen(lane)
+			if n == 0 {
+				continue
+			}
+			stream, err := ser.PopLane(lane, n)
+			if err != nil {
+				return err
+			}
+			if cfg.Channel != nil {
+				rx, flips := cfg.Channel(stream)
+				stats.InjectedErrors += int64(flips)
+				stream = rx
+			} else {
+				stats.InjectedErrors += int64(bits.FlipRandom(stream, cfg.Rng, cfg.RawBER))
+			}
+			if err := des.PushLane(lane, stream); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for w := 0; w < words; w++ {
+		word := bits.New(cfg.NData)
+		for i := 0; i < cfg.NData; i++ {
+			word.Set(i, cfg.Rng.Intn(2))
+		}
+		sent = append(sent, word)
+		blocks, err := iface.EncodeWord(word)
+		if err != nil {
+			return PipelineStats{}, err
+		}
+		for _, blk := range blocks {
+			ser.PushWord(blk)
+		}
+		stats.Words++
+		stats.PayloadBits += int64(cfg.NData)
+	}
+	stats.CodedBits = ser.CodedBits
+	if err := flushLanes(); err != nil {
+		return PipelineStats{}, err
+	}
+
+	// Drain complete code blocks, regrouping them into IP words.
+	var pending []bits.Vector
+	for {
+		blk, ok := des.PopWord()
+		if !ok {
+			break
+		}
+		pending = append(pending, blk)
+		if len(pending) == iface.BlocksPerWord {
+			word, info, err := iface.DecodeWord(pending)
+			if err != nil {
+				return PipelineStats{}, err
+			}
+			stats.CorrectedBits += int64(info.Corrected)
+			if info.Detected {
+				stats.DetectedBlocks++
+			}
+			received = append(received, word)
+			pending = nil
+		}
+	}
+	if len(received) != len(sent) {
+		return PipelineStats{}, fmt.Errorf("serdes: sent %d words, received %d", len(sent), len(received))
+	}
+	for i := range sent {
+		d, err := bits.HammingDistance(sent[i], received[i])
+		if err != nil {
+			return PipelineStats{}, err
+		}
+		if d > 0 {
+			stats.ResidualBitErrors += int64(d)
+			stats.WordErrors++
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,154 @@
+// Package serdes implements the bit-true data path of the paper's
+// electrical/optical interface (Fig. 2c/2d): IP words are split into code
+// blocks, encoded, striped over the N_W wavelength lanes, transported as
+// per-lane bitstreams, reassembled and decoded on the receive side.
+//
+// The model is functional, not cycle-accurate (internal/synth carries the
+// gate-level timing); what it proves is bit-exactness of the whole path and
+// the paper's CT = n/k bandwidth expansion, measured rather than assumed.
+package serdes
+
+import (
+	"fmt"
+
+	"photonoc/internal/bits"
+	"photonoc/internal/ecc"
+)
+
+// Serializer stripes fixed-size encoded words over a set of wavelength
+// lanes: word i goes to lane i mod lanes, each lane serializing its words
+// back to back — the gearbox behaviour of the register-pipeline SER.
+type Serializer struct {
+	lanes []bits.Queue
+	next  int
+	// CodedBits counts every bit pushed, for measured-CT accounting.
+	CodedBits int64
+}
+
+// NewSerializer returns a serializer over the given number of lanes.
+func NewSerializer(lanes int) (*Serializer, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("serdes: need at least 1 lane, got %d", lanes)
+	}
+	return &Serializer{lanes: make([]bits.Queue, lanes)}, nil
+}
+
+// Lanes returns the lane count.
+func (s *Serializer) Lanes() int { return len(s.lanes) }
+
+// PushWord assigns an encoded word to the next lane in round-robin order.
+func (s *Serializer) PushWord(w bits.Vector) {
+	s.lanes[s.next].PushVector(w)
+	s.next = (s.next + 1) % len(s.lanes)
+	s.CodedBits += int64(w.Len())
+}
+
+// LaneLen returns the bits currently queued on a lane.
+func (s *Serializer) LaneLen(lane int) int { return s.lanes[lane].Len() }
+
+// PopLane drains n bits from a lane as they would be modulated.
+func (s *Serializer) PopLane(lane, n int) (bits.Vector, error) {
+	if lane < 0 || lane >= len(s.lanes) {
+		return bits.Vector{}, fmt.Errorf("serdes: lane %d out of range [0,%d)", lane, len(s.lanes))
+	}
+	return s.lanes[lane].PopVector(n)
+}
+
+// Deserializer reassembles fixed-size words from per-lane bitstreams using
+// the same round-robin discipline as the Serializer.
+type Deserializer struct {
+	wordBits int
+	lanes    []bits.Queue
+	next     int
+}
+
+// NewDeserializer returns a deserializer expecting wordBits-bit words over
+// the given number of lanes.
+func NewDeserializer(lanes, wordBits int) (*Deserializer, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("serdes: need at least 1 lane, got %d", lanes)
+	}
+	if wordBits < 1 {
+		return nil, fmt.Errorf("serdes: word size %d must be positive", wordBits)
+	}
+	return &Deserializer{wordBits: wordBits, lanes: make([]bits.Queue, lanes)}, nil
+}
+
+// PushLane appends received bits to a lane's stream.
+func (d *Deserializer) PushLane(lane int, v bits.Vector) error {
+	if lane < 0 || lane >= len(d.lanes) {
+		return fmt.Errorf("serdes: lane %d out of range [0,%d)", lane, len(d.lanes))
+	}
+	d.lanes[lane].PushVector(v)
+	return nil
+}
+
+// PopWord returns the next complete word, if its lane has enough bits.
+func (d *Deserializer) PopWord() (bits.Vector, bool) {
+	if d.lanes[d.next].Len() < d.wordBits {
+		return bits.Vector{}, false
+	}
+	w, err := d.lanes[d.next].PopVector(d.wordBits)
+	if err != nil {
+		return bits.Vector{}, false // unreachable: length checked above
+	}
+	d.next = (d.next + 1) % len(d.lanes)
+	return w, true
+}
+
+// Interface is the full transmit or receive conversion for one IP word:
+// splitting an Ndata-bit word into code blocks and back.
+type Interface struct {
+	Code  ecc.Code
+	NData int
+	// BlocksPerWord is NData / K.
+	BlocksPerWord int
+}
+
+// NewInterface validates that the code tiles the IP bus width exactly
+// (the paper: 16 × H(7,4) or 1 × H(71,64) over a 64-bit bus).
+func NewInterface(code ecc.Code, nData int) (*Interface, error) {
+	if nData <= 0 {
+		return nil, fmt.Errorf("serdes: Ndata %d must be positive", nData)
+	}
+	if nData%code.K() != 0 {
+		return nil, fmt.Errorf("serdes: Ndata %d not divisible by %s block size %d", nData, code.Name(), code.K())
+	}
+	return &Interface{Code: code, NData: nData, BlocksPerWord: nData / code.K()}, nil
+}
+
+// EncodeWord splits an IP word into blocks and encodes each.
+func (f *Interface) EncodeWord(word bits.Vector) ([]bits.Vector, error) {
+	if word.Len() != f.NData {
+		return nil, fmt.Errorf("serdes: word is %d bits, interface expects %d", word.Len(), f.NData)
+	}
+	out := make([]bits.Vector, f.BlocksPerWord)
+	for b := 0; b < f.BlocksPerWord; b++ {
+		block := word.Slice(b*f.Code.K(), (b+1)*f.Code.K())
+		coded, err := f.Code.Encode(block)
+		if err != nil {
+			return nil, err
+		}
+		out[b] = coded
+	}
+	return out, nil
+}
+
+// DecodeWord reassembles an IP word from received code blocks.
+func (f *Interface) DecodeWord(blocks []bits.Vector) (bits.Vector, ecc.DecodeInfo, error) {
+	if len(blocks) != f.BlocksPerWord {
+		return bits.Vector{}, ecc.DecodeInfo{}, fmt.Errorf("serdes: got %d blocks, want %d", len(blocks), f.BlocksPerWord)
+	}
+	word := bits.New(f.NData)
+	var agg ecc.DecodeInfo
+	for b, blk := range blocks {
+		data, info, err := f.Code.Decode(blk)
+		if err != nil {
+			return bits.Vector{}, ecc.DecodeInfo{}, err
+		}
+		agg.Corrected += info.Corrected
+		agg.Detected = agg.Detected || info.Detected
+		data.CopyInto(word, b*f.Code.K())
+	}
+	return word, agg, nil
+}

@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"photonoc/internal/ecc"
+)
+
+func TestExportVerilogEncoder(t *testing.T) {
+	lib := DefaultLibrary()
+	net := BuildEncoder(ecc.MustHamming74())
+	var sb strings.Builder
+	if err := ExportVerilog(&sb, net, lib); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+
+	// Structural sanity: module wrapper, clock, all ports present.
+	if !strings.Contains(v, "module enc_H_7_4_") {
+		t.Errorf("module header missing:\n%s", v[:200])
+	}
+	if !strings.Contains(v, "endmodule") {
+		t.Error("endmodule missing")
+	}
+	if !strings.Contains(v, "input wire clk") {
+		t.Error("clock port missing")
+	}
+	for _, port := range []string{"d0", "d1", "d2", "d3", "en", "c0", "c6", "pre_c4"} {
+		if !strings.Contains(v, port) {
+			t.Errorf("port %q missing", port)
+		}
+	}
+	// One xor primitive per XOR2 cell.
+	counts := net.CellCounts()
+	if got := strings.Count(v, "\n  xor "); got != counts[CellXor2] {
+		t.Errorf("xor instances = %d, cells = %d", got, counts[CellXor2])
+	}
+	// One non-blocking assignment per flip-flop.
+	if got := strings.Count(v, "<="); got != counts[CellDFF]+counts[CellDFFG]+counts[CellDFFHS] {
+		t.Errorf("ff assignments = %d, ff cells = %d", got, counts[CellDFF]+counts[CellDFFG]+counts[CellDFFHS])
+	}
+	// Balanced parens (crude syntactic check).
+	if strings.Count(v, "(") != strings.Count(v, ")") {
+		t.Error("unbalanced parentheses")
+	}
+}
+
+func TestExportVerilogSerializerAndMux(t *testing.T) {
+	lib := DefaultLibrary()
+	for _, net := range []*Netlist{BuildSerializer(8), BuildSerialMux(), BuildWordMux(4)} {
+		var sb strings.Builder
+		if err := ExportVerilog(&sb, net, lib); err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+		v := sb.String()
+		if !strings.Contains(v, "always @(posedge clk)") {
+			t.Errorf("%s: sequential block missing", net.Name)
+		}
+		// Muxes become ternary assigns.
+		if net.CellCounts()[CellMux2] > 0 && !strings.Contains(v, "?") {
+			t.Errorf("%s: mux assigns missing", net.Name)
+		}
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"enc_H(7,4)": "enc_H_7_4_",
+		"9lives":     "_9lives",
+		"ok_name":    "ok_name",
+		"":           "_",
+		"a-b c":      "a_b_c",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package synth
+
+// AreaReport is the placed-area estimate of one netlist.
+type AreaReport struct {
+	// CellAreaUM2 is the summed standard-cell area.
+	CellAreaUM2 float64
+	// PlacedAreaUM2 includes the wiring/placement overhead factor and is
+	// the number comparable to Table I.
+	PlacedAreaUM2 float64
+}
+
+// EstimateArea sums library cell areas and applies the wiring factor.
+func EstimateArea(n *Netlist, lib *Library) (AreaReport, error) {
+	var cells float64
+	for _, g := range n.Gates() {
+		spec, err := lib.Spec(g.Type)
+		if err != nil {
+			return AreaReport{}, err
+		}
+		cells += spec.AreaUM2
+	}
+	return AreaReport{
+		CellAreaUM2:   cells,
+		PlacedAreaUM2: cells * lib.WiringAreaFactor,
+	}, nil
+}
+
+// PowerReport is the power estimate of one netlist at one clock frequency.
+type PowerReport struct {
+	// StaticNW is the leakage power in nanowatts (area-proportional).
+	StaticNW float64
+	// DynamicUW is the switching power in microwatts.
+	DynamicUW float64
+	// TotalUW is static plus dynamic, in microwatts.
+	TotalUW float64
+}
+
+// EstimatePower sums per-cell leakage for static power and per-cell
+// switching energies for dynamic power at the library's average activity:
+//
+//	P_dyn = f · Σ_cells (E_clock + α·E_toggle)
+//
+// Flip-flops and clock gates charge their clock pins every cycle;
+// combinational outputs toggle with activity α.
+func EstimatePower(n *Netlist, lib *Library, clockHz float64) (PowerReport, error) {
+	var energyFJPerCycle, leakPW float64
+	for _, g := range n.Gates() {
+		spec, err := lib.Spec(g.Type)
+		if err != nil {
+			return PowerReport{}, err
+		}
+		energyFJPerCycle += spec.ClockEnergyFJ + lib.CombActivity*spec.ToggleEnergyFJ
+		leakPW += spec.LeakagePW
+	}
+	r := PowerReport{
+		StaticNW:  leakPW * 1e-3,                            // pW → nW
+		DynamicUW: energyFJPerCycle * 1e-15 * clockHz * 1e6, // fJ·Hz → µW
+	}
+	r.TotalUW = r.StaticNW*1e-3 + r.DynamicUW
+	return r, nil
+}

@@ -1,0 +1,151 @@
+package synth
+
+import (
+	"fmt"
+
+	"photonoc/internal/ecc"
+)
+
+// Table1Row is one row of the reproduced Table I, with the published values
+// alongside the model's estimates for direct comparison.
+type Table1Row struct {
+	Section string // "Transmitter" or "Receiver"
+	Block   string
+	// Model estimates.
+	AreaUM2        float64
+	CriticalPathPS float64
+	StaticNW       float64
+	DynamicUW      float64
+	TotalUW        float64
+	ClockHz        float64
+	SlackPS        float64
+	// Published Table I values (0 when the paper leaves the cell blank).
+	PaperAreaUM2   float64
+	PaperCPPS      float64
+	PaperStaticNW  float64
+	PaperDynamicUW float64
+}
+
+// Table1Totals summarizes one communication mode (Table I "Total" rows).
+type Table1Totals struct {
+	Section        string
+	Mode           string // "H(7,4)", "H(71,64)", "w/o ECC"
+	DynamicUW      float64
+	TotalUW        float64
+	PaperDynamicUW float64
+}
+
+// interfaceClocks: codec and mux blocks run at FIP, SER/DES at Fmod.
+const (
+	fipHz  = 1e9
+	fmodHz = 10e9
+)
+
+// Table1 synthesizes every block of the emitter and receiver interfaces
+// (Ndata = 64, FIP = 1 GHz, Fmod = 10 Gb/s) and reports area, critical path
+// and power next to the published numbers. The block structure follows the
+// paper exactly: 16 parallel H(7,4) codecs versus one H(71,64) codec, and
+// 112/71/64-bit SER/DES pipelines.
+func Table1(lib *Library) ([]Table1Row, []Table1Totals, error) {
+	h74 := ecc.MustHamming74()
+	h7164 := ecc.MustHamming7164()
+
+	type block struct {
+		section string
+		name    string
+		netlist *Netlist
+		copies  int
+		clockHz float64
+		paper   [4]float64 // area, cp, static, dynamic
+	}
+	blocks := []block{
+		{"Transmitter", "1-bit MUX (3 to 1)", BuildSerialMux(), 1, fmodHz, [4]float64{14, 80, 0.2, 0.23}},
+		{"Transmitter", "H(7,4) coders (x16)", BuildEncoder(h74), 16, fipHz, [4]float64{551, 210, 1.7, 3.13}},
+		{"Transmitter", "H(71,64) coder", BuildEncoder(h7164), 1, fipHz, [4]float64{490, 350, 1.6, 2.51}},
+		{"Transmitter", "112-bits SER, H(7,4)", BuildSerializer(112), 1, fmodHz, [4]float64{433, 70, 6.5, 6.21}},
+		{"Transmitter", "71-bits SER, H(71,64)", BuildSerializer(71), 1, fmodHz, [4]float64{276, 70, 4.1, 3.24}},
+		{"Transmitter", "64-bits SER, wo ECC", BuildSerializer(64), 1, fmodHz, [4]float64{249, 70, 3.6, 2.93}},
+		{"Receiver", "64-bits MUX (3 to 1)", BuildWordMux(64), 1, fipHz, [4]float64{815, 80, 10.8, 1.55}},
+		{"Receiver", "H(7,4) decoders (x16)", BuildDecoder(h74), 16, fipHz, [4]float64{783, 300, 2.5, 3.80}},
+		{"Receiver", "H(71,64) decoder", BuildDecoder(h7164), 1, fipHz, [4]float64{648, 570, 2.2, 2.63}},
+		{"Receiver", "112-bits DESER, H(7,4)", BuildDeserializer(112), 1, fmodHz, [4]float64{365, 60, 5.5, 4.75}},
+		{"Receiver", "71-bits DESER, H(71,64)", BuildDeserializer(71), 1, fmodHz, [4]float64{231, 60, 3.5, 3.02}},
+		{"Receiver", "64-bits DESER, wo ECC", BuildDeserializer(64), 1, fmodHz, [4]float64{208, 60, 3.0, 2.75}},
+	}
+
+	rows := make([]Table1Row, 0, len(blocks))
+	byName := make(map[string]Table1Row, len(blocks))
+	for _, b := range blocks {
+		area, err := EstimateArea(b.netlist, lib)
+		if err != nil {
+			return nil, nil, fmt.Errorf("synth: %s: %w", b.name, err)
+		}
+		timing, err := AnalyzeTiming(b.netlist, lib, 1e12/b.clockHz, lib.Cells[CellDFF].DelayPS)
+		if err != nil {
+			return nil, nil, fmt.Errorf("synth: %s: %w", b.name, err)
+		}
+		power, err := EstimatePower(b.netlist, lib, b.clockHz)
+		if err != nil {
+			return nil, nil, fmt.Errorf("synth: %s: %w", b.name, err)
+		}
+		c := float64(b.copies)
+		row := Table1Row{
+			Section:        b.section,
+			Block:          b.name,
+			AreaUM2:        area.PlacedAreaUM2 * c,
+			CriticalPathPS: timing.CriticalPathPS,
+			StaticNW:       power.StaticNW * c,
+			DynamicUW:      power.DynamicUW * c,
+			TotalUW:        power.TotalUW * c,
+			ClockHz:        b.clockHz,
+			SlackPS:        timing.SlackPS,
+			PaperAreaUM2:   b.paper[0],
+			PaperCPPS:      b.paper[1],
+			PaperStaticNW:  b.paper[2],
+			PaperDynamicUW: b.paper[3],
+		}
+		rows = append(rows, row)
+		byName[b.name] = row
+	}
+
+	mode := func(section, name string, parts []string, paperDyn float64) Table1Totals {
+		t := Table1Totals{Section: section, Mode: name, PaperDynamicUW: paperDyn}
+		for _, p := range parts {
+			t.DynamicUW += byName[p].DynamicUW
+			t.TotalUW += byName[p].TotalUW
+		}
+		return t
+	}
+	totals := []Table1Totals{
+		mode("Transmitter", "H(7,4)", []string{"1-bit MUX (3 to 1)", "H(7,4) coders (x16)", "112-bits SER, H(7,4)"}, 9.57),
+		mode("Transmitter", "H(71,64)", []string{"1-bit MUX (3 to 1)", "H(71,64) coder", "71-bits SER, H(71,64)"}, 5.99),
+		mode("Transmitter", "w/o ECC", []string{"1-bit MUX (3 to 1)", "64-bits SER, wo ECC"}, 3.16),
+		mode("Receiver", "H(7,4)", []string{"64-bits MUX (3 to 1)", "H(7,4) decoders (x16)", "112-bits DESER, H(7,4)"}, 10.1),
+		mode("Receiver", "H(71,64)", []string{"64-bits MUX (3 to 1)", "H(71,64) decoder", "71-bits DESER, H(71,64)"}, 7.21),
+		mode("Receiver", "w/o ECC", []string{"64-bits MUX (3 to 1)", "64-bits DESER, wo ECC"}, 4.29),
+	}
+	return rows, totals, nil
+}
+
+// InterfacePowerModel turns the synthesized mode totals into the
+// transmitter/receiver interface powers consumed by the link configurator,
+// letting internal/core run on fully model-derived numbers instead of the
+// published table.
+func InterfacePowerModel(lib *Library) (map[string]struct{ TransmitterW, ReceiverW float64 }, error) {
+	_, totals, err := Table1(lib)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]struct{ TransmitterW, ReceiverW float64 })
+	for _, t := range totals {
+		entry := out[t.Mode]
+		switch t.Section {
+		case "Transmitter":
+			entry.TransmitterW = t.TotalUW * 1e-6
+		case "Receiver":
+			entry.ReceiverW = t.TotalUW * 1e-6
+		}
+		out[t.Mode] = entry
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1AgainstPaper(t *testing.T) {
+	rows, totals, err := Table1(DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 || len(totals) != 6 {
+		t.Fatalf("rows/totals = %d/%d", len(rows), len(totals))
+	}
+	ratio := func(got, want float64) float64 { return got / want }
+	for _, r := range rows {
+		// Area lands within ±20% of the published table on every block.
+		if ar := ratio(r.AreaUM2, r.PaperAreaUM2); ar < 0.80 || ar > 1.20 {
+			t.Errorf("%s: area %0.f vs paper %0.f (ratio %.2f)", r.Block, r.AreaUM2, r.PaperAreaUM2, ar)
+		}
+		// Critical paths within ±35%.
+		if cr := ratio(r.CriticalPathPS, r.PaperCPPS); cr < 0.65 || cr > 1.35 {
+			t.Errorf("%s: CP %0.f vs paper %0.f (ratio %.2f)", r.Block, r.CriticalPathPS, r.PaperCPPS, cr)
+		}
+		// Dynamic power within ±40%.
+		if dr := ratio(r.DynamicUW, r.PaperDynamicUW); dr < 0.60 || dr > 1.40 {
+			t.Errorf("%s: dyn %.2f vs paper %.2f (ratio %.2f)", r.Block, r.DynamicUW, r.PaperDynamicUW, dr)
+		}
+		// Static power within a factor 2 except the 64-bit mux, whose
+		// published leakage (10.8 nW in 815 µm²) is inconsistent with
+		// the rest of the table — see EXPERIMENTS.md.
+		if r.Block != "64-bits MUX (3 to 1)" {
+			if sr := ratio(r.StaticNW, r.PaperStaticNW); sr < 0.5 || sr > 2.0 {
+				t.Errorf("%s: static %.2f vs paper %.2f", r.Block, r.StaticNW, r.PaperStaticNW)
+			}
+		}
+	}
+	// The paper's central synthesis claim: every block meets timing at
+	// its clock (positive slack → 10 Gb/s transmission achievable).
+	for _, r := range rows {
+		if r.SlackPS <= 0 {
+			t.Errorf("%s: negative slack %.0f ps at %.0f GHz", r.Block, r.SlackPS, r.ClockHz/1e9)
+		}
+	}
+	// Mode totals within ±20% and correctly ordered:
+	// w/o ECC < H(71,64) < H(7,4) in both sections.
+	byMode := map[string]map[string]float64{"Transmitter": {}, "Receiver": {}}
+	for _, tot := range totals {
+		if tr := ratio(tot.DynamicUW, tot.PaperDynamicUW); tr < 0.80 || tr > 1.20 {
+			t.Errorf("%s %s: total dyn %.2f vs paper %.2f", tot.Section, tot.Mode, tot.DynamicUW, tot.PaperDynamicUW)
+		}
+		byMode[tot.Section][tot.Mode] = tot.DynamicUW
+	}
+	for _, section := range []string{"Transmitter", "Receiver"} {
+		m := byMode[section]
+		if !(m["w/o ECC"] < m["H(71,64)"] && m["H(71,64)"] < m["H(7,4)"]) {
+			t.Errorf("%s: mode power ordering wrong: %+v", section, m)
+		}
+	}
+}
+
+func TestTable1TotalAreasMatchPaperScale(t *testing.T) {
+	// Whole-interface areas: paper reports 2013 µm² (TX) and 3050 µm²
+	// (RX). The model must land in the same ballpark (±25%).
+	rows, _, err := Table1(DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tx, rx float64
+	for _, r := range rows {
+		switch r.Section {
+		case "Transmitter":
+			tx += r.AreaUM2
+		case "Receiver":
+			rx += r.AreaUM2
+		}
+	}
+	if tx < 2013*0.75 || tx > 2013*1.25 {
+		t.Errorf("TX area %.0f µm², paper 2013", tx)
+	}
+	if rx < 3050*0.75 || rx > 3050*1.25 {
+		t.Errorf("RX area %.0f µm², paper 3050", rx)
+	}
+}
+
+func TestInterfacePowerModel(t *testing.T) {
+	m, err := InterfacePowerModel(DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"w/o ECC", "H(71,64)", "H(7,4)"} {
+		p, ok := m[mode]
+		if !ok {
+			t.Fatalf("missing mode %q", mode)
+		}
+		if p.TransmitterW <= 0 || p.ReceiverW <= 0 {
+			t.Errorf("%s: zero power %+v", mode, p)
+		}
+		// µW scale: the whole point is that interfaces are negligible
+		// next to the mW-scale laser.
+		if p.TransmitterW > 50e-6 || p.ReceiverW > 50e-6 {
+			t.Errorf("%s: implausibly large interface power %+v", mode, p)
+		}
+	}
+	if !(m["w/o ECC"].TransmitterW < m["H(71,64)"].TransmitterW &&
+		m["H(71,64)"].TransmitterW < m["H(7,4)"].TransmitterW) {
+		t.Error("transmitter power should grow with coding overhead")
+	}
+}
+
+func TestStaticPowerIsNegligible(t *testing.T) {
+	// Paper: "Static power is negligible thanks to the 28nm low leakage
+	// technology" — static must be under 1% of dynamic for every block.
+	rows, _, err := Table1(DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.StaticNW*1e-3 > 0.01*r.DynamicUW {
+			t.Errorf("%s: static %.2f nW not negligible vs dynamic %.2f µW", r.Block, r.StaticNW, r.DynamicUW)
+		}
+	}
+}
+
+func TestTimingScalesWithClockPeriod(t *testing.T) {
+	// Slack = period − CP must hold exactly.
+	lib := DefaultLibrary()
+	net := BuildSerializer(16)
+	rep1, err := AnalyzeTiming(net, lib, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := AnalyzeTiming(net, lib, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CriticalPathPS != rep2.CriticalPathPS {
+		t.Error("CP must not depend on the clock period")
+	}
+	if math.Abs((rep2.SlackPS-rep1.SlackPS)-900) > 1e-9 {
+		t.Error("slack must follow the period")
+	}
+}

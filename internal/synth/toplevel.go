@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"fmt"
+
+	"photonoc/internal/ecc"
+)
+
+// BuildTransmitterTop composes the whole emitter interface of Fig. 2c for
+// one scheme into a single netlist: a registered 64-bit IP input stage, the
+// coder bank (nData/k parallel encoders), and the serializer sized for the
+// coded word. The per-block builders stay the unit of Table I; the top
+// level exists to check that the *composed* interface still meets timing
+// and to give the Verilog exporter a complete module.
+func BuildTransmitterTop(code *ecc.LinearCode, nData int) (*Netlist, error) {
+	if nData%code.K() != 0 {
+		return nil, fmt.Errorf("synth: Ndata %d not divisible by %s block size %d", nData, code.Name(), code.K())
+	}
+	blocks := nData / code.K()
+	codedBits := blocks * code.N()
+	n := NewNetlist(fmt.Sprintf("tx_%s", code.Name()))
+
+	enable := n.AddInput("en")
+	n.AddGate(CellICG, "icg", enable)
+	load := n.AddInput("load")
+
+	// IP-side input register bank.
+	regs := make([]GateID, nData)
+	for i := 0; i < nData; i++ {
+		d := n.AddInput(fmt.Sprintf("d%d", i))
+		regs[i] = n.AddGate(CellDFF, fmt.Sprintf("in%d", i), d)
+	}
+
+	// Coder bank: one XOR-tree encoder per block, outputs registered.
+	coded := make([]GateID, 0, codedBits)
+	k, r := code.K(), code.N()-code.K()
+	for b := 0; b < blocks; b++ {
+		base := b * k
+		for i := 0; i < k; i++ {
+			coded = append(coded, n.AddGate(CellDFF, fmt.Sprintf("b%d_c%d", b, i), regs[base+i]))
+		}
+		for j := 0; j < r; j++ {
+			mask := code.ParityMask(j)
+			var taps []GateID
+			for i := 0; i < k; i++ {
+				if mask[i>>6]>>(uint(i)&63)&1 == 1 {
+					taps = append(taps, regs[base+i])
+				}
+			}
+			p := BuildXORTree(n, taps, fmt.Sprintf("b%d_p%d", b, j))
+			coded = append(coded, n.AddGate(CellDFF, fmt.Sprintf("b%d_c%d", b, k+j), p))
+		}
+	}
+
+	// Serializer over the coded word (load-mux + HS flip-flop pipeline).
+	prevQ := n.AddGate(CellBuf, "zero", load)
+	var lastQ GateID
+	for i := 0; i < codedBits; i++ {
+		d := n.AddGate(CellMux2, fmt.Sprintf("st%d_mux", i), prevQ, coded[codedBits-1-i], load)
+		q := n.AddGate(CellDFFHS, fmt.Sprintf("st%d", i), d)
+		prevQ, lastQ = q, q
+	}
+	n.MarkOutput(lastQ, "so")
+	return n, nil
+}
+
+// BuildReceiverTop composes the receiver interface of Fig. 2d: the
+// deserializer pipeline, the decoder bank and a registered 64-bit output.
+func BuildReceiverTop(code *ecc.LinearCode, nData int) (*Netlist, error) {
+	if nData%code.K() != 0 {
+		return nil, fmt.Errorf("synth: Ndata %d not divisible by %s block size %d", nData, code.Name(), code.K())
+	}
+	blocks := nData / code.K()
+	codedBits := blocks * code.N()
+	n := NewNetlist(fmt.Sprintf("rx_%s", code.Name()))
+
+	enable := n.AddInput("en")
+	n.AddGate(CellICG, "icg", enable)
+	si := n.AddInput("si")
+
+	// Deserializer shift pipeline.
+	des := make([]GateID, codedBits)
+	prev := si
+	for i := 0; i < codedBits; i++ {
+		q := n.AddGate(CellDFFHS, fmt.Sprintf("st%d", i), prev)
+		des[i] = q
+		prev = q
+	}
+	// Bit i of the coded word is at stage codedBits-1-i after the shift.
+	word := make([]GateID, codedBits)
+	for i := 0; i < codedBits; i++ {
+		word[i] = des[codedBits-1-i]
+	}
+
+	// Decoder bank (syndrome + predecoded demux + correction), registered
+	// data outputs.
+	k, r := code.K(), code.N()-code.K()
+	for b := 0; b < blocks; b++ {
+		base := b * code.N()
+		syndrome := make([]GateID, r)
+		for j := 0; j < r; j++ {
+			mask := code.ParityMask(j)
+			taps := []GateID{word[base+k+j]}
+			for i := 0; i < k; i++ {
+				if mask[i>>6]>>(uint(i)&63)&1 == 1 {
+					taps = append(taps, word[base+i])
+				}
+			}
+			syndrome[j] = BuildXORTree(n, taps, fmt.Sprintf("b%d_s%d", b, j))
+		}
+		inverted := make([]GateID, r)
+		for j := 0; j < r; j++ {
+			inverted[j] = n.AddGate(CellInv, fmt.Sprintf("b%d_s%d_n", b, j), syndrome[j])
+		}
+		var groups [][]GateID
+		for lo := 0; lo < r; lo += 3 {
+			hi := lo + 3
+			if hi > r {
+				hi = r
+			}
+			lines := make([]GateID, 1<<(hi-lo))
+			for v := range lines {
+				var taps []GateID
+				for bit := 0; bit < hi-lo; bit++ {
+					if v>>bit&1 == 1 {
+						taps = append(taps, syndrome[lo+bit])
+					} else {
+						taps = append(taps, inverted[lo+bit])
+					}
+				}
+				lines[v] = BuildANDTree(n, taps, fmt.Sprintf("b%d_pd%d_%d", b, lo/3, v))
+			}
+			groups = append(groups, lines)
+		}
+		for i := 0; i < k; i++ {
+			var pattern uint64
+			for j := 0; j < r; j++ {
+				m := code.ParityMask(j)
+				if m[i>>6]>>(uint(i)&63)&1 == 1 {
+					pattern |= 1 << uint(j)
+				}
+			}
+			var taps []GateID
+			for g, lines := range groups {
+				bitsIn := 3
+				if rem := r - 3*g; rem < 3 {
+					bitsIn = rem
+				}
+				taps = append(taps, lines[pattern>>uint(3*g)&(1<<uint(bitsIn)-1)])
+			}
+			line := BuildANDTree(n, taps, fmt.Sprintf("b%d_pos%d", b, i))
+			fixed := n.AddGate(CellXor2, fmt.Sprintf("b%d_fix%d", b, i), word[base+i], line)
+			q := n.AddGate(CellDFF, fmt.Sprintf("q%d", b*k+i), fixed)
+			n.MarkOutput(q, fmt.Sprintf("q%d", b*k+i))
+		}
+	}
+	return n, nil
+}

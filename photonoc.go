@@ -1,0 +1,98 @@
+package photonoc
+
+import (
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/manager"
+	"photonoc/internal/netsim"
+	"photonoc/internal/onoc"
+	"photonoc/internal/photonics"
+	"photonoc/internal/synth"
+)
+
+// Re-exported core types: the public API of the reproduction.
+type (
+	// LinkConfig is the full channel + interface configuration.
+	LinkConfig = core.LinkConfig
+	// Evaluation is one solved (scheme, BER) operating point.
+	Evaluation = core.Evaluation
+	// InterfacePower is a Table I transmitter/receiver power pair.
+	InterfacePower = core.InterfacePower
+	// Headline carries the Section V-C summary numbers.
+	Headline = core.Headline
+	// Code is a block code (scheme) on the link.
+	Code = ecc.Code
+	// ChannelSpec is the optical MWSR channel description.
+	ChannelSpec = onoc.ChannelSpec
+	// Laser is the thermally-limited VCSEL model.
+	Laser = photonics.Laser
+	// Ring is the micro-ring resonator model.
+	Ring = photonics.Ring
+	// Manager is the runtime energy/performance manager.
+	Manager = manager.Manager
+	// Requirements is a manager configuration request.
+	Requirements = manager.Requirements
+	// DAC is the laser output power controller.
+	DAC = manager.DAC
+	// SimConfig configures the interconnect traffic simulator.
+	SimConfig = netsim.Config
+	// SimResults carries the traffic simulator's outputs.
+	SimResults = netsim.Results
+)
+
+// Objectives for the runtime manager.
+const (
+	MinPower   = manager.MinPower
+	MinEnergy  = manager.MinEnergy
+	MinLatency = manager.MinLatency
+)
+
+// DefaultConfig returns the paper's evaluation configuration: 12 ONIs,
+// 16 wavelengths, 6 cm waveguide, ER 6.9 dB, 700 µW laser cap, Table I
+// interface powers.
+func DefaultConfig() LinkConfig { return core.DefaultConfig() }
+
+// PaperSchemes returns the paper's three communication schemes:
+// w/o ECC, H(71,64), H(7,4).
+func PaperSchemes() []Code { return ecc.PaperSchemes() }
+
+// ExtendedSchemes adds SECDED(72,64), BCH(15,7), BCH(31,21), repetition and
+// parity — the "other coding techniques" the paper leaves open.
+func ExtendedSchemes() []Code { return ecc.ExtendedSchemes() }
+
+// Uncoded64 returns the 64-bit pass-through scheme.
+func Uncoded64() Code { return ecc.MustUncoded64() }
+
+// Hamming74 returns the paper's H(7,4) code.
+func Hamming74() Code { return ecc.MustHamming74() }
+
+// Hamming7164 returns the paper's shortened H(71,64) code.
+func Hamming7164() Code { return ecc.MustHamming7164() }
+
+// InterleavedHamming74 returns H(7,4) behind a block interleaver of the
+// given depth: bursts of up to `depth` consecutive channel errors are
+// always corrected (see examples/burstprotection).
+func InterleavedHamming74(depth int) (Code, error) {
+	return ecc.NewInterleavedCode(ecc.MustHamming74(), depth)
+}
+
+// NewManager builds a runtime link manager over a configuration, scheme
+// roster and laser DAC.
+func NewManager(cfg *LinkConfig, schemes []Code, dac DAC) (*Manager, error) {
+	return manager.New(cfg, schemes, dac)
+}
+
+// PaperDAC returns the 6-bit, 700 µW laser controller.
+func PaperDAC() DAC { return manager.PaperDAC() }
+
+// RunSimulation executes the traffic simulator (netsim.Run).
+func RunSimulation(cfg SimConfig) (SimResults, error) { return netsim.Run(cfg) }
+
+// DefaultSimConfig returns a ready-to-run 12-ONI simulation.
+func DefaultSimConfig() SimConfig { return netsim.DefaultConfig() }
+
+// SynthesizeTable1 regenerates the paper's Table I from gate netlists with
+// the default 28nm-calibrated library.
+func SynthesizeTable1() ([]synth.Table1Row, []synth.Table1Totals, error) {
+	return synth.Table1(synth.DefaultLibrary())
+}

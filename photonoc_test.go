@@ -1,0 +1,81 @@
+package photonoc
+
+import (
+	"errors"
+	"testing"
+
+	"photonoc/internal/manager"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	// The README's quick-start must work through the façade alone.
+	cfg := DefaultConfig()
+	evU, err := cfg.Evaluate(Uncoded64(), 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev74, err := cfg.Evaluate(Hamming74(), 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evU.Feasible || !ev74.Feasible {
+		t.Fatal("paper operating points must be feasible")
+	}
+	if ratio := ev74.LaserPowerW / evU.LaserPowerW; ratio > 0.55 {
+		t.Errorf("H(7,4) should cut laser power roughly in half, got ratio %.2f", ratio)
+	}
+}
+
+func TestFacadeSchemeRosters(t *testing.T) {
+	if got := len(PaperSchemes()); got != 3 {
+		t.Errorf("paper roster size %d", got)
+	}
+	if got := len(ExtendedSchemes()); got < 6 {
+		t.Errorf("extended roster size %d", got)
+	}
+	if Hamming7164().N() != 71 || Hamming7164().K() != 64 {
+		t.Error("H(71,64) accessor wrong")
+	}
+}
+
+func TestFacadeManager(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := NewManager(&cfg, PaperSchemes(), PaperDAC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Configure(Requirements{TargetBER: 1e-11, Objective: MinEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Eval.Code.Name() != "H(71,64)" {
+		t.Errorf("façade manager picked %s", d.Eval.Code.Name())
+	}
+	// The no-feasible-scheme error surfaces through the façade types.
+	_, err = m.Configure(Requirements{TargetBER: 1e-12, MaxCT: 1})
+	if !errors.Is(err, manager.ErrNoFeasibleScheme) {
+		t.Errorf("want ErrNoFeasibleScheme, got %v", err)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Messages = 500
+	res, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 500 {
+		t.Errorf("messages = %d", res.Messages)
+	}
+}
+
+func TestFacadeTable1(t *testing.T) {
+	rows, totals, err := SynthesizeTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 || len(totals) != 6 {
+		t.Errorf("table1 shape %d/%d", len(rows), len(totals))
+	}
+}
