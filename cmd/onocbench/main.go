@@ -11,9 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+
+	"photonoc"
 
 	"photonoc/internal/core"
 	"photonoc/internal/ecc"
@@ -28,21 +32,36 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables where applicable")
 	ber := flag.Float64("ber", 1e-11, "target BER for fig6a/headline")
 	configPath := flag.String("config", "", "load a study configuration (JSON from SaveConfig) instead of the paper defaults")
+	workers := flag.Int("workers", 0, "engine sweep workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
+	// Ctrl-C cancels mid-experiment: the context threads through every
+	// engine sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := photonoc.DefaultConfig()
 	if *configPath != "" {
 		f, err := os.Open(*configPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "onocbench: %v\n", err)
 			os.Exit(1)
 		}
-		cfg, err = core.LoadConfig(f)
+		cfg, err = photonoc.LoadConfig(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "onocbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	opts := []photonoc.Option{photonoc.WithConfig(cfg)}
+	if *workers != 0 { // let negative values hit the engine's typed validation
+		opts = append(opts, photonoc.WithWorkers(*workers))
+	}
+	eng, err := photonoc.New(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onocbench: %v\n", err)
+		os.Exit(1)
 	}
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -58,10 +77,10 @@ func main() {
 	run("table1", func() error { return table1(*csvOut) })
 	run("fig3", func() error { return fig3() })
 	run("fig4", func() error { return fig4() })
-	run("fig5", func() error { return fig5(&cfg, *csvOut) })
-	run("fig6a", func() error { return fig6a(&cfg, *ber, *csvOut) })
-	run("fig6b", func() error { return fig6b(&cfg) })
-	run("headline", func() error { return headline(&cfg, *ber) })
+	run("fig5", func() error { return fig5(ctx, eng, *csvOut) })
+	run("fig6a", func() error { return fig6a(ctx, eng, *ber, *csvOut) })
+	run("fig6b", func() error { return fig6b(ctx, eng) })
+	run("headline", func() error { return headline(ctx, eng, *ber) })
 	run("boundary", func() error { return boundary(&cfg) })
 	run("verilog", func() error { return verilog() })
 	run("report", func() error { return cfg.WriteReport(os.Stdout) })
@@ -165,8 +184,8 @@ func fig4() error {
 		[]report.Series{s}, report.PlotOptions{Width: 76, Height: 18, XLabel: "OPlaser µW", YLabel: "Plaser mW"})
 }
 
-func fig5(cfg *core.LinkConfig, csvOut bool) error {
-	pts, err := cfg.Fig5(mathx.Logspace(1e-12, 1e-3, 10))
+func fig5(ctx context.Context, eng *photonoc.Engine, csvOut bool) error {
+	pts, err := eng.Fig5(ctx, mathx.Logspace(1e-12, 1e-3, 10))
 	if err != nil {
 		return err
 	}
@@ -183,8 +202,8 @@ func fig5(cfg *core.LinkConfig, csvOut bool) error {
 	return t.Render(os.Stdout)
 }
 
-func fig6a(cfg *core.LinkConfig, ber float64, csvOut bool) error {
-	bars, err := cfg.Fig6a(ber)
+func fig6a(ctx context.Context, eng *photonoc.Engine, ber float64, csvOut bool) error {
+	bars, err := eng.Fig6a(ctx, ber)
 	if err != nil {
 		return err
 	}
@@ -205,8 +224,8 @@ func fig6a(cfg *core.LinkConfig, ber float64, csvOut bool) error {
 	return t.Render(os.Stdout)
 }
 
-func fig6b(cfg *core.LinkConfig) error {
-	pts, err := cfg.Fig6b([]float64{1e-6, 1e-8, 1e-10, 1e-12})
+func fig6b(ctx context.Context, eng *photonoc.Engine) error {
+	pts, err := eng.Fig6b(ctx, []float64{1e-6, 1e-8, 1e-10, 1e-12})
 	if err != nil {
 		return err
 	}
@@ -223,8 +242,8 @@ func fig6b(cfg *core.LinkConfig) error {
 	return t.Render(os.Stdout)
 }
 
-func headline(cfg *core.LinkConfig, ber float64) error {
-	h, err := cfg.Headline(ber)
+func headline(ctx context.Context, eng *photonoc.Engine, ber float64) error {
+	h, err := eng.Headline(ctx, ber)
 	if err != nil {
 		return err
 	}

@@ -8,9 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+
+	"photonoc"
 
 	"photonoc/internal/manager"
 	"photonoc/internal/netsim"
@@ -30,6 +34,10 @@ func main() {
 	objective := flag.String("objective", "min-energy", "min-power|min-energy|min-latency")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	// Ctrl-C aborts the event loop between transfers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	cfg := netsim.DefaultConfig()
 	cfg.Load = *load
@@ -67,7 +75,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := netsim.Run(cfg)
+	// The engine owns the link configuration; every per-transfer manager
+	// decision inside the simulator resolves against its memo cache.
+	eng, err := photonoc.New(photonoc.WithConfig(cfg.Link), photonoc.WithSchemes(cfg.Schemes...))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := eng.Simulate(ctx, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
 		os.Exit(1)

@@ -9,8 +9,51 @@
 // can be driven at roughly half the power, at the price of a longer
 // transmission (CT = n/k).
 //
+// # The Engine API
+//
+// The package's entry point is the Engine: a concurrent, memoizing solver
+// over one link configuration and one scheme roster, built with functional
+// options:
+//
+//	eng, err := photonoc.New(
+//		photonoc.WithConfig(photonoc.DefaultConfig()),
+//		photonoc.WithSchemes(photonoc.PaperSchemes()...),
+//		photonoc.WithWorkers(4),
+//		photonoc.WithCache(1024),
+//	)
+//	if err != nil { ... }
+//
+//	// Batch: fan (scheme × BER) points across the worker pool; results
+//	// arrive in deterministic order, identical to the sequential path.
+//	evs, err := eng.Sweep(ctx, nil, []float64{1e-9, 1e-11})
+//
+//	// Streaming: render incrementally as points are solved.
+//	for r := range eng.SweepStream(ctx, nil, bers) {
+//		if r.Err != nil { ... }
+//		fmt.Println(r.Evaluation.Code.Name(), r.Evaluation.LaserPowerW)
+//	}
+//
+//	// Runtime manager and traffic simulator share the Engine's cache.
+//	mgr, err := eng.Manager(photonoc.PaperDAC())
+//	res, err := eng.Simulate(ctx, photonoc.DefaultSimConfig())
+//
+// Solved operating points are memoized in an LRU cache keyed by
+// (configuration fingerprint, scheme, target BER), so repeated manager
+// decisions and overlapping sweeps never re-solve the optical budget.
+// All Engine calls take a context and honor cancellation; API-boundary
+// failures are typed (ErrInvalidConfig, ErrInvalidInput, ErrInfeasible).
+//
+// The earlier flat API — cfg.Evaluate, cfg.Sweep, NewManager,
+// RunSimulation — remains available; the one-shot forms stay the reference
+// implementation the Engine is tested against, and NewManager /
+// RunSimulation are deprecated thin wrappers over the same internals.
+//
+// # Subsystems
+//
 // The package is a façade over the internal subsystems:
 //
+//   - internal/engine     — the concurrent batch evaluator: worker pool,
+//     LRU memo cache, typed errors (the machinery behind Engine)
 //   - internal/ecc        — Hamming(7,4), shortened Hamming(71,64), SECDED,
 //     BCH, repetition and parity codes with the paper's BER models (Eq. 1-3)
 //   - internal/photonics  — micro-ring (Fig. 3) and thermally-limited VCSEL
@@ -27,13 +70,7 @@
 //   - internal/netsim     — a discrete-event traffic simulator over the
 //     interconnect (the paper's future-work evaluation)
 //
-// Quick start:
-//
-//	cfg := photonoc.DefaultConfig()
-//	ev, err := cfg.Evaluate(photonoc.Hamming74(), 1e-11)
-//	// ev.LaserPowerW ≈ 6.2 mW vs 13.7 mW uncoded — the paper's ≈50% cut.
-//
 // The benchmark harness in bench_test.go regenerates every table and figure
-// of the paper; see DESIGN.md for the experiment index and EXPERIMENTS.md
-// for paper-versus-measured results.
+// of the paper; engine_bench_test.go compares the sequential and concurrent
+// sweep paths. See README.md for a quickstart and the migration guide.
 package photonoc

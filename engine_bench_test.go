@@ -1,0 +1,111 @@
+package photonoc
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// The paper's full design sweep: 8 schemes (the three paper schemes plus
+// the extended code families) × 6 target BERs — the workload behind
+// Figures 5/6 and the Pareto explorer.
+var benchBERs = []float64{1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7}
+
+// BenchmarkSweepSequential is the deprecated one-shot path: every
+// iteration re-solves all 48 operating points in one goroutine.
+func BenchmarkSweepSequential(b *testing.B) {
+	cfg := DefaultConfig()
+	codes := ExtendedSchemes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Sweep(codes, benchBERs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSweepCold measures the worker pool alone: memoization is
+// disabled, so every iteration re-solves the full grid across N workers.
+// Speedup over BenchmarkSweepSequential tracks available CPUs.
+func BenchmarkEngineSweepCold(b *testing.B) {
+	codes := ExtendedSchemes()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := New(WithSchemes(codes...), WithWorkers(workers), WithCache(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Sweep(ctx, codes, benchBERs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSweepWarm is the production configuration (memo cache
+// on): the first sweep populates the cache, every later overlapping sweep
+// — the repeated-manager-decision / Pareto-explorer pattern — is pure
+// cache hits.
+func BenchmarkEngineSweepWarm(b *testing.B) {
+	codes := ExtendedSchemes()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := New(WithSchemes(codes...), WithWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := eng.Sweep(ctx, codes, benchBERs); err != nil {
+				b.Fatal(err) // warm the cache outside the timed region
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Sweep(ctx, codes, benchBERs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkManagerDecision compares per-request manager latency: a
+// standalone manager (private cache) against an engine-backed manager
+// sharing the sweep-warmed LRU.
+func BenchmarkManagerDecision(b *testing.B) {
+	req := Requirements{TargetBER: 1e-11, Objective: MinEnergy}
+	b.Run("standalone", func(b *testing.B) {
+		cfg := DefaultConfig()
+		mgr, err := NewManager(&cfg, PaperSchemes(), PaperDAC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mgr.Configure(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine-backed", func(b *testing.B) {
+		eng, err := New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr, err := eng.Manager(PaperDAC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mgr.Configure(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

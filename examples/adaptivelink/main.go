@@ -1,13 +1,15 @@
 // Adaptivelink: the paper's Section III-C scenario — a runtime manager
 // receives per-transfer requirements (target BER, deadline pressure) and
-// jointly configures the ECC scheme and the laser DAC. The example then
-// runs the interconnect traffic simulator to compare static and adaptive
-// policies end to end.
+// jointly configures the ECC scheme and the laser DAC. The manager and the
+// traffic simulator both evaluate through one shared photonoc.Engine, so
+// every policy variant below reuses the same memoized operating points.
 //
 //	go run ./examples/adaptivelink
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -15,8 +17,12 @@ import (
 )
 
 func main() {
-	cfg := photonoc.DefaultConfig()
-	mgr, err := photonoc.NewManager(&cfg, photonoc.PaperSchemes(), photonoc.PaperDAC())
+	ctx := context.Background()
+	eng, err := photonoc.New() // paper configuration, paper schemes
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := eng.Manager(photonoc.PaperDAC())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,10 +38,15 @@ func main() {
 		{"ultra-reliable 1e-12", photonoc.Requirements{TargetBER: 1e-12, Objective: photonoc.MinPower}},
 	}
 	for _, r := range requests {
-		d, err := mgr.Configure(r.req)
+		d, err := mgr.ConfigureCtx(ctx, r.req)
 		if err != nil {
-			fmt.Printf("%-30s -> no feasible configuration (%v)\n", r.label, err)
-			continue
+			// The API boundary types the failure: errors.Is distinguishes
+			// "nothing feasible" from bad input.
+			if errors.Is(err, photonoc.ErrInfeasible) {
+				fmt.Printf("%-30s -> no feasible configuration (%v)\n", r.label, err)
+				continue
+			}
+			log.Fatal(err)
 		}
 		fmt.Printf("%-30s -> %-9s DAC=%2d (%.1f µW, +%.0f µW waste) Plaser=%.2f mW CT=%.3f\n",
 			r.label, d.Eval.Code.Name(), d.DACCode,
@@ -62,7 +73,7 @@ func main() {
 	} {
 		sim := base
 		v.mutate(&sim)
-		res, err := photonoc.RunSimulation(sim)
+		res, err := eng.Simulate(ctx, sim)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,4 +81,8 @@ func main() {
 			v.label, res.P95LatencySec*1e6, res.DeadlineMisses, res.Messages,
 			res.EnergyPerBitJ*1e12, res.SchemeUse)
 	}
+
+	stats := eng.CacheStats()
+	fmt.Printf("\nengine cache across all variants: %d solves, %d reuses (%.1f%% hit rate)\n",
+		stats.Misses, stats.Hits, stats.HitRate()*100)
 }

@@ -1,15 +1,20 @@
 // Bervalidation: validate the paper's analytic BER chain (Eq. 2/3) by
 // simulation — plain Monte-Carlo at moderate SNR, an end-to-end coded
 // pipeline over a binary symmetric channel, and importance sampling down
-// at the paper's 1e-11 operating point.
+// at the paper's 1e-11 operating point. The operating points under test
+// come from the photonoc.Engine, tying the statistical validation to the
+// same solver the sweeps and the manager use.
 //
 //	go run ./examples/bervalidation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+
+	"photonoc"
 
 	"photonoc/internal/ecc"
 	"photonoc/internal/noise"
@@ -17,9 +22,25 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(42))
 
-	fmt.Println("--- raw OOK channel vs Eq. 3 (Monte-Carlo) ---")
+	eng, err := photonoc.New(photonoc.WithSchemes(photonoc.PaperSchemes()...))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- engine operating points whose SNR chain is validated below ---")
+	evs, err := eng.Sweep(ctx, nil, []float64{1e-11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range evs {
+		fmt.Printf("%-9s @ BER 1e-11: raw channel BER %.3e, required SNR %.1f\n",
+			ev.Code.Name(), ev.RawBER, ev.SNR)
+	}
+
+	fmt.Println("\n--- raw OOK channel vs Eq. 3 (Monte-Carlo) ---")
 	for _, snr := range []float64{1, 2, 4, 6, 8} {
 		res, err := noise.MonteCarloRawBER(snr, 1_000_000, rng)
 		if err != nil {
@@ -30,7 +51,7 @@ func main() {
 	}
 
 	fmt.Println("\n--- coded link vs Eq. 2 (Monte-Carlo over codewords) ---")
-	for _, code := range []ecc.Code{ecc.MustHamming74(), ecc.MustHamming7164()} {
+	for _, code := range []photonoc.Code{photonoc.Hamming74(), photonoc.Hamming7164()} {
 		res, err := noise.MonteCarloCodedBER(code, 2.5, 150_000, rng)
 		if err != nil {
 			log.Fatal(err)
@@ -40,7 +61,7 @@ func main() {
 	}
 
 	fmt.Println("\n--- full TX→channel→RX pipeline (bit-true serdes path) ---")
-	for _, code := range ecc.PaperSchemes() {
+	for _, code := range photonoc.PaperSchemes() {
 		stats, err := serdes.RunPipeline(serdes.PipelineConfig{
 			Code: code, NData: 64, Lanes: 16, RawBER: 5e-3, Rng: rng,
 		}, 20_000)

@@ -2,18 +2,22 @@
 // bits, which defeats a single-error Hamming code. Interleaving `depth`
 // codewords turns a burst of up to `depth` errors into one error per
 // codeword. This example measures word error rates with and without the
-// interleaver under a bursty channel.
+// interleaver under a bursty channel, then prices the interleaved scheme
+// on the optical link through the photonoc.Engine (custom codes drop into
+// the same sweep machinery as the paper's).
 //
 //	go run ./examples/burstprotection
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
+	"photonoc"
+
 	"photonoc/internal/bits"
-	"photonoc/internal/ecc"
 )
 
 const (
@@ -23,11 +27,12 @@ const (
 )
 
 func main() {
-	inner := ecc.MustHamming74()
-	interleaved, err := ecc.NewInterleavedCode(inner, depth)
+	inner := photonoc.Hamming74()
+	ifc, err := photonoc.InterleavedHamming74(depth)
 	if err != nil {
 		log.Fatal(err)
 	}
+	interleaved := ifc.(*photonoc.InterleavedCode)
 	fmt.Printf("channel: one %d-bit burst per %d-codeword block\n\n", burstLength, depth)
 
 	rng := rand.New(rand.NewSource(7))
@@ -41,11 +46,29 @@ func main() {
 	if il == 0 && bare > 0 {
 		fmt.Println("interleaving converts every burst into correctable single errors ✓")
 	}
+
+	// What does burst protection cost on the link? Register the custom
+	// interleaved code next to the bare one in an Engine and sweep: the
+	// interleaver spreads errors but keeps n/k, so CT and laser power
+	// match — burst tolerance is free at the optical layer.
+	eng, err := photonoc.New(photonoc.WithSchemes(inner, interleaved))
+	if err != nil {
+		log.Fatal(err)
+	}
+	evs, err := eng.Sweep(context.Background(), nil, []float64{1e-11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, ev := range evs {
+		fmt.Printf("%-22s @ BER 1e-11: CT %.3f, Plaser %.2f mW, Pchannel %.2f mW\n",
+			ev.Code.Name(), ev.CT, ev.LaserPowerW*1e3, ev.ChannelPowerW*1e3)
+	}
 }
 
 // measureBare sends depth back-to-back H(7,4) codewords and injects one
 // burst across the concatenated stream.
-func measureBare(rng *rand.Rand, code ecc.Code) float64 {
+func measureBare(rng *rand.Rand, code photonoc.Code) float64 {
 	errors := 0
 	for trial := 0; trial < trials; trial++ {
 		datas := make([]bits.Vector, depth)
@@ -76,7 +99,7 @@ func measureBare(rng *rand.Rand, code ecc.Code) float64 {
 }
 
 // measureInterleaved sends the same payload through the interleaved code.
-func measureInterleaved(rng *rand.Rand, code *ecc.InterleavedCode) float64 {
+func measureInterleaved(rng *rand.Rand, code *photonoc.InterleavedCode) float64 {
 	errors := 0
 	for trial := 0; trial < trials; trial++ {
 		data := randomWord(rng, code.K())

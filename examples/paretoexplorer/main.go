@@ -1,84 +1,65 @@
-// Paretoexplorer: sweep target BERs across the paper's schemes plus the
-// extended code families and print which configurations survive on the
-// power/performance Pareto front (the Figure 6b analysis, generalized).
+// Paretoexplorer: stream a (scheme × BER) sweep over the paper's schemes
+// plus the extended code families and render each trade-off plane
+// incrementally as the engine solves it, marking which configurations
+// survive on the power/performance Pareto front (the Figure 6b analysis,
+// generalized).
 //
 //	go run ./examples/paretoexplorer
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
 
 	"photonoc"
-	"photonoc/internal/report"
 )
 
 func main() {
-	cfg := photonoc.DefaultConfig()
+	ctx := context.Background()
+	schemes := photonoc.ExtendedSchemes()
 	bers := []float64{1e-6, 1e-9, 1e-12}
 
-	for _, ber := range bers {
-		t := report.NewTable(
-			fmt.Sprintf("\nTrade-off plane @ BER %.0e (extended scheme pool)", ber),
-			"scheme", "CT", "Pchannel mW", "pJ/bit", "verdict")
+	eng, err := photonoc.New(
+		photonoc.WithSchemes(schemes...),
+		photonoc.WithWorkers(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-		evs := make([]photonoc.Evaluation, 0, len(photonoc.ExtendedSchemes()))
-		for _, code := range photonoc.ExtendedSchemes() {
-			ev, err := cfg.Evaluate(code, ber)
-			if err != nil {
-				log.Fatal(err)
-			}
-			evs = append(evs, ev)
+	// SweepStream delivers results in deterministic BER-major order, so
+	// each plane renders as its rows arrive; the Pareto verdict prints
+	// once the group is complete.
+	var group []photonoc.Evaluation
+	for r := range eng.SweepStream(ctx, schemes, bers) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
-		front := map[string]bool{}
-		for _, ev := range paretoFront(evs) {
-			front[ev.Code.Name()] = true
+		ev := r.Evaluation
+		if len(group) == 0 {
+			fmt.Printf("\nTrade-off plane @ BER %.0e (extended scheme pool)\n", ev.TargetBER)
+			fmt.Printf("%-14s %6s %12s %8s\n", "scheme", "CT", "Pchannel mW", "pJ/bit")
 		}
-		for _, ev := range evs {
-			verdict := "dominated"
-			power, pj := "-", "-"
-			switch {
-			case !ev.Feasible:
-				verdict = "infeasible (laser limit)"
-			case front[ev.Code.Name()]:
-				verdict = "PARETO"
-			}
-			if ev.Feasible {
-				power = fmt.Sprintf("%.2f", ev.ChannelPowerW*1e3)
-				pj = fmt.Sprintf("%.2f", ev.EnergyPerBitJ*1e12)
-			}
-			t.AddRowf(ev.Code.Name(), fmt.Sprintf("%.3f", ev.CT), power, pj, verdict)
+		power, pj := "-", "-"
+		if ev.Feasible {
+			power = fmt.Sprintf("%.2f", ev.ChannelPowerW*1e3)
+			pj = fmt.Sprintf("%.2f", ev.EnergyPerBitJ*1e12)
 		}
-		if err := t.Render(os.Stdout); err != nil {
-			log.Fatal(err)
+		fmt.Printf("%-14s %6.3f %12s %8s\n", ev.Code.Name(), ev.CT, power, pj)
+		group = append(group, ev)
+
+		if len(group) == len(schemes) {
+			fmt.Print("PARETO: ")
+			for i, p := range photonoc.ParetoFront(group) {
+				if i > 0 {
+					fmt.Print(" → ")
+				}
+				fmt.Print(p.Code.Name())
+			}
+			fmt.Println()
+			group = group[:0]
 		}
 	}
 	fmt.Println("\nNote how BCH(31,21) dominates the paper's H(7,4): the ablation result of DESIGN.md A3.")
-}
-
-// paretoFront is a tiny local reimplementation over the façade type so the
-// example stays self-contained.
-func paretoFront(evs []photonoc.Evaluation) []photonoc.Evaluation {
-	var front []photonoc.Evaluation
-	for i, a := range evs {
-		if !a.Feasible {
-			continue
-		}
-		dominated := false
-		for j, b := range evs {
-			if i == j || !b.Feasible {
-				continue
-			}
-			if b.CT <= a.CT && b.ChannelPowerW <= a.ChannelPowerW &&
-				(b.CT < a.CT || b.ChannelPowerW < a.ChannelPowerW) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			front = append(front, a)
-		}
-	}
-	return front
 }

@@ -1,10 +1,12 @@
-// Quickstart: evaluate the paper's three communication schemes at the
-// headline operating point (BER 1e-11) and print the trade-off.
+// Quickstart: build a photonoc.Engine, sweep the paper's three
+// communication schemes at the headline operating point (BER 1e-11) and
+// print the trade-off, then show the feasibility cliff at 1e-12.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,25 +14,37 @@ import (
 )
 
 func main() {
-	cfg := photonoc.DefaultConfig()
+	ctx := context.Background()
+
+	// The Engine owns the paper's configuration and scheme roster; the
+	// worker pool and memo cache are on by default.
+	eng, err := photonoc.New(
+		photonoc.WithConfig(photonoc.DefaultConfig()),
+		photonoc.WithSchemes(photonoc.PaperSchemes()...),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("MWSR channel: 12 ONIs, 16 wavelengths, 6 cm waveguide, BER 1e-11")
 	fmt.Println()
 	fmt.Printf("%-10s %8s %10s %10s %8s %9s\n",
 		"scheme", "CT", "OPlaser", "Plaser", "Pchan", "pJ/bit")
 
-	for _, code := range photonoc.PaperSchemes() {
-		ev, err := cfg.Evaluate(code, 1e-11)
-		if err != nil {
-			log.Fatalf("evaluate %s: %v", code.Name(), err)
-		}
+	// One batch sweep solves the whole roster concurrently; nil codes
+	// means "the engine's roster".
+	evs, err := eng.Sweep(ctx, nil, []float64{1e-11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range evs {
 		if !ev.Feasible {
 			fmt.Printf("%-10s %8.3f %10s %10s %8s %9s  (%s)\n",
-				code.Name(), ev.CT, "-", "-", "-", "-", ev.InfeasibleReason)
+				ev.Code.Name(), ev.CT, "-", "-", "-", "-", ev.InfeasibleReason)
 			continue
 		}
 		fmt.Printf("%-10s %8.3f %7.1f µW %7.2f mW %5.2f mW %6.2f pJ\n",
-			code.Name(), ev.CT,
+			ev.Code.Name(), ev.CT,
 			ev.Op.LaserOpticalW*1e6,
 			ev.LaserPowerW*1e3,
 			ev.ChannelPowerW*1e3,
@@ -39,15 +53,19 @@ func main() {
 
 	// The feasibility cliff the paper highlights: BER 1e-12 needs ECC.
 	fmt.Println()
-	for _, code := range photonoc.PaperSchemes() {
-		ev, err := cfg.Evaluate(code, 1e-12)
-		if err != nil {
-			log.Fatal(err)
-		}
+	evs, err = eng.Sweep(ctx, nil, []float64{1e-12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range evs {
 		status := "feasible"
 		if !ev.Feasible {
 			status = "INFEASIBLE — exceeds the 700 µW laser limit"
 		}
-		fmt.Printf("BER 1e-12 with %-10s: %s\n", code.Name(), status)
+		fmt.Printf("BER 1e-12 with %-10s: %s\n", ev.Code.Name(), status)
 	}
+
+	stats := eng.CacheStats()
+	fmt.Printf("\nengine: %d operating points solved, %d served from cache\n",
+		stats.Misses, stats.Hits)
 }

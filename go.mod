@@ -1,0 +1,3 @@
+module photonoc
+
+go 1.24

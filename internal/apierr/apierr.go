@@ -1,0 +1,23 @@
+// Package apierr holds the typed error sentinels of the public photonoc
+// API boundary. They live in this leaf package so that every layer — the
+// engine, the runtime manager, the traffic simulator — can wrap them
+// without importing one another; the photonoc facade re-exports them.
+package apierr
+
+import "errors"
+
+var (
+	// ErrInvalidConfig reports a component that cannot be constructed:
+	// invalid link configuration, empty scheme roster, non-positive
+	// worker count or negative cache size.
+	ErrInvalidConfig = errors.New("photonoc: invalid configuration")
+
+	// ErrInvalidInput reports a per-call input the API refuses: a nil
+	// code, a target BER outside (0, 0.5), an empty sweep grid.
+	ErrInvalidInput = errors.New("photonoc: invalid input")
+
+	// ErrInfeasible reports that no registered scheme satisfies the
+	// requested operating point; the manager wraps its
+	// ErrNoFeasibleScheme with it at the API boundary.
+	ErrInfeasible = errors.New("photonoc: no feasible configuration")
+)

@@ -1,6 +1,10 @@
 package core
 
-import "photonoc/internal/ecc"
+import (
+	"context"
+
+	"photonoc/internal/ecc"
+)
 
 // EnergyPoint is one sample of the energy-per-bit sweep: the Fig. 6a
 // annotation extended into full curves over the BER axis.
@@ -16,21 +20,27 @@ type EnergyPoint struct {
 // BER grid — the data behind the paper's "without compromising energy per
 // bit" claim, as a full curve rather than a single point.
 func (cfg *LinkConfig) EnergySweep(codes []ecc.Code, targetBERs []float64) ([]EnergyPoint, error) {
+	return EnergySweepWith(context.Background(), cfg.Evaluator(), cfg, codes, targetBERs)
+}
+
+// EnergySweepWith is EnergySweep through an arbitrary Evaluator; cfg is
+// still needed for the payload-rate derivation.
+func EnergySweepWith(ctx context.Context, ev Evaluator, cfg *LinkConfig, codes []ecc.Code, targetBERs []float64) ([]EnergyPoint, error) {
 	var out []EnergyPoint
 	for _, ber := range targetBERs {
 		for _, code := range codes {
-			ev, err := cfg.Evaluate(code, ber)
+			e, err := ev.Evaluate(ctx, code, ber)
 			if err != nil {
 				return nil, err
 			}
 			pt := EnergyPoint{
 				TargetBER: ber,
 				Scheme:    code.Name(),
-				Feasible:  ev.Feasible,
+				Feasible:  e.Feasible,
 			}
-			if ev.Feasible {
-				pt.EnergyPerBitJ = ev.EnergyPerBitJ
-				pt.PayloadRateBps = ev.PayloadRateBitsPerSec(cfg)
+			if e.Feasible {
+				pt.EnergyPerBitJ = e.EnergyPerBitJ
+				pt.PayloadRateBps = e.PayloadRateBitsPerSec(cfg)
 			}
 			out = append(out, pt)
 		}
@@ -42,20 +52,26 @@ func (cfg *LinkConfig) EnergySweep(codes []ecc.Code, targetBERs []float64) ([]En
 // lowest energy per bit — the operating map a runtime manager would follow
 // under the MinEnergy objective.
 func (cfg *LinkConfig) BestEnergySchemeByBER(codes []ecc.Code, targetBERs []float64) (map[float64]string, error) {
+	return BestEnergySchemeByBERWith(context.Background(), cfg.Evaluator(), codes, targetBERs)
+}
+
+// BestEnergySchemeByBERWith is BestEnergySchemeByBER through an arbitrary
+// Evaluator.
+func BestEnergySchemeByBERWith(ctx context.Context, ev Evaluator, codes []ecc.Code, targetBERs []float64) (map[float64]string, error) {
 	out := make(map[float64]string, len(targetBERs))
 	for _, ber := range targetBERs {
 		best := ""
 		bestE := 0.0
 		for _, code := range codes {
-			ev, err := cfg.Evaluate(code, ber)
+			e, err := ev.Evaluate(ctx, code, ber)
 			if err != nil {
 				return nil, err
 			}
-			if !ev.Feasible {
+			if !e.Feasible {
 				continue
 			}
-			if best == "" || ev.EnergyPerBitJ < bestE {
-				best, bestE = code.Name(), ev.EnergyPerBitJ
+			if best == "" || e.EnergyPerBitJ < bestE {
+				best, bestE = code.Name(), e.EnergyPerBitJ
 			}
 		}
 		if best != "" {

@@ -1,11 +1,36 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"photonoc/internal/ecc"
 	"photonoc/internal/onoc"
 )
+
+// Evaluator solves one (scheme, target BER) operating point under a
+// context. It is the seam between the experiment harnesses and whatever
+// actually performs the solve: *LinkConfig.Evaluator() is the plain
+// sequential solver, while the engine layer contributes a memoizing,
+// concurrency-safe implementation that the manager and the traffic
+// simulator share.
+type Evaluator interface {
+	Evaluate(ctx context.Context, code ecc.Code, targetBER float64) (Evaluation, error)
+}
+
+// cfgEvaluator adapts LinkConfig's one-shot solve to the Evaluator seam.
+type cfgEvaluator struct{ cfg *LinkConfig }
+
+func (e cfgEvaluator) Evaluate(ctx context.Context, code ecc.Code, targetBER float64) (Evaluation, error) {
+	if err := ctx.Err(); err != nil {
+		return Evaluation{}, err
+	}
+	return e.cfg.Evaluate(code, targetBER)
+}
+
+// Evaluator returns the plain sequential Evaluator over this configuration:
+// no cache, no concurrency, context checked between solves.
+func (cfg *LinkConfig) Evaluator() Evaluator { return cfgEvaluator{cfg} }
 
 // Evaluation is the solved operating state of one (scheme, target BER)
 // configuration of the link — one point of the paper's Figures 5 and 6.
@@ -84,23 +109,39 @@ func (cfg *LinkConfig) Evaluate(code ecc.Code, targetBER float64) (Evaluation, e
 
 // EvaluateAll solves every scheme at one target BER, preserving order.
 func (cfg *LinkConfig) EvaluateAll(codes []ecc.Code, targetBER float64) ([]Evaluation, error) {
+	return EvaluateAllWith(context.Background(), cfg.Evaluator(), codes, targetBER)
+}
+
+// EvaluateAllWith solves every scheme at one target BER through ev,
+// preserving order.
+func EvaluateAllWith(ctx context.Context, ev Evaluator, codes []ecc.Code, targetBER float64) ([]Evaluation, error) {
 	out := make([]Evaluation, 0, len(codes))
 	for _, c := range codes {
-		ev, err := cfg.Evaluate(c, targetBER)
+		e, err := ev.Evaluate(ctx, c, targetBER)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ev)
+		out = append(out, e)
 	}
 	return out, nil
 }
 
 // Sweep evaluates codes × targetBERs (outer loop over BER), the raw
 // material of Figures 5 and 6b.
+//
+// Deprecated-adjacent: the engine layer offers a concurrent, memoized
+// sweep with identical ordering; this sequential form remains the
+// reference implementation the engine is tested against.
 func (cfg *LinkConfig) Sweep(codes []ecc.Code, targetBERs []float64) ([]Evaluation, error) {
+	return SweepWith(context.Background(), cfg.Evaluator(), codes, targetBERs)
+}
+
+// SweepWith evaluates codes × targetBERs (outer loop over BER) through ev.
+// The result order is deterministic: BER-major, then scheme order.
+func SweepWith(ctx context.Context, ev Evaluator, codes []ecc.Code, targetBERs []float64) ([]Evaluation, error) {
 	out := make([]Evaluation, 0, len(codes)*len(targetBERs))
 	for _, ber := range targetBERs {
-		evs, err := cfg.EvaluateAll(codes, ber)
+		evs, err := EvaluateAllWith(ctx, ev, codes, ber)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"photonoc/internal/ecc"
@@ -20,19 +21,24 @@ type Fig5Point struct {
 // Fig5 regenerates Figure 5 over the given BER grid (the paper sweeps
 // 1e-12 … 1e-3) for the paper's three schemes.
 func (cfg *LinkConfig) Fig5(targetBERs []float64) ([]Fig5Point, error) {
+	return Fig5With(context.Background(), cfg.Evaluator(), targetBERs)
+}
+
+// Fig5With regenerates Figure 5 through an arbitrary Evaluator.
+func Fig5With(ctx context.Context, ev Evaluator, targetBERs []float64) ([]Fig5Point, error) {
 	var out []Fig5Point
 	for _, ber := range targetBERs {
 		for _, code := range ecc.PaperSchemes() {
-			ev, err := cfg.Evaluate(code, ber)
+			e, err := ev.Evaluate(ctx, code, ber)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, Fig5Point{
 				TargetBER:     ber,
 				Scheme:        code.Name(),
-				LaserPowerW:   ev.LaserPowerW,
-				LaserOpticalW: ev.Op.LaserOpticalW,
-				Feasible:      ev.Feasible,
+				LaserPowerW:   e.LaserPowerW,
+				LaserOpticalW: e.Op.LaserOpticalW,
+				Feasible:      e.Feasible,
 			})
 		}
 	}
@@ -56,25 +62,30 @@ type Fig6aBar struct {
 
 // Fig6a regenerates Figure 6a at the given BER (the paper uses 1e-11).
 func (cfg *LinkConfig) Fig6a(targetBER float64) ([]Fig6aBar, error) {
-	evs, err := cfg.EvaluateAll(ecc.PaperSchemes(), targetBER)
+	return Fig6aWith(context.Background(), cfg.Evaluator(), targetBER)
+}
+
+// Fig6aWith regenerates Figure 6a through an arbitrary Evaluator.
+func Fig6aWith(ctx context.Context, ev Evaluator, targetBER float64) ([]Fig6aBar, error) {
+	evs, err := EvaluateAllWith(ctx, ev, ecc.PaperSchemes(), targetBER)
 	if err != nil {
 		return nil, err
 	}
 	base := evs[0].ChannelPowerW
 	out := make([]Fig6aBar, len(evs))
-	for i, ev := range evs {
+	for i, e := range evs {
 		bar := Fig6aBar{
-			Scheme:         ev.Code.Name(),
-			InterfaceW:     ev.InterfacePowerW,
-			ModulatorW:     ev.ModulatorPowerW,
-			LaserW:         ev.LaserPowerW,
-			TotalW:         ev.ChannelPowerW,
-			CT:             ev.CT,
-			EnergyPerBitPJ: ev.EnergyPerBitJ * 1e12,
-			Feasible:       ev.Feasible,
+			Scheme:         e.Code.Name(),
+			InterfaceW:     e.InterfacePowerW,
+			ModulatorW:     e.ModulatorPowerW,
+			LaserW:         e.LaserPowerW,
+			TotalW:         e.ChannelPowerW,
+			CT:             e.CT,
+			EnergyPerBitPJ: e.EnergyPerBitJ * 1e12,
+			Feasible:       e.Feasible,
 		}
-		if base > 0 && ev.Feasible {
-			bar.ReductionVsBase = 1 - ev.ChannelPowerW/base
+		if base > 0 && e.Feasible {
+			bar.ReductionVsBase = 1 - e.ChannelPowerW/base
 		}
 		out[i] = bar
 	}
@@ -101,21 +112,26 @@ func (cfg *LinkConfig) Fig6b(targetBERs []float64) ([]Fig6bPoint, error) {
 // TradeoffPlane generalizes Fig6b to any scheme set (used by the code-family
 // ablation).
 func (cfg *LinkConfig) TradeoffPlane(codes []ecc.Code, targetBERs []float64) ([]Fig6bPoint, error) {
+	return TradeoffPlaneWith(context.Background(), cfg.Evaluator(), codes, targetBERs)
+}
+
+// TradeoffPlaneWith is TradeoffPlane through an arbitrary Evaluator.
+func TradeoffPlaneWith(ctx context.Context, ev Evaluator, codes []ecc.Code, targetBERs []float64) ([]Fig6bPoint, error) {
 	var out []Fig6bPoint
 	for _, ber := range targetBERs {
-		evs, err := cfg.EvaluateAll(codes, ber)
+		evs, err := EvaluateAllWith(ctx, ev, codes, ber)
 		if err != nil {
 			return nil, err
 		}
 		pareto := OnParetoFront(evs)
-		for i, ev := range evs {
+		for i, e := range evs {
 			out = append(out, Fig6bPoint{
 				TargetBER:     ber,
-				Scheme:        ev.Code.Name(),
-				CT:            ev.CT,
-				ChannelPowerW: ev.ChannelPowerW,
+				Scheme:        e.Code.Name(),
+				CT:            e.CT,
+				ChannelPowerW: e.ChannelPowerW,
 				OnPareto:      pareto[i],
-				Feasible:      ev.Feasible,
+				Feasible:      e.Feasible,
 			})
 		}
 	}
@@ -144,7 +160,13 @@ type Headline struct {
 
 // Headline computes the Section V-C summary at the given BER (paper: 1e-11).
 func (cfg *LinkConfig) Headline(targetBER float64) (Headline, error) {
-	evs, err := cfg.EvaluateAll(ecc.PaperSchemes(), targetBER)
+	return HeadlineWith(context.Background(), cfg.Evaluator(), cfg, targetBER)
+}
+
+// HeadlineWith computes the Section V-C summary through an arbitrary
+// Evaluator; cfg is still needed for the waveguide/interconnect scaling.
+func HeadlineWith(ctx context.Context, ev Evaluator, cfg *LinkConfig, targetBER float64) (Headline, error) {
+	evs, err := EvaluateAllWith(ctx, ev, ecc.PaperSchemes(), targetBER)
 	if err != nil {
 		return Headline{}, err
 	}
@@ -160,16 +182,16 @@ func (cfg *LinkConfig) Headline(targetBER float64) (Headline, error) {
 		EnergyPerBitPJ:    make(map[string]float64, len(evs)),
 	}
 	bestEnergy := uncoded
-	for _, ev := range evs {
-		if !ev.Feasible {
+	for _, e := range evs {
+		if !e.Feasible {
 			continue
 		}
-		name := ev.Code.Name()
-		h.ChannelReduction[name] = 1 - ev.ChannelPowerW/uncoded.ChannelPowerW
-		h.PerWaveguideW[name] = ev.PowerPerWaveguideW(cfg)
-		h.EnergyPerBitPJ[name] = ev.EnergyPerBitJ * 1e12
-		if ev.EnergyPerBitJ < bestEnergy.EnergyPerBitJ {
-			bestEnergy = ev
+		name := e.Code.Name()
+		h.ChannelReduction[name] = 1 - e.ChannelPowerW/uncoded.ChannelPowerW
+		h.PerWaveguideW[name] = e.PowerPerWaveguideW(cfg)
+		h.EnergyPerBitPJ[name] = e.EnergyPerBitJ * 1e12
+		if e.EnergyPerBitJ < bestEnergy.EnergyPerBitJ {
+			bestEnergy = e
 		}
 	}
 	h.BestEnergyScheme = bestEnergy.Code.Name()

@@ -1,6 +1,11 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+
+	"photonoc/internal/ecc"
+)
 
 // Dominates reports whether evaluation a dominates b in the paper's Fig. 6b
 // sense: minimize both communication time and channel power. Infeasible
@@ -47,6 +52,21 @@ func ParetoFront(evals []Evaluation) []Evaluation {
 		return front[i].ChannelPowerW < front[j].ChannelPowerW
 	})
 	return front
+}
+
+// ParetoByBER solves codes at every BER through ev and returns the
+// non-dominated set per BER, each front sorted by increasing CT — the
+// incremental unit the Pareto explorer renders as sweep results stream in.
+func ParetoByBER(ctx context.Context, ev Evaluator, codes []ecc.Code, targetBERs []float64) (map[float64][]Evaluation, error) {
+	out := make(map[float64][]Evaluation, len(targetBERs))
+	for _, ber := range targetBERs {
+		evs, err := EvaluateAllWith(ctx, ev, codes, ber)
+		if err != nil {
+			return nil, err
+		}
+		out[ber] = ParetoFront(evs)
+	}
+	return out, nil
 }
 
 // OnParetoFront reports, per input index, whether that evaluation belongs

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+)
+
+// DefaultCacheEntries is the memo-cache capacity when WithCache is not
+// given: comfortably larger than any paper-scale design sweep (8 schemes ×
+// a few hundred BER points) while bounding memory for adversarial callers.
+const DefaultCacheEntries = 4096
+
+// Engine is a concurrent, memoizing solver over one link configuration and
+// one scheme roster. It is safe for use by multiple goroutines; the
+// configuration is deep-copied at construction and never mutated.
+type Engine struct {
+	cfg         core.LinkConfig
+	schemes     []ecc.Code
+	workers     int
+	cache       *lruCache // nil when disabled via WithCache(0)
+	fingerprint string
+}
+
+// settings accumulates functional options before validation.
+type settings struct {
+	cfg          core.LinkConfig
+	schemes      []ecc.Code
+	workers      int
+	cacheEntries int
+}
+
+// Option configures an Engine under construction.
+type Option func(*settings) error
+
+// WithConfig sets the link configuration (default: core.DefaultConfig).
+func WithConfig(cfg core.LinkConfig) Option {
+	return func(s *settings) error {
+		s.cfg = cfg
+		return nil
+	}
+}
+
+// WithSchemes sets the scheme roster (default: the paper's three schemes).
+// An explicitly empty roster is rejected.
+func WithSchemes(codes ...ecc.Code) Option {
+	return func(s *settings) error {
+		if len(codes) == 0 {
+			return fmt.Errorf("%w: empty scheme roster", ErrInvalidConfig)
+		}
+		for i, c := range codes {
+			if c == nil {
+				return fmt.Errorf("%w: nil scheme at index %d", ErrInvalidConfig, i)
+			}
+		}
+		s.schemes = append([]ecc.Code(nil), codes...)
+		return nil
+	}
+}
+
+// WithWorkers sets the sweep worker-pool size (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: worker count %d must be positive", ErrInvalidConfig, n)
+		}
+		s.workers = n
+		return nil
+	}
+}
+
+// WithCache sets the memo-cache capacity in entries. Zero disables
+// memoization; negative capacities are rejected.
+func WithCache(entries int) Option {
+	return func(s *settings) error {
+		if entries < 0 {
+			return fmt.Errorf("%w: cache capacity %d must be non-negative", ErrInvalidConfig, entries)
+		}
+		s.cacheEntries = entries
+		return nil
+	}
+}
+
+// New builds an Engine from functional options, validating the assembled
+// configuration at the boundary: errors wrap ErrInvalidConfig.
+func New(opts ...Option) (*Engine, error) {
+	s := settings{
+		cfg:          core.DefaultConfig(),
+		schemes:      ecc.PaperSchemes(),
+		workers:      runtime.GOMAXPROCS(0),
+		cacheEntries: DefaultCacheEntries,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("%w: nil option", ErrInvalidConfig)
+		}
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+
+	// One serialization pass yields both the cache fingerprint and a deep
+	// copy that isolates the engine from later mutation of the caller's
+	// configuration (LinkConfig round-trips JSON losslessly; that is the
+	// contract of core.SaveConfig/LoadConfig).
+	raw, err := json.Marshal(s.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: fingerprinting config: %v", ErrInvalidConfig, err)
+	}
+	var cfgCopy core.LinkConfig
+	if err := json.Unmarshal(raw, &cfgCopy); err != nil {
+		return nil, fmt.Errorf("%w: copying config: %v", ErrInvalidConfig, err)
+	}
+
+	e := &Engine{
+		cfg:         cfgCopy,
+		schemes:     s.schemes,
+		workers:     s.workers,
+		fingerprint: fingerprintBytes(raw),
+	}
+	if s.cacheEntries > 0 {
+		e.cache = newLRUCache(s.cacheEntries)
+	}
+	return e, nil
+}
+
+// fingerprintBytes hashes a canonical JSON serialization into a short hex
+// fingerprint (encoding/json sorts map keys, so it is deterministic).
+func fingerprintBytes(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Fingerprint computes the cache fingerprint of an arbitrary configuration
+// — the same digest an Engine over cfg would use in its cache keys.
+func Fingerprint(cfg core.LinkConfig) (string, error) {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("%w: fingerprinting config: %v", ErrInvalidConfig, err)
+	}
+	return fingerprintBytes(raw), nil
+}
+
+// Config returns a copy of the engine's link configuration.
+func (e *Engine) Config() core.LinkConfig {
+	cfg := e.cfg
+	if cfg.InterfacePowers != nil {
+		m := make(map[string]core.InterfacePower, len(cfg.InterfacePowers))
+		for k, v := range cfg.InterfacePowers {
+			m[k] = v
+		}
+		cfg.InterfacePowers = m
+	}
+	return cfg
+}
+
+// Schemes returns a copy of the registered scheme roster.
+func (e *Engine) Schemes() []ecc.Code { return append([]ecc.Code(nil), e.schemes...) }
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// ConfigFingerprint returns the engine's configuration digest — the first
+// component of every cache key.
+func (e *Engine) ConfigFingerprint() string { return e.fingerprint }
+
+// CacheStats snapshots the memo-cache accounting. With the cache disabled
+// it reports zeroes.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
+
+// validateBER rejects target BERs the solver cannot mean anything for —
+// the BSC inversion in the ecc layer is defined on (0, 0.5), matching the
+// manager's request validation.
+func validateBER(targetBER float64) error {
+	if math.IsNaN(targetBER) || targetBER <= 0 || targetBER >= 0.5 {
+		return fmt.Errorf("%w: target BER %g outside (0, 0.5)", ErrInvalidInput, targetBER)
+	}
+	return nil
+}
+
+// Evaluate solves one (scheme, target BER) operating point, consulting the
+// memo cache first. It satisfies core.Evaluator, so the manager, the
+// traffic simulator and every experiment harness can run through the
+// engine. Infeasible operating points are not errors: they return with
+// Evaluation.Feasible == false, exactly like core.LinkConfig.Evaluate.
+func (e *Engine) Evaluate(ctx context.Context, code ecc.Code, targetBER float64) (core.Evaluation, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Evaluation{}, err
+	}
+	if code == nil {
+		return core.Evaluation{}, fmt.Errorf("%w: nil code", ErrInvalidInput)
+	}
+	if err := validateBER(targetBER); err != nil {
+		return core.Evaluation{}, err
+	}
+	if e.cache == nil {
+		return e.cfg.Evaluate(code, targetBER)
+	}
+	key := cacheKey{fingerprint: e.fingerprint, scheme: code.Name(), targetBER: targetBER}
+	if ev, ok := e.cache.get(key); ok {
+		return ev, nil
+	}
+	ev, err := e.cfg.Evaluate(code, targetBER)
+	if err != nil {
+		return core.Evaluation{}, err
+	}
+	e.cache.put(key, ev)
+	return ev, nil
+}
+
+// EvaluateAll solves every roster scheme (or the given codes) at one target
+// BER, fanning the points across the worker pool; order is preserved.
+func (e *Engine) EvaluateAll(ctx context.Context, codes []ecc.Code, targetBER float64) ([]core.Evaluation, error) {
+	return e.Sweep(ctx, codes, []float64{targetBER})
+}

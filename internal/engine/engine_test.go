@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+)
+
+func TestNewDefaults(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() < 1 {
+		t.Errorf("default workers = %d", e.Workers())
+	}
+	if got := len(e.Schemes()); got != 3 {
+		t.Errorf("default roster size = %d, want the paper's 3", got)
+	}
+	if e.ConfigFingerprint() == "" {
+		t.Error("empty fingerprint")
+	}
+	if s := e.CacheStats(); s.Capacity != DefaultCacheEntries {
+		t.Errorf("default cache capacity = %d, want %d", s.Capacity, DefaultCacheEntries)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	bad := core.DefaultConfig()
+	bad.FmodHz = -1
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"zero workers", []Option{WithWorkers(0)}},
+		{"negative workers", []Option{WithWorkers(-4)}},
+		{"negative cache", []Option{WithCache(-1)}},
+		{"empty roster", []Option{WithSchemes()}},
+		{"nil scheme", []Option{WithSchemes(ecc.MustHamming74(), nil)}},
+		{"invalid config", []Option{WithConfig(bad)}},
+		{"nil option", []Option{nil}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.opts...); !errors.Is(err, ErrInvalidConfig) {
+				t.Errorf("want ErrInvalidConfig, got %v", err)
+			}
+		})
+	}
+}
+
+func TestEvaluateInputValidation(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, ber := range []float64{0, -1e-9, 1, 2} {
+		if _, err := e.Evaluate(ctx, ecc.MustHamming74(), ber); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("BER %g: want ErrInvalidInput, got %v", ber, err)
+		}
+	}
+	if _, err := e.Evaluate(ctx, nil, 1e-11); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("nil code: want ErrInvalidInput, got %v", err)
+	}
+}
+
+func TestEvaluateMatchesSequential(t *testing.T) {
+	cfg := core.DefaultConfig()
+	e, err := New(WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range ecc.ExtendedSchemes() {
+		for _, ber := range []float64{1e-6, 1e-11, 1e-12} {
+			want, err := cfg.Evaluate(code, ber)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Evaluate(context.Background(), code, ber)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s @ %g: engine evaluation differs from sequential", code.Name(), ber)
+			}
+		}
+	}
+}
+
+func TestCacheAccounting(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := e.Evaluate(ctx, ecc.MustHamming74(), 1e-11); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Misses != 1 || s.Hits != 0 || s.Entries != 1 {
+		t.Errorf("after first solve: %+v", s)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Evaluate(ctx, ecc.MustHamming74(), 1e-11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.CacheStats()
+	if s.Misses != 1 || s.Hits != 5 || s.Entries != 1 {
+		t.Errorf("after repeats: %+v", s)
+	}
+	if got := s.HitRate(); got < 0.83 || got > 0.84 {
+		t.Errorf("hit rate = %g, want 5/6", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e, err := New(WithCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Evaluate(ctx, ecc.MustHamming74(), 1e-11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.CacheStats(); s != (CacheStats{}) {
+		t.Errorf("disabled cache should report zeroes, got %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e, err := New(WithCache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bers := []float64{1e-9, 1e-10, 1e-11} // three distinct keys, capacity two
+	for _, ber := range bers {
+		if _, err := e.Evaluate(ctx, ecc.MustHamming74(), ber); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.CacheStats(); s.Entries != 2 || s.Misses != 3 {
+		t.Errorf("after fill: %+v", s)
+	}
+	// 1e-9 was evicted (least recently used) — re-solving it must miss.
+	if _, err := e.Evaluate(ctx, ecc.MustHamming74(), 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Misses != 4 {
+		t.Errorf("evicted entry should re-miss: %+v", s)
+	}
+	// 1e-11 stayed — it must hit.
+	if _, err := e.Evaluate(ctx, ecc.MustHamming74(), 1e-11); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Hits != 1 {
+		t.Errorf("resident entry should hit: %+v", s)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithConfig(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConfigFingerprint() != b.ConfigFingerprint() {
+		t.Error("identical configs must share a fingerprint")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Channel.Waveguide.LengthCM = 9
+	c, err := New(WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ConfigFingerprint() == c.ConfigFingerprint() {
+		t.Error("different configs must not share a fingerprint")
+	}
+	fp, err := Fingerprint(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != a.ConfigFingerprint() {
+		t.Error("Fingerprint(cfg) must match the engine's own digest")
+	}
+}
+
+func TestConfigIsolation(t *testing.T) {
+	cfg := core.DefaultConfig()
+	e, err := New(WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Evaluate(context.Background(), ecc.MustHamming74(), 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's config (including its map) must not leak into
+	// the engine.
+	cfg.FmodHz = 1
+	cfg.InterfacePowers["H(7,4)"] = core.InterfacePower{TransmitterW: 1, ReceiverW: 1}
+	fresh, err := New(WithConfig(core.DefaultConfig()), WithCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.Evaluate(context.Background(), ecc.MustHamming74(), 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.Config().InterfacePowers, fresh.Config().InterfacePowers) {
+		t.Error("engine config was mutated through the caller's map")
+	}
+	if got.ChannelPowerW != want.ChannelPowerW {
+		t.Error("evaluations diverged after caller-side mutation")
+	}
+}

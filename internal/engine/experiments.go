@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"context"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+)
+
+// The experiment harnesses below reuse the evaluator-parameterized
+// implementations in internal/core, but first fan the underlying grid
+// across the worker pool ("pre-warming" the memo cache). The assembly pass
+// then runs entirely on cache hits, so the engine variants produce results
+// identical to the sequential ones while solving the grid concurrently.
+// With the cache disabled the warm-up would double the work, so it is
+// skipped and the harness runs through the engine sequentially.
+
+// warm fans codes × bers across the pool when memoization is on and the
+// cache can actually hold the grid — otherwise the assembly pass would
+// re-solve the evicted points and the warm-up would double the work.
+func (e *Engine) warm(ctx context.Context, codes []ecc.Code, targetBERs []float64) error {
+	if e.cache == nil || e.workers <= 1 || len(codes)*len(targetBERs) > e.cache.capacity {
+		return nil
+	}
+	_, err := e.Sweep(ctx, codes, targetBERs)
+	return err
+}
+
+// Fig5 regenerates Figure 5 (Plaser vs target BER, paper schemes) over the
+// given BER grid.
+func (e *Engine) Fig5(ctx context.Context, targetBERs []float64) ([]core.Fig5Point, error) {
+	if err := e.warm(ctx, ecc.PaperSchemes(), targetBERs); err != nil {
+		return nil, err
+	}
+	return core.Fig5With(ctx, e, targetBERs)
+}
+
+// Fig6a regenerates Figure 6a (channel power breakdown) at one BER.
+func (e *Engine) Fig6a(ctx context.Context, targetBER float64) ([]core.Fig6aBar, error) {
+	if err := e.warm(ctx, ecc.PaperSchemes(), []float64{targetBER}); err != nil {
+		return nil, err
+	}
+	return core.Fig6aWith(ctx, e, targetBER)
+}
+
+// Fig6b regenerates Figure 6b (power/performance trade-off, paper schemes).
+func (e *Engine) Fig6b(ctx context.Context, targetBERs []float64) ([]core.Fig6bPoint, error) {
+	return e.TradeoffPlane(ctx, ecc.PaperSchemes(), targetBERs)
+}
+
+// TradeoffPlane generalizes Fig6b to any scheme set; nil codes means the
+// engine roster.
+func (e *Engine) TradeoffPlane(ctx context.Context, codes []ecc.Code, targetBERs []float64) ([]core.Fig6bPoint, error) {
+	if codes == nil {
+		codes = e.schemes
+	}
+	if err := e.warm(ctx, codes, targetBERs); err != nil {
+		return nil, err
+	}
+	return core.TradeoffPlaneWith(ctx, e, codes, targetBERs)
+}
+
+// Headline computes the Section V-C summary at one BER.
+func (e *Engine) Headline(ctx context.Context, targetBER float64) (core.Headline, error) {
+	if err := e.warm(ctx, ecc.PaperSchemes(), []float64{targetBER}); err != nil {
+		return core.Headline{}, err
+	}
+	return core.HeadlineWith(ctx, e, &e.cfg, targetBER)
+}
+
+// EnergySweep computes energy-per-payload-bit curves over the BER grid;
+// nil codes means the engine roster.
+func (e *Engine) EnergySweep(ctx context.Context, codes []ecc.Code, targetBERs []float64) ([]core.EnergyPoint, error) {
+	if codes == nil {
+		codes = e.schemes
+	}
+	if err := e.warm(ctx, codes, targetBERs); err != nil {
+		return nil, err
+	}
+	return core.EnergySweepWith(ctx, e, &e.cfg, codes, targetBERs)
+}
+
+// BestEnergySchemeByBER returns, per BER, the feasible scheme with the
+// lowest energy per bit; nil codes means the engine roster.
+func (e *Engine) BestEnergySchemeByBER(ctx context.Context, codes []ecc.Code, targetBERs []float64) (map[float64]string, error) {
+	if codes == nil {
+		codes = e.schemes
+	}
+	if err := e.warm(ctx, codes, targetBERs); err != nil {
+		return nil, err
+	}
+	return core.BestEnergySchemeByBERWith(ctx, e, codes, targetBERs)
+}
+
+// ParetoByBER returns the non-dominated (CT, Pchannel) set per BER; nil
+// codes means the engine roster.
+func (e *Engine) ParetoByBER(ctx context.Context, codes []ecc.Code, targetBERs []float64) (map[float64][]core.Evaluation, error) {
+	if codes == nil {
+		codes = e.schemes
+	}
+	if err := e.warm(ctx, codes, targetBERs); err != nil {
+		return nil, err
+	}
+	return core.ParetoByBER(ctx, e, codes, targetBERs)
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"photonoc/internal/core"
+)
+
+// cacheKey identifies one memoized solve. The fingerprint pins the link
+// configuration, so engines over different configurations never alias even
+// if a cache were shared; schemes are keyed by display name (two distinct
+// codes must not share one).
+type cacheKey struct {
+	fingerprint string
+	scheme      string
+	targetBER   float64
+}
+
+// CacheStats is a snapshot of the memo cache accounting.
+type CacheStats struct {
+	// Hits and Misses count lookups since the engine was built.
+	Hits, Misses uint64
+	// Entries is the current number of memoized operating points.
+	Entries int
+	// Capacity is the configured maximum; 0 means the cache is disabled.
+	Capacity int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// lruCache is a mutex-guarded LRU of solved operating points.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[cacheKey]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type lruEntry struct {
+	key cacheKey
+	val core.Evaluation
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the memoized evaluation and whether it was present.
+func (c *lruCache) get(k cacheKey) (core.Evaluation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return core.Evaluation{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put memoizes an evaluation, evicting the least recently used entry when
+// full.
+func (c *lruCache) put(k cacheKey, v core.Evaluation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.items, oldest.Value.(*lruEntry).key)
+		}
+	}
+	c.items[k] = c.order.PushFront(&lruEntry{key: k, val: v})
+}
+
+// stats snapshots the accounting.
+func (c *lruCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Entries:  c.order.Len(),
+		Capacity: c.capacity,
+	}
+}

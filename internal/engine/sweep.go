@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+)
+
+// point is one (scheme, target BER) cell of a sweep grid.
+type point struct {
+	code ecc.Code
+	ber  float64
+}
+
+// Result is one streamed sweep outcome. Index is the position the result
+// occupies in the equivalent batch Sweep slice (BER-major, then scheme
+// order); a terminal failure is delivered as the final Result with Err set.
+type Result struct {
+	Index      int
+	Evaluation core.Evaluation
+	Err        error
+}
+
+// sweepPoints validates a sweep request and expands it into the
+// deterministic BER-major grid. A nil codes slice means the engine roster.
+func (e *Engine) sweepPoints(codes []ecc.Code, targetBERs []float64) ([]point, error) {
+	if codes == nil {
+		codes = e.schemes
+	}
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("%w: empty scheme roster", ErrInvalidInput)
+	}
+	if len(targetBERs) == 0 {
+		return nil, fmt.Errorf("%w: empty BER grid", ErrInvalidInput)
+	}
+	for i, c := range codes {
+		if c == nil {
+			return nil, fmt.Errorf("%w: nil code at index %d", ErrInvalidInput, i)
+		}
+	}
+	for _, ber := range targetBERs {
+		if err := validateBER(ber); err != nil {
+			return nil, err
+		}
+	}
+	pts := make([]point, 0, len(codes)*len(targetBERs))
+	for _, ber := range targetBERs {
+		for _, c := range codes {
+			pts = append(pts, point{code: c, ber: ber})
+		}
+	}
+	return pts, nil
+}
+
+// Sweep solves codes × targetBERs across the worker pool and returns the
+// results in deterministic order — identical, element for element, to the
+// sequential core.LinkConfig.Sweep (BER-major, then scheme order). A nil
+// codes slice sweeps the engine roster. The first error (or context
+// cancellation) aborts the remaining work.
+func (e *Engine) Sweep(ctx context.Context, codes []ecc.Code, targetBERs []float64) ([]core.Evaluation, error) {
+	pts, err := e.sweepPoints(codes, targetBERs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Evaluation, len(pts))
+	if err := e.forEach(ctx, len(pts), func(ctx context.Context, i int) error {
+		ev, err := e.Evaluate(ctx, pts[i].code, pts[i].ber)
+		if err != nil {
+			return err
+		}
+		out[i] = ev
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepStream is the streaming variant of Sweep: it returns immediately
+// with a channel that yields one Result per grid point, in the same
+// deterministic order as Sweep, as soon as each point (and all its
+// predecessors) has been solved. The channel is buffered for the whole
+// grid, so the producer never blocks and abandoning the stream leaks
+// nothing. On error or cancellation the stream ends early with a final
+// Result carrying Err; the channel is always closed.
+func (e *Engine) SweepStream(ctx context.Context, codes []ecc.Code, targetBERs []float64) <-chan Result {
+	pts, err := e.sweepPoints(codes, targetBERs)
+	if err != nil {
+		out := make(chan Result, 1)
+		out <- Result{Index: 0, Err: err}
+		close(out)
+		return out
+	}
+	out := make(chan Result, len(pts)+1)
+	go func() {
+		defer close(out)
+		// Workers publish out of order; the reorder buffer releases the
+		// longest contiguous prefix so consumers render incrementally in
+		// sweep order.
+		unordered := make(chan Result, len(pts))
+		var poolErr error
+		go func() {
+			defer close(unordered)
+			poolErr = e.forEach(ctx, len(pts), func(ctx context.Context, i int) error {
+				ev, err := e.Evaluate(ctx, pts[i].code, pts[i].ber)
+				if err != nil {
+					return err
+				}
+				unordered <- Result{Index: i, Evaluation: ev}
+				return nil
+			})
+		}()
+		pending := make(map[int]Result)
+		next := 0
+		for r := range unordered {
+			pending[r.Index] = r
+			for {
+				q, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- q
+				next++
+			}
+		}
+		if next < len(pts) {
+			// The pool stopped early: report why as the terminal item.
+			// poolErr is safely visible here — the worker goroutine wrote
+			// it before closing unordered, and the range above completed.
+			err := poolErr
+			if err == nil {
+				err = ctx.Err()
+			}
+			if err == nil {
+				err = fmt.Errorf("photonoc: sweep aborted at point %d", next)
+			}
+			out <- Result{Index: next, Err: err}
+		}
+	}()
+	return out
+}
+
+// forEach runs fn(0..n-1) across the worker pool, stopping at the first
+// error or context cancellation and returning it.
+func (e *Engine) forEach(ctx context.Context, n int, fn func(context.Context, int) error) error {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if poolCtx.Err() != nil {
+					continue // drain remaining indices without working
+				}
+				if err := fn(poolCtx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-poolCtx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	// No worker failed; surface the caller's cancellation if that is what
+	// stopped the pool (poolCtx.Err() alone would also trip on our own
+	// deferred cancel).
+	return ctx.Err()
+}

@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+)
+
+var testBERs = []float64{1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7}
+
+// TestSweepDeterministicAcrossWorkers is the acceptance gate: the parallel
+// sweep must be byte-identical to the sequential reference at every worker
+// count, with and without memoization.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	cfg := core.DefaultConfig()
+	codes := ecc.ExtendedSchemes()
+	want, err := cfg.Sweep(codes, testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, cacheEntries := range []int{0, DefaultCacheEntries} {
+			e, err := New(WithConfig(cfg), WithWorkers(workers), WithCache(cacheEntries))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Sweep(context.Background(), codes, testBERs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d cache=%d: parallel sweep differs from sequential", workers, cacheEntries)
+			}
+			// A second pass must be identical too (all cache hits when
+			// memoized).
+			again, err := e.Sweep(context.Background(), codes, testBERs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, want) {
+				t.Errorf("workers=%d cache=%d: warm sweep differs", workers, cacheEntries)
+			}
+		}
+	}
+}
+
+func TestSweepNilCodesUsesRoster(t *testing.T) {
+	e, err := New(WithSchemes(ecc.MustHamming74(), ecc.MustUncoded64()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := e.Sweep(context.Background(), nil, []float64{1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Code.Name() != "H(7,4)" || evs[1].Code.Name() != "w/o ECC" {
+		t.Errorf("roster sweep wrong: %d results", len(evs))
+	}
+}
+
+func TestSweepInputValidation(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := e.Sweep(ctx, []ecc.Code{}, []float64{1e-11}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("explicit empty roster: want ErrInvalidInput, got %v", err)
+	}
+	if _, err := e.Sweep(ctx, nil, nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("empty BER grid: want ErrInvalidInput, got %v", err)
+	}
+	if _, err := e.Sweep(ctx, nil, []float64{1e-11, -3}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative BER: want ErrInvalidInput, got %v", err)
+	}
+	if _, err := e.Sweep(ctx, []ecc.Code{ecc.MustHamming74(), nil}, []float64{1e-11}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("nil code: want ErrInvalidInput, got %v", err)
+	}
+}
+
+func TestSweepStreamOrderAndEquality(t *testing.T) {
+	cfg := core.DefaultConfig()
+	codes := ecc.ExtendedSchemes()
+	want, err := cfg.Sweep(codes, testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(WithConfig(cfg), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []core.Evaluation
+	next := 0
+	for r := range e.SweepStream(context.Background(), codes, testBERs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Index != next {
+			t.Fatalf("stream out of order: got index %d, want %d", r.Index, next)
+		}
+		next++
+		got = append(got, r.Evaluation)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("streamed sweep differs from sequential")
+	}
+}
+
+func TestSweepStreamInvalidInput(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	for r := range e.SweepStream(context.Background(), nil, []float64{2}) {
+		results = append(results, r)
+	}
+	if len(results) != 1 || !errors.Is(results[0].Err, ErrInvalidInput) {
+		t.Errorf("want a single ErrInvalidInput item, got %v", results)
+	}
+}
+
+func TestSweepPreCancelled(t *testing.T) {
+	e, err := New(WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Sweep(ctx, ecc.ExtendedSchemes(), testBERs); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSweepStreamMidCancellation(t *testing.T) {
+	// A large grid with the cache off: cancel after the first delivered
+	// result and require the stream to end promptly with a Canceled item.
+	e, err := New(WithWorkers(4), WithCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bers := make([]float64, 40)
+	for i := range bers {
+		bers[i] = 1e-11 * float64(i+1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream := e.SweepStream(ctx, ecc.ExtendedSchemes(), bers)
+	delivered := 0
+	var terminal error
+	for r := range stream {
+		if r.Err != nil {
+			terminal = r.Err
+			break
+		}
+		delivered++
+		if delivered == 1 {
+			cancel()
+		}
+	}
+	// Drain to prove the channel closes.
+	for range stream {
+	}
+	total := len(bers) * len(ecc.ExtendedSchemes())
+	if delivered >= total {
+		t.Fatalf("cancellation did not stop the sweep: %d/%d delivered", delivered, total)
+	}
+	if !errors.Is(terminal, context.Canceled) {
+		t.Errorf("terminal stream error = %v, want context.Canceled", terminal)
+	}
+}
+
+// TestConcurrentEngineUse exercises the engine from many goroutines at once
+// (run under -race in CI): shared cache, overlapping sweeps, streams.
+func TestConcurrentEngineUse(t *testing.T) {
+	e, err := New(WithWorkers(4), WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	want, err := cfg.Sweep(ecc.PaperSchemes(), testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				got, err := e.Sweep(context.Background(), ecc.PaperSchemes(), testBERs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Error("concurrent sweep diverged")
+				}
+				return
+			}
+			for r := range e.SweepStream(context.Background(), ecc.PaperSchemes(), testBERs) {
+				if r.Err != nil {
+					t.Error(r.Err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestExperimentsSmallCache pins the warm-up guard: a cache smaller than
+// the grid must not change results (and must not double the work).
+func TestExperimentsSmallCache(t *testing.T) {
+	cfg := core.DefaultConfig()
+	e, err := New(WithConfig(cfg), WithWorkers(4), WithCache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cfg.Fig5(testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Fig5(context.Background(), testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("small-cache engine Fig5 differs from sequential")
+	}
+	grid := uint64(len(testBERs) * 3) // 3 paper schemes
+	if s := e.CacheStats(); s.Misses > grid {
+		t.Errorf("small cache doubled the solve work: %d misses for a %d-point grid", s.Misses, grid)
+	}
+}
+
+func TestExperimentsMatchSequential(t *testing.T) {
+	cfg := core.DefaultConfig()
+	e, err := New(WithConfig(cfg), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	wantFig5, err := cfg.Fig5(testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFig5, err := e.Fig5(ctx, testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotFig5, wantFig5) {
+		t.Error("engine Fig5 differs from sequential")
+	}
+
+	wantFig6a, err := cfg.Fig6a(1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFig6a, err := e.Fig6a(ctx, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotFig6a, wantFig6a) {
+		t.Error("engine Fig6a differs from sequential")
+	}
+
+	wantPlane, err := cfg.TradeoffPlane(ecc.ExtendedSchemes(), testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPlane, err := e.TradeoffPlane(ctx, ecc.ExtendedSchemes(), testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPlane, wantPlane) {
+		t.Error("engine TradeoffPlane differs from sequential")
+	}
+
+	wantHead, err := cfg.Headline(1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHead, err := e.Headline(ctx, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotHead, wantHead) {
+		t.Error("engine Headline differs from sequential")
+	}
+
+	wantEnergy, err := cfg.EnergySweep(ecc.PaperSchemes(), testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEnergy, err := e.EnergySweep(ctx, ecc.PaperSchemes(), testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotEnergy, wantEnergy) {
+		t.Error("engine EnergySweep differs from sequential")
+	}
+
+	wantBest, err := cfg.BestEnergySchemeByBER(ecc.PaperSchemes(), testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBest, err := e.BestEnergySchemeByBER(ctx, ecc.PaperSchemes(), testBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotBest, wantBest) {
+		t.Error("engine BestEnergySchemeByBER differs from sequential")
+	}
+}

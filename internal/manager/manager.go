@@ -7,9 +7,12 @@
 package manager
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
+	"photonoc/internal/apierr"
 	"photonoc/internal/core"
 	"photonoc/internal/ecc"
 )
@@ -80,13 +83,18 @@ func (d Decision) ChannelPowerW() float64 {
 }
 
 // Manager evaluates the registered schemes against a link configuration and
-// answers configuration requests.
+// answers configuration requests. It is safe for concurrent use.
 type Manager struct {
 	cfg     *core.LinkConfig
 	schemes []ecc.Code
 	dac     DAC
-	// cache avoids re-solving the link for repeated (scheme, BER) pairs —
+	// eval, when set, performs (and typically memoizes) the link solves —
+	// the engine layer passes itself here so manager decisions share the
+	// engine's LRU cache with sweeps and the traffic simulator.
+	eval core.Evaluator
+	// cache is the standalone fallback when no Evaluator is injected —
 	// the manager is on the critical path of every transfer setup.
+	mu    sync.Mutex
 	cache map[cacheKey]core.Evaluation
 }
 
@@ -95,39 +103,64 @@ type cacheKey struct {
 	ber    float64
 }
 
-// New builds a manager over the given configuration, scheme roster and DAC.
+// New builds a self-contained manager over the given configuration, scheme
+// roster and DAC, with its own private memo cache.
+//
+// Deprecated: prefer wiring the manager to a shared engine with
+// NewWithEvaluator (photonoc.Engine.Manager does this), so decisions,
+// sweeps and simulations never re-solve the same operating point. New
+// remains fully supported.
 func New(cfg *core.LinkConfig, schemes []ecc.Code, dac DAC) (*Manager, error) {
+	return NewWithEvaluator(cfg, schemes, dac, nil)
+}
+
+// NewWithEvaluator builds a manager whose link solves go through ev (nil
+// falls back to a private per-manager cache). cfg must be the same
+// configuration ev evaluates under; it is still needed to program the DAC.
+func NewWithEvaluator(cfg *core.LinkConfig, schemes []ecc.Code, dac DAC, ev core.Evaluator) (*Manager, error) {
 	if cfg == nil {
-		return nil, fmt.Errorf("manager: nil link config")
+		return nil, fmt.Errorf("%w: manager: nil link config", apierr.ErrInvalidConfig)
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", apierr.ErrInvalidConfig, err)
 	}
 	if len(schemes) == 0 {
-		return nil, fmt.Errorf("manager: empty scheme roster")
+		return nil, fmt.Errorf("%w: manager: empty scheme roster", apierr.ErrInvalidConfig)
 	}
 	if err := dac.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", apierr.ErrInvalidConfig, err)
 	}
 	return &Manager{
 		cfg:     cfg,
 		schemes: schemes,
 		dac:     dac,
+		eval:    ev,
 		cache:   make(map[cacheKey]core.Evaluation),
 	}, nil
 }
 
 // evaluate returns the (cached) link evaluation of one scheme.
-func (m *Manager) evaluate(code ecc.Code, ber float64) (core.Evaluation, error) {
+func (m *Manager) evaluate(ctx context.Context, code ecc.Code, ber float64) (core.Evaluation, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Evaluation{}, err
+	}
+	if m.eval != nil {
+		return m.eval.Evaluate(ctx, code, ber)
+	}
 	key := cacheKey{scheme: code.Name(), ber: ber}
-	if ev, ok := m.cache[key]; ok {
+	m.mu.Lock()
+	ev, ok := m.cache[key]
+	m.mu.Unlock()
+	if ok {
 		return ev, nil
 	}
 	ev, err := m.cfg.Evaluate(code, ber)
 	if err != nil {
 		return core.Evaluation{}, err
 	}
+	m.mu.Lock()
 	m.cache[key] = ev
+	m.mu.Unlock()
 	return ev, nil
 }
 
@@ -135,15 +168,23 @@ func (m *Manager) evaluate(code ecc.Code, ber float64) (core.Evaluation, error) 
 // target BER, filters by feasibility and the CT cap, optimizes the
 // objective, and programs the laser DAC.
 func (m *Manager) Configure(req Requirements) (Decision, error) {
+	return m.ConfigureCtx(context.Background(), req)
+}
+
+// ConfigureCtx is Configure under a context: cancellation aborts the
+// per-scheme evaluation loop. Input errors wrap the API-boundary
+// ErrInvalidInput; an unsatisfiable request wraps both ErrNoFeasibleScheme
+// and the API-boundary ErrInfeasible.
+func (m *Manager) ConfigureCtx(ctx context.Context, req Requirements) (Decision, error) {
 	if req.TargetBER <= 0 || req.TargetBER >= 0.5 {
-		return Decision{}, fmt.Errorf("manager: target BER %g outside (0, 0.5)", req.TargetBER)
+		return Decision{}, fmt.Errorf("%w: manager: target BER %g outside (0, 0.5)", apierr.ErrInvalidInput, req.TargetBER)
 	}
 	if req.MaxCT < 0 {
-		return Decision{}, fmt.Errorf("manager: negative CT cap %g", req.MaxCT)
+		return Decision{}, fmt.Errorf("%w: manager: negative CT cap %g", apierr.ErrInvalidInput, req.MaxCT)
 	}
 	var best *core.Evaluation
 	for _, code := range m.schemes {
-		ev, err := m.evaluate(code, req.TargetBER)
+		ev, err := m.evaluate(ctx, code, req.TargetBER)
 		if err != nil {
 			return Decision{}, err
 		}
@@ -159,7 +200,8 @@ func (m *Manager) Configure(req Requirements) (Decision, error) {
 		}
 	}
 	if best == nil {
-		return Decision{}, fmt.Errorf("%w: BER %g, CT cap %g", ErrNoFeasibleScheme, req.TargetBER, req.MaxCT)
+		return Decision{}, fmt.Errorf("%w (%w): BER %g, CT cap %g",
+			ErrNoFeasibleScheme, apierr.ErrInfeasible, req.TargetBER, req.MaxCT)
 	}
 	return m.program(*best)
 }

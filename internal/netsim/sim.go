@@ -1,9 +1,11 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"photonoc/internal/core"
 	"photonoc/internal/manager"
 )
 
@@ -43,17 +45,26 @@ const tokenOverheadSec = 10e-9
 // exactly RecordTrace followed by RunTrace, which guarantees that recorded
 // traces replay to identical results.
 func Run(cfg Config) (Results, error) {
-	tr, err := RecordTrace(cfg)
+	return RunCtx(context.Background(), cfg, nil)
+}
+
+// RunCtx is Run under a context and, optionally, a shared evaluator: the
+// engine layer passes itself as ev so every per-transfer manager decision
+// resolves against the engine's memo cache instead of re-solving the
+// optical budget per source. Cancellation aborts the event loop between
+// transfers.
+func RunCtx(ctx context.Context, cfg Config, ev core.Evaluator) (Results, error) {
+	tr, err := RecordTraceCtx(ctx, cfg)
 	if err != nil {
 		return Results{}, err
 	}
-	return RunTrace(cfg, tr)
+	return RunTraceCtx(ctx, cfg, tr, ev)
 }
 
 // runMessages is the service/energy/statistics core shared by Run and
 // RunTrace. feed must yield messages in non-decreasing arrival order.
-func runMessages(cfg Config, feed func(yield func(message))) (Results, error) {
-	mgr, err := manager.New(&cfg.Link, cfg.Schemes, cfg.DAC)
+func runMessages(ctx context.Context, cfg Config, ev core.Evaluator, feed func(yield func(message))) (Results, error) {
+	mgr, err := manager.NewWithEvaluator(&cfg.Link, cfg.Schemes, cfg.DAC, ev)
 	if err != nil {
 		return Results{}, err
 	}
@@ -79,6 +90,10 @@ func runMessages(cfg Config, feed func(yield func(message))) (Results, error) {
 		if feedErr != nil {
 			return
 		}
+		if err := ctx.Err(); err != nil {
+			feedErr = err
+			return
+		}
 		start := m.arrival
 		if nextFree[m.dst] > start {
 			start = nextFree[m.dst]
@@ -95,13 +110,13 @@ func runMessages(cfg Config, feed func(yield func(message))) (Results, error) {
 				req.Objective = manager.MinLatency // already late: go fastest
 			}
 		}
-		dec, err := mgr.Configure(req)
+		dec, err := mgr.ConfigureCtx(ctx, req)
 		if err != nil {
 			// Deadline pressure can make every scheme ineligible; retry
 			// without the cap (best effort, counted as a miss below).
 			req.MaxCT = 0
 			req.Objective = manager.MinLatency
-			dec, err = mgr.Configure(req)
+			dec, err = mgr.ConfigureCtx(ctx, req)
 			if err != nil {
 				feedErr = fmt.Errorf("netsim: configuring transfer: %w", err)
 				return

@@ -2,11 +2,14 @@ package netsim
 
 import (
 	"container/heap"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
+
+	"photonoc/internal/core"
 )
 
 // TraceEvent is one recorded message arrival — the unit of the portable
@@ -65,6 +68,13 @@ func ReadTraceJSON(r io.Reader) (Trace, error) {
 // produce, without simulating the link — a reusable, inspectable workload
 // artifact.
 func RecordTrace(cfg Config) (Trace, error) {
+	return RecordTraceCtx(context.Background(), cfg)
+}
+
+// RecordTraceCtx is RecordTrace under a context: generation of very large
+// workloads (the trace is materialized in memory) aborts promptly on
+// cancellation.
+func RecordTraceCtx(ctx context.Context, cfg Config) (Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,6 +94,11 @@ func RecordTrace(cfg Config) (Trace, error) {
 	}
 	tr := make(Trace, 0, cfg.Messages)
 	for events.Len() > 0 && len(tr) < cfg.Messages {
+		if len(tr)%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ev := heap.Pop(events).(arrivalEvent)
 		if nx, ok := gen.next(ev.msg.src, ev.at); ok {
 			heap.Push(events, nx)
@@ -104,6 +119,12 @@ func RecordTrace(cfg Config) (Trace, error) {
 // policies. The traffic fields of cfg (Pattern, Load, Messages, Seed,
 // DeadlineSlack) are ignored; everything else applies.
 func RunTrace(cfg Config, tr Trace) (Results, error) {
+	return RunTraceCtx(context.Background(), cfg, tr, nil)
+}
+
+// RunTraceCtx is RunTrace under a context and an optional shared evaluator
+// (see RunCtx).
+func RunTraceCtx(ctx context.Context, cfg Config, tr Trace, ev core.Evaluator) (Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return Results{}, err
 	}
@@ -112,7 +133,7 @@ func RunTrace(cfg Config, tr Trace) (Results, error) {
 	}
 	replay := cfg
 	replay.Messages = len(tr)
-	return runMessages(replay, func(yield func(message)) {
+	return runMessages(ctx, replay, ev, func(yield func(message)) {
 		for _, ev := range tr {
 			yield(message{
 				src:      ev.Src,

@@ -10,18 +10,31 @@ import (
 	"photonoc/internal/synth"
 )
 
-// Re-exported core types: the public API of the reproduction.
+// Re-exported core types: the public API of the reproduction. The
+// concurrent entry point — Engine, New and its options — lives in
+// engine.go.
 type (
 	// LinkConfig is the full channel + interface configuration.
 	LinkConfig = core.LinkConfig
 	// Evaluation is one solved (scheme, BER) operating point.
 	Evaluation = core.Evaluation
+	// Evaluator solves operating points under a context; both
+	// *LinkConfig (via its Evaluator method) and *Engine satisfy it.
+	Evaluator = core.Evaluator
+	// EnergyPoint is one sample of an energy-per-bit sweep.
+	EnergyPoint = core.EnergyPoint
 	// InterfacePower is a Table I transmitter/receiver power pair.
 	InterfacePower = core.InterfacePower
 	// Headline carries the Section V-C summary numbers.
 	Headline = core.Headline
 	// Code is a block code (scheme) on the link.
 	Code = ecc.Code
+	// LinearCode is a systematic linear block code (the concrete type
+	// behind the paper's Hamming schemes).
+	LinearCode = ecc.LinearCode
+	// InterleavedCode is a block code behind a burst-spreading
+	// interleaver (see InterleavedHamming74).
+	InterleavedCode = ecc.InterleavedCode
 	// ChannelSpec is the optical MWSR channel description.
 	ChannelSpec = onoc.ChannelSpec
 	// Laser is the thermally-limited VCSEL model.
@@ -38,6 +51,8 @@ type (
 	SimConfig = netsim.Config
 	// SimResults carries the traffic simulator's outputs.
 	SimResults = netsim.Results
+	// SimTrace is a recorded, replayable traffic workload.
+	SimTrace = netsim.Trace
 )
 
 // Objectives for the runtime manager.
@@ -76,8 +91,12 @@ func InterleavedHamming74(depth int) (Code, error) {
 	return ecc.NewInterleavedCode(ecc.MustHamming74(), depth)
 }
 
-// NewManager builds a runtime link manager over a configuration, scheme
-// roster and laser DAC.
+// NewManager builds a standalone runtime link manager over a
+// configuration, scheme roster and laser DAC, with a private memo cache.
+//
+// Deprecated: build an Engine and call Engine.Manager instead — the
+// manager then shares the Engine's LRU cache with sweeps and simulations.
+// NewManager remains fully supported.
 func NewManager(cfg *LinkConfig, schemes []Code, dac DAC) (*Manager, error) {
 	return manager.New(cfg, schemes, dac)
 }
@@ -85,7 +104,13 @@ func NewManager(cfg *LinkConfig, schemes []Code, dac DAC) (*Manager, error) {
 // PaperDAC returns the 6-bit, 700 µW laser controller.
 func PaperDAC() DAC { return manager.PaperDAC() }
 
-// RunSimulation executes the traffic simulator (netsim.Run).
+// RunSimulation executes the traffic simulator (netsim.Run) with a
+// standalone manager that re-solves operating points per run.
+//
+// Deprecated: build an Engine and call Engine.Simulate instead — the
+// simulator's per-transfer decisions then resolve against the Engine's
+// memo cache, and the run honors context cancellation. RunSimulation
+// remains fully supported.
 func RunSimulation(cfg SimConfig) (SimResults, error) { return netsim.Run(cfg) }
 
 // DefaultSimConfig returns a ready-to-run 12-ONI simulation.
