@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"photonoc"
+
+	"photonoc/internal/bits"
+	"photonoc/internal/ecc"
+)
+
+// BenchReport is the machine-readable output of `onocbench -json`: the
+// tracked performance metrics of the solve pipeline, in the format committed
+// to BENCH_cold_sweep.json (see README, "Performance model").
+type BenchReport struct {
+	// Schema versions the report layout.
+	Schema int `json:"schema"`
+	// Generated is the RFC 3339 measurement time.
+	Generated string `json:"generated"`
+	// GoVersion and GOMAXPROCS pin the measurement environment.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workload describes the sweep grid the sweep metrics run over.
+	Workload string `json:"workload"`
+	// Benchmarks are the tracked metrics, in stable order.
+	Benchmarks []BenchMetric `json:"benchmarks"`
+}
+
+// BenchMetric is one tracked benchmark measurement.
+type BenchMetric struct {
+	// Name identifies the metric: cold_sweep, warm_sweep, fer_inversion,
+	// monte_carlo_block.
+	Name string `json:"name"`
+	// NsPerOp is wall nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are per-operation heap accounting.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// N is the iteration count the measurement averaged over.
+	N int `json:"n"`
+}
+
+// benchBERGrid is the tracked sweep grid: the 8 extended schemes × 6 target
+// BERs of engine_bench_test.go.
+var benchBERGrid = []float64{1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7}
+
+// runBenchJSON measures the tracked metrics and writes the JSON report.
+func runBenchJSON(w io.Writer, cfg photonoc.LinkConfig, workers int) error {
+	codes := photonoc.ExtendedSchemes()
+	ctx := context.Background()
+
+	engineOpts := func(cacheEntries int) []photonoc.Option {
+		opts := []photonoc.Option{photonoc.WithConfig(cfg), photonoc.WithCache(cacheEntries)}
+		if workers != 0 {
+			opts = append(opts, photonoc.WithWorkers(workers))
+		}
+		return opts
+	}
+
+	// Cold sweep: memoization disabled, every iteration re-solves the grid.
+	cold, err := photonoc.New(engineOpts(0)...)
+	if err != nil {
+		return err
+	}
+	// Warm sweep: the production configuration, cache pre-populated.
+	warm, err := photonoc.New(engineOpts(photonoc.DefaultCacheEntries)...)
+	if err != nil {
+		return err
+	}
+	if _, err := warm.Sweep(ctx, codes, benchBERGrid); err != nil {
+		return err
+	}
+
+	ferPlan := ecc.PlanFor(ecc.MustHamming7164())
+	bsc, err := bits.NewBSC(1e-3)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	block := bits.New(4096)
+	ref := bits.New(4096)
+
+	report := BenchReport{
+		Schema:     1,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   fmt.Sprintf("%d schemes x %d target BERs", len(codes), len(benchBERGrid)),
+	}
+	measure := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Benchmarks = append(report.Benchmarks, BenchMetric{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+
+	var benchErr error
+	fail := func(b *testing.B, err error) {
+		benchErr = err
+		b.FailNow()
+	}
+	measure("cold_sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cold.Sweep(ctx, codes, benchBERGrid); err != nil {
+				fail(b, err)
+			}
+		}
+	})
+	measure("warm_sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := warm.Sweep(ctx, codes, benchBERGrid); err != nil {
+				fail(b, err)
+			}
+		}
+	})
+	measure("fer_inversion", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ferPlan.RequiredRawBERForFER(1e-12); err != nil {
+				fail(b, err)
+			}
+		}
+	})
+	measure("monte_carlo_block", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			bsc.Corrupt(block, rng)
+			d, err := block.XorPopCount(ref)
+			if err != nil {
+				fail(b, err)
+			}
+			sink += d
+		}
+		_ = sink
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -30,6 +30,7 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "table1|fig3|fig4|fig5|fig6a|fig6b|headline|boundary|verilog|report|all")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables where applicable")
+	jsonBench := flag.Bool("json", false, "measure the tracked solve-pipeline benchmarks (cold/warm sweep, FER inversion, Monte-Carlo block) and emit them as JSON (see BENCH_cold_sweep.json)")
 	ber := flag.Float64("ber", 1e-11, "target BER for fig6a/headline")
 	configPath := flag.String("config", "", "load a study configuration (JSON from SaveConfig) instead of the paper defaults")
 	workers := flag.Int("workers", 0, "engine sweep workers (0 = GOMAXPROCS)")
@@ -54,6 +55,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jsonBench {
+		if err := runBenchJSON(os.Stdout, cfg, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "onocbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := []photonoc.Option{photonoc.WithConfig(cfg)}
 	if *workers != 0 { // let negative values hit the engine's typed validation
 		opts = append(opts, photonoc.WithWorkers(*workers))

@@ -48,6 +48,22 @@
 // implementation the Engine is tested against, and NewManager /
 // RunSimulation are deprecated thin wrappers over the same internals.
 //
+// # Performance model
+//
+// Solves come in two costs. A warm solve is an LRU cache hit (microseconds).
+// A cold solve runs the physics through a precompute-then-evaluate pipeline
+// compiled once per configuration generation: each code's FER plan
+// (ecc.PlanFor — cached ln C(n,i), incremental binomial-tail recurrence,
+// Newton inversion with the analytic d lnBER/d lnp), each channel's LinkPlan
+// (onoc — per-wavelength budget, crosstalk and eye fraction snapshotted, one
+// laser inversion for the worst wavelength only), bundled by
+// core.LinkConfig.Compile and held by the Engine. Engine.CacheStats reports
+// cold-solve counts and cumulative timing next to the hit/miss accounting.
+// The per-call helpers remain as thin wrappers over the plans; planned
+// inversions agree with the historical bisection to better than 1e-12
+// relative. BENCH_cold_sweep.json tracks the measured trajectory
+// (regenerate with `onocbench -json`); see README "Performance model".
+//
 // # Subsystems
 //
 // The package is a façade over the internal subsystems:

@@ -27,6 +27,10 @@ var (
 	ErrInfeasible = engine.ErrInfeasible
 )
 
+// DefaultCacheEntries is the memo-cache capacity used when WithCache is not
+// given.
+const DefaultCacheEntries = engine.DefaultCacheEntries
+
 // Option configures an Engine under construction; see New.
 type Option = engine.Option
 

@@ -85,6 +85,7 @@ func BenchmarkManagerDecision(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := mgr.Configure(req); err != nil {
@@ -101,6 +102,7 @@ func BenchmarkManagerDecision(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := mgr.Configure(req); err != nil {

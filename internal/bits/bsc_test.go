@@ -1,0 +1,182 @@
+package bits
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewBSCValidation(t *testing.T) {
+	for _, p := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := NewBSC(p); err == nil {
+			t.Errorf("NewBSC(%g) should be rejected", p)
+		}
+	}
+	for _, p := range []float64{0, 1e-12, 0.5, 0.999} {
+		if _, err := NewBSC(p); err != nil {
+			t.Errorf("NewBSC(%g): %v", p, err)
+		}
+	}
+}
+
+func TestBSCZeroProbability(t *testing.T) {
+	b, err := NewBSC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(512)
+	if flips := b.Corrupt(v, rand.New(rand.NewSource(1))); flips != 0 {
+		t.Errorf("p=0 flipped %d bits", flips)
+	}
+	if v.PopCount() != 0 {
+		t.Error("p=0 must leave the vector untouched")
+	}
+}
+
+func TestBSCFlipCountMatchesPopCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{1e-3, 0.05, 0.5, 0.9} {
+		b, err := NewBSC(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := New(1000)
+		flips := b.Corrupt(v, rng)
+		if got := v.PopCount(); got != flips {
+			t.Errorf("p=%g: reported %d flips, vector holds %d", p, flips, got)
+		}
+	}
+}
+
+func TestBSCBinomialStatistics(t *testing.T) {
+	// Mean flips over many blocks must track n·p for both the skip-heavy
+	// (small p) and dense (large p) regimes, like FlipRandom.
+	rng := rand.New(rand.NewSource(42))
+	const n, blocks = 4096, 2000
+	for _, p := range []float64{0.001, 0.02, 0.35} {
+		b, err := NewBSC(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := New(n)
+		var total int64
+		for i := 0; i < blocks; i++ {
+			total += int64(b.Corrupt(v, rng))
+		}
+		mean := float64(total) / blocks
+		want := float64(n) * p
+		// 5 sigma of the per-block binomial, averaged over the batch.
+		sigma := math.Sqrt(float64(n)*p*(1-p)) / math.Sqrt(blocks)
+		if math.Abs(mean-want) > 5*sigma {
+			t.Errorf("p=%g: mean flips %g, want %g ± %g", p, mean, want, 5*sigma)
+		}
+	}
+}
+
+func TestBSCDeterministicUnderSeed(t *testing.T) {
+	b, err := NewBSC(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Vector {
+		rng := rand.New(rand.NewSource(123))
+		v := New(2048)
+		b.Corrupt(v, rng)
+		return v
+	}
+	if !run().Equal(run()) {
+		t.Error("same seed must reproduce the same error pattern")
+	}
+}
+
+func TestBSCCorruptZeroAlloc(t *testing.T) {
+	// The satellite requirement: the word-wise Monte-Carlo block path —
+	// error injection plus popcount error counting — allocates nothing per
+	// block.
+	b, err := NewBSC(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	v := New(4096)
+	ref := New(4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		b.Corrupt(v, rng)
+		if _, err := v.XorPopCount(ref); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Monte-Carlo block path allocates %.1f objects per block, want 0", allocs)
+	}
+}
+
+func TestXorIntoAndXorPopCount(t *testing.T) {
+	a, _ := FromString("1100_1010")
+	b, _ := FromString("1010_0110")
+	dst := New(8)
+	if err := dst.XorInto(a, b); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Xor(b)
+	if !dst.Equal(want) {
+		t.Errorf("XorInto = %s, want %s", dst, want)
+	}
+	d, err := a.XorPopCount(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != want.PopCount() {
+		t.Errorf("XorPopCount = %d, want %d", d, want.PopCount())
+	}
+	// Aliasing: dst may be one of the operands.
+	if err := a.XorInto(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(want) {
+		t.Errorf("aliased XorInto = %s, want %s", a, want)
+	}
+	// Length mismatches are rejected.
+	if err := dst.XorInto(a, New(9)); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+	if _, err := a.XorPopCount(New(9)); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+}
+
+// BenchmarkMonteCarloBlockWordwise is the word-wise Monte-Carlo block: BSC
+// error injection plus popcount error counting over a 4096-bit block. The
+// companion test asserts zero allocations per block.
+func BenchmarkMonteCarloBlockWordwise(b *testing.B) {
+	bsc, err := NewBSC(1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	v := New(4096)
+	ref := New(4096)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		bsc.Corrupt(v, rng)
+		d, _ := v.XorPopCount(ref)
+		sink += d
+	}
+	_ = sink
+}
+
+// BenchmarkMonteCarloBlockPerBit is the per-bit path the word-wise one
+// replaces, kept for the tracked before/after comparison.
+func BenchmarkMonteCarloBlockPerBit(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	v := New(4096)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		FlipRandom(v, rng, 1e-3)
+		d, _ := HammingDistance(v, New(4096))
+		sink += d
+	}
+	_ = sink
+}

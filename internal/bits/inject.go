@@ -2,6 +2,7 @@ package bits
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -19,6 +20,12 @@ func FlipPositions(v Vector, positions ...int) error {
 // FlipRandom inverts each bit of v independently with probability p and
 // returns how many bits were flipped. It models a memoryless binary symmetric
 // channel, the abstraction under the paper's Eq. 2.
+//
+// Deprecated: use BSC.Corrupt, the word-wise path — it samples the same
+// distribution in O(expected flips) via geometric gap sampling instead of
+// one uniform draw per bit, and applies flips by XOR on the packed 64-bit
+// words. FlipRandom remains fully supported (and keeps its exact historical
+// per-bit RNG consumption, which seeded tests may rely on).
 func FlipRandom(v Vector, rng *rand.Rand, p float64) int {
 	flips := 0
 	for i := 0; i < v.Len(); i++ {
@@ -28,6 +35,63 @@ func FlipRandom(v Vector, rng *rand.Rand, p float64) int {
 		}
 	}
 	return flips
+}
+
+// BSC is a binary symmetric channel error injector operating word-wise on
+// packed vectors: flip positions are drawn by geometric gap sampling
+// (O(expected flips) RNG draws instead of one per bit) and applied by XOR
+// on the 64-bit words. A BSC carries no per-call state beyond its
+// precomputed 1/ln(1−p), so one instance can corrupt any number of blocks
+// with zero allocations. It is the default channel of the serdes pipeline
+// (the bit-true Monte-Carlo path) and the tracked monte_carlo_block
+// benchmark; the analog OOK channel in internal/noise keeps its per-bit
+// Gaussian draws, which a BSC abstraction cannot replace.
+//
+// The sampled flip-count distribution is identical to FlipRandom's
+// (Binomial(n, p)); the RNG consumption differs, so the two are not
+// sequence-compatible under a shared seed.
+type BSC struct {
+	p        float64
+	invLn1mP float64 // 1 / ln(1−p); 0 when p == 0
+}
+
+// NewBSC returns an injector with bit flip probability p in [0, 1).
+func NewBSC(p float64) (*BSC, error) {
+	if math.IsNaN(p) || p < 0 || p >= 1 {
+		return nil, fmt.Errorf("bits: flip probability %g outside [0, 1)", p)
+	}
+	b := &BSC{p: p}
+	if p > 0 {
+		b.invLn1mP = 1 / math.Log1p(-p)
+	}
+	return b, nil
+}
+
+// P returns the channel's bit flip probability.
+func (b *BSC) P() float64 { return b.p }
+
+// Corrupt flips each bit of v independently with probability p and returns
+// the number of flips. It allocates nothing.
+func (b *BSC) Corrupt(v Vector, rng *rand.Rand) int {
+	if b.p == 0 || v.n == 0 {
+		return 0
+	}
+	flips := 0
+	i := -1
+	for {
+		// Geometric gap: skip ahead floor(ln U / ln(1−p)) clean bits. A
+		// U of exactly 0 yields +Inf — past any vector, ending the scan.
+		gap := math.Log(rng.Float64()) * b.invLn1mP
+		if gap >= float64(v.n-i) {
+			return flips
+		}
+		i += 1 + int(gap)
+		if i >= v.n {
+			return flips
+		}
+		v.words[i>>6] ^= 1 << (uint(i) & 63)
+		flips++
+	}
 }
 
 // FlipExactly inverts exactly k distinct uniformly-chosen bits of v and

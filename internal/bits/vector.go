@@ -123,6 +123,34 @@ func (v Vector) Xor(o Vector) (Vector, error) {
 	return out, nil
 }
 
+// XorInto stores the elementwise XOR of a and b into v. All three vectors
+// must share a length; v may alias a or b. Unlike Xor it allocates nothing,
+// which makes it the error-injection primitive of the word-wise Monte-Carlo
+// path.
+func (v Vector) XorInto(a, b Vector) error {
+	if v.n != a.n || v.n != b.n {
+		return fmt.Errorf("bits: XorInto length mismatch %d, %d vs %d", a.n, b.n, v.n)
+	}
+	for i := range v.words {
+		v.words[i] = a.words[i] ^ b.words[i]
+	}
+	return nil
+}
+
+// XorPopCount returns the number of positions where v and o differ — the
+// Hamming distance — computed word-wise (64-bit XOR + popcount) without
+// allocating an intermediate vector.
+func (v Vector) XorPopCount(o Vector) (int, error) {
+	if v.n != o.n {
+		return 0, fmt.Errorf("bits: Xor length mismatch %d vs %d", v.n, o.n)
+	}
+	total := 0
+	for i := range v.words {
+		total += bits.OnesCount64(v.words[i] ^ o.words[i])
+	}
+	return total, nil
+}
+
 // PopCount returns the number of set bits.
 func (v Vector) PopCount() int {
 	total := 0
@@ -219,10 +247,7 @@ func (v Vector) String() string {
 }
 
 // HammingDistance returns the number of positions where a and b differ.
+// It is alloc-free: the distance is accumulated word-wise via XorPopCount.
 func HammingDistance(a, b Vector) (int, error) {
-	x, err := a.Xor(b)
-	if err != nil {
-		return 0, err
-	}
-	return x.PopCount(), nil
+	return a.XorPopCount(b)
 }

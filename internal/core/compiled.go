@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"photonoc/internal/ecc"
+	"photonoc/internal/onoc"
+)
+
+// Compiled is a LinkConfig whose configuration-constant work has been done
+// once: the specification validated, the optical link plan (per-channel
+// budget, crosstalk, eye fraction) derived, and the interface-power table
+// snapshotted. Evaluate then costs one planned FER inversion, one SNR
+// conversion and one laser inversion — no re-validation, no budget loops.
+//
+// A Compiled is immutable and safe for concurrent use. Build one with
+// LinkConfig.Compile; the engine layer compiles once per configuration
+// generation and solves every sweep point through it.
+type Compiled struct {
+	cfg  LinkConfig
+	link *onoc.LinkPlan
+}
+
+// Compile validates the configuration and derives the compiled solve
+// pipeline. The returned Compiled holds a deep copy: later mutation of cfg
+// does not affect it.
+func (cfg *LinkConfig) Compile() (*Compiled, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	link, err := cfg.Channel.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cp := *cfg
+	if cfg.InterfacePowers != nil {
+		cp.InterfacePowers = make(map[string]InterfacePower, len(cfg.InterfacePowers))
+		for k, v := range cfg.InterfacePowers {
+			cp.InterfacePowers[k] = v
+		}
+	}
+	return &Compiled{cfg: cp, link: link}, nil
+}
+
+// Config returns a copy of the compiled configuration.
+func (c *Compiled) Config() LinkConfig {
+	cfg := c.cfg
+	if cfg.InterfacePowers != nil {
+		m := make(map[string]InterfacePower, len(cfg.InterfacePowers))
+		for k, v := range cfg.InterfacePowers {
+			m[k] = v
+		}
+		cfg.InterfacePowers = m
+	}
+	return cfg
+}
+
+// LinkPlan exposes the compiled optical plan (per-channel budgets and
+// crosstalk) for diagnostics.
+func (c *Compiled) LinkPlan() *onoc.LinkPlan { return c.link }
+
+// Evaluate solves one scheme at one target BER through the compiled
+// pipeline. It produces the same Evaluation as LinkConfig.Evaluate.
+func (c *Compiled) Evaluate(code ecc.Code, targetBER float64) (Evaluation, error) {
+	rawBER, err := ecc.PlanFor(code).RequiredRawBER(targetBER)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	snr, err := ecc.SNRForRawBER(rawBER)
+	if err != nil {
+		return Evaluation{}, fmt.Errorf("core: %s at BER %g: %w", code.Name(), targetBER, err)
+	}
+	op, err := c.link.WorstOperatingPoint(snr)
+	if err != nil {
+		return Evaluation{}, err
+	}
+
+	ev := Evaluation{
+		Code:      code,
+		TargetBER: targetBER,
+		RawBER:    rawBER,
+		SNR:       snr,
+		CT:        ecc.CT(code),
+		Op:        op,
+		Feasible:  op.Feasible,
+	}
+	if !op.Feasible {
+		ev.InfeasibleReason = op.InfeasibleReason
+		return ev, nil
+	}
+	nw := float64(c.cfg.Channel.Topo.Wavelengths)
+	ev.LaserPowerW = op.LaserElectricalW
+	ev.ModulatorPowerW = c.cfg.ModulatorPowerW
+	ev.InterfacePowerW = c.cfg.InterfacePowerFor(code).TotalW() / nw
+	ev.ChannelPowerW = ev.LaserPowerW + ev.ModulatorPowerW + ev.InterfacePowerW
+	ev.EnergyPerBitJ = ev.ChannelPowerW * ev.CT / c.cfg.FmodHz
+	return ev, nil
+}
+
+// compiledEvaluator adapts Compiled to the Evaluator seam.
+type compiledEvaluator struct{ c *Compiled }
+
+func (e compiledEvaluator) Evaluate(ctx context.Context, code ecc.Code, targetBER float64) (Evaluation, error) {
+	if err := ctx.Err(); err != nil {
+		return Evaluation{}, err
+	}
+	return e.c.Evaluate(code, targetBER)
+}
+
+// Evaluator returns a context-checking Evaluator over the compiled
+// pipeline: sequential, uncached, but free of per-call recompilation.
+func (c *Compiled) Evaluator() Evaluator { return compiledEvaluator{c} }

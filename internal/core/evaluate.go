@@ -67,12 +67,14 @@ type Evaluation struct {
 	InfeasibleReason string
 }
 
-// Evaluate solves one scheme at one target BER.
+// Evaluate solves one scheme at one target BER. Configuration-constant
+// work resolves through the memoized plans (ecc.PlanFor, ChannelSpec.Plan):
+// only the first solve after a configuration change pays compilation.
 func (cfg *LinkConfig) Evaluate(code ecc.Code, targetBER float64) (Evaluation, error) {
 	if err := cfg.Validate(); err != nil {
 		return Evaluation{}, err
 	}
-	rawBER, err := ecc.RequiredRawBER(code, targetBER)
+	rawBER, err := ecc.PlanFor(code).RequiredRawBER(targetBER)
 	if err != nil {
 		return Evaluation{}, err
 	}
@@ -127,13 +129,18 @@ func EvaluateAllWith(ctx context.Context, ev Evaluator, codes []ecc.Code, target
 }
 
 // Sweep evaluates codes × targetBERs (outer loop over BER), the raw
-// material of Figures 5 and 6b.
+// material of Figures 5 and 6b. The configuration compiles once for the
+// whole batch.
 //
 // Deprecated-adjacent: the engine layer offers a concurrent, memoized
 // sweep with identical ordering; this sequential form remains the
 // reference implementation the engine is tested against.
 func (cfg *LinkConfig) Sweep(codes []ecc.Code, targetBERs []float64) ([]Evaluation, error) {
-	return SweepWith(context.Background(), cfg.Evaluator(), codes, targetBERs)
+	c, err := cfg.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return SweepWith(context.Background(), c.Evaluator(), codes, targetBERs)
 }
 
 // SweepWith evaluates codes × targetBERs (outer loop over BER) through ev.

@@ -83,43 +83,25 @@ func lchoose(n, k int) float64 {
 // probability p. Codes that implement BERModeler (repetition, uncoded) are
 // consulted first; otherwise t = 0 codes pass p through, t = 1 codes use the
 // paper's Eq. 2, and stronger codes use the union-bound model.
+//
+// Deprecated: callers evaluating the same code repeatedly should hold the
+// memoized plan from PlanFor(c) and call FERPlan.PostDecodeBER, which skips
+// the per-call plan lookup and evaluates the union-bound tail by incremental
+// recurrence (agreement within 1e-12 relative; exact for BERModeler, t = 0
+// and t = 1 codes). This wrapper remains fully supported.
 func PostDecodeBER(c Code, p float64) float64 {
-	if m, ok := c.(BERModeler); ok {
-		return m.PostDecodeBER(p)
-	}
-	switch {
-	case c.T() == 0:
-		return p
-	case c.T() == 1:
-		return PaperHammingBER(c.N(), p)
-	default:
-		return UnionBoundBER(c.N(), c.T(), p)
-	}
+	return PlanFor(c).PostDecodeBER(p)
 }
 
 // RequiredRawBER inverts PostDecodeBER: the raw channel bit error
-// probability that yields the target post-decoding BER under code c. The
-// inversion is a monotone bisection in log(p).
+// probability that yields the target post-decoding BER under code c.
+//
+// Deprecated: use PlanFor(c).RequiredRawBER, which reuses the code's
+// compiled plan across calls. This wrapper remains fully supported; the
+// Newton-based planned inversion agrees with the historical bisection to
+// better than 1e-12 relative.
 func RequiredRawBER(c Code, target float64) (float64, error) {
-	if !(target > 0 && target < 0.5) {
-		return 0, fmt.Errorf("ecc: target BER %g outside (0, 0.5)", target)
-	}
-	f := func(lnP float64) float64 {
-		post := PostDecodeBER(c, math.Exp(lnP))
-		if post <= 0 {
-			return math.Inf(-1)
-		}
-		return math.Log(post)
-	}
-	lo, hi := math.Log(1e-18), math.Log(0.4999)
-	lnTarget := math.Log(target)
-	// The post-decoding BER is strictly increasing in p, so a plain
-	// monotone solve applies.
-	lnP, err := mathx.SolveMonotone(f, lnTarget, lo, hi, 1e-12)
-	if err != nil {
-		return 0, fmt.Errorf("ecc: %s: inverting BER %g: %w", c.Name(), target, err)
-	}
-	return math.Exp(lnP), nil
+	return PlanFor(c).RequiredRawBER(target)
 }
 
 // RequiredSNR composes the two inversions: the channel SNR needed so the

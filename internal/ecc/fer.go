@@ -1,59 +1,35 @@
 package ecc
 
-import (
-	"fmt"
-	"math"
-
-	"photonoc/internal/mathx"
-)
-
 // FrameErrorRate returns the probability that a whole received codeword of
 // code c cannot be decoded to the transmitted one at raw bit error
 // probability p: the chance of more than t errors in n bits. For uncoded
 // transmission this is 1 − (1−p)^n (any flip ruins the word).
+//
+// Deprecated: callers evaluating the same code repeatedly should hold the
+// memoized plan from PlanFor(c) and call FERPlan.FrameErrorRate, which skips
+// the per-call plan lookup. This wrapper remains fully supported and returns
+// bit-identical values.
 func FrameErrorRate(c Code, p float64) float64 {
-	if p <= 0 {
-		return 0
-	}
-	if p >= 1 {
-		return 1
-	}
-	n, t := c.N(), c.T()
-	// P(X > t) for X ~ Binomial(n, p), computed from the small side.
-	var ok float64
-	for i := 0; i <= t; i++ {
-		ok += binomialTerm(n, i, p)
-	}
-	return math.Min(math.Max(1-ok, 0), 1)
+	return PlanFor(c).FrameErrorRate(p)
 }
 
 // RequiredRawBERForFER inverts FrameErrorRate: the raw channel bit error
 // probability at which code c's frame error rate equals target.
+//
+// Deprecated: use PlanFor(c).RequiredRawBERForFER, which reuses the code's
+// compiled plan across calls. This wrapper remains fully supported; the
+// Newton-based planned inversion agrees with the historical bisection to
+// better than 1e-12 relative.
 func RequiredRawBERForFER(c Code, target float64) (float64, error) {
-	if !(target > 0 && target < 1) {
-		return 0, fmt.Errorf("ecc: target FER %g outside (0, 1)", target)
-	}
-	f := func(lnP float64) float64 {
-		fer := FrameErrorRate(c, math.Exp(lnP))
-		if fer <= 0 {
-			return math.Inf(-1)
-		}
-		return math.Log(fer)
-	}
-	lnP, err := mathx.SolveMonotone(f, math.Log(target), math.Log(1e-18), math.Log(0.4999), 1e-12)
-	if err != nil {
-		return 0, fmt.Errorf("ecc: %s: inverting FER %g: %w", c.Name(), target, err)
-	}
-	return math.Exp(lnP), nil
+	return PlanFor(c).RequiredRawBERForFER(target)
 }
 
 // ExpectedWordsBetweenFailures returns the mean number of codewords between
 // decoder failures at raw bit error probability p — the MTBF-style metric a
 // system architect reads off a link budget.
+//
+// Deprecated: use PlanFor(c).ExpectedWordsBetweenFailures when querying the
+// same code repeatedly. This wrapper remains fully supported.
 func ExpectedWordsBetweenFailures(c Code, p float64) float64 {
-	fer := FrameErrorRate(c, p)
-	if fer <= 0 {
-		return math.Inf(1)
-	}
-	return 1 / fer
+	return PlanFor(c).ExpectedWordsBetweenFailures(p)
 }

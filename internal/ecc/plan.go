@@ -1,0 +1,358 @@
+package ecc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"photonoc/internal/mathx"
+)
+
+// berDerivModeler is implemented by codes that know the analytic derivative
+// of their exact post-decoding BER alongside its value. The planned Newton
+// inversion consults it; BERModeler codes without it fall back to the
+// derivative-free monotone solve.
+type berDerivModeler interface {
+	BERModeler
+	// postDecodeBERAndDeriv returns PostDecodeBER(p) (bit-identical to the
+	// BERModeler method) and dBER/dp at the same point.
+	postDecodeBERAndDeriv(p float64) (ber, dBERdP float64)
+}
+
+// planKey identifies a code for plan memoization: the display name plus the
+// (n, k, t) parameters. Two codes sharing all four are interchangeable for
+// every analytic model in this package.
+type planKey struct {
+	name    string
+	n, k, t int
+}
+
+// planRegistryCap bounds the memoized-plan map so a service exploring an
+// unbounded code-parameter space cannot grow it forever; compiling is cheap
+// enough that flushing a full registry beats tracking recency.
+const planRegistryCap = 256
+
+// planRegistry memoizes compiled FER plans process-wide (planKey → *FERPlan).
+// Plans are immutable after construction, so sharing across goroutines is
+// free; a racing duplicate compile just wastes a few microseconds once.
+var planRegistry struct {
+	sync.RWMutex
+	m map[planKey]*FERPlan
+}
+
+// FERPlan is the precomputed evaluation plan for one code's analytic error
+// models: the log-domain binomial coefficients ln C(n, i), the derivative
+// anchor ln C(n−1, t), and the model dispatch resolved once instead of per
+// call. A plan turns FrameErrorRate into a t-term loop with no Lgamma calls,
+// evaluates the union-bound tail by an incremental recurrence, and inverts
+// both models with bisection-guarded Newton iterations using the analytic
+// d lnBER / d lnp — the cold-solve hot path of the link configurator.
+//
+// Obtain plans through PlanFor; the zero value is not usable.
+type FERPlan struct {
+	code Code
+	n, t int
+
+	// lnC[i] = ln C(n, i) for i in [0, n].
+	lnC []float64
+	// lnCPrev = ln C(n−1, t): d/dp P(X ≤ t) = −n·C(n−1,t)·p^t·(1−p)^(n−1−t).
+	lnCPrev float64
+
+	// Post-decoding model dispatch, resolved at compile time. Exactly one
+	// of deriv/opaque is non-nil for BERModeler codes; both nil means the
+	// generic t-indexed models apply.
+	deriv  berDerivModeler
+	opaque BERModeler
+}
+
+// PlanFor returns the memoized FER plan for code c, compiling it on first
+// use. Plans are keyed by code identity (name and (n, k, t)), so distinct
+// instances of the same code share one plan.
+func PlanFor(c Code) *FERPlan {
+	key := planKey{name: c.Name(), n: c.N(), k: c.K(), t: c.T()}
+	planRegistry.RLock()
+	p, ok := planRegistry.m[key]
+	planRegistry.RUnlock()
+	if ok {
+		return p
+	}
+	p = compilePlan(c)
+	planRegistry.Lock()
+	if cached, ok := planRegistry.m[key]; ok {
+		p = cached // a racing compile won; share its plan
+	} else {
+		if planRegistry.m == nil || len(planRegistry.m) >= planRegistryCap {
+			planRegistry.m = make(map[planKey]*FERPlan, planRegistryCap)
+		}
+		planRegistry.m[key] = p
+	}
+	planRegistry.Unlock()
+	return p
+}
+
+// compilePlan builds the plan: one pass of log-gamma per binomial row.
+func compilePlan(c Code) *FERPlan {
+	n, t := c.N(), c.T()
+	p := &FERPlan{code: c, n: n, t: t, lnC: make([]float64, n+1)}
+	for i := 0; i <= n; i++ {
+		p.lnC[i] = lchoose(n, i)
+	}
+	if t <= n-1 {
+		p.lnCPrev = lchoose(n-1, t)
+	}
+	switch m := c.(type) {
+	case berDerivModeler:
+		p.deriv = m
+	case BERModeler:
+		p.opaque = m
+	}
+	return p
+}
+
+// Code returns the code the plan was compiled for.
+func (p *FERPlan) Code() Code { return p.code }
+
+// FrameErrorRate is the planned form of the package-level FrameErrorRate:
+// P(more than t errors in n bits) at raw bit error probability pe, computed
+// from the small side with the cached ln C(n, i) row — bit-identical to the
+// unplanned sum, minus the per-term log-gamma evaluations.
+func (p *FERPlan) FrameErrorRate(pe float64) float64 {
+	if pe <= 0 {
+		return 0
+	}
+	if pe >= 1 {
+		return 1
+	}
+	lnP, ln1mP := math.Log(pe), math.Log1p(-pe)
+	var ok float64
+	for i := 0; i <= p.t; i++ {
+		ok += math.Exp(p.lnC[i] + float64(i)*lnP + float64(p.n-i)*ln1mP)
+	}
+	return math.Min(math.Max(1-ok, 0), 1)
+}
+
+// ferTailDeriv evaluates the frame error rate by its direct binomial tail,
+//
+//	P(X > t) = Σ_{i=t+1}^{n} C(n, i)·p^i·(1−p)^(n−i),
+//
+// via the incremental term recurrence b_{i+1} = b_i·(n−i)/(i+1)·p/q, along
+// with the analytic log-log slope d lnFER / d lnp from the binomial-CDF
+// identity d/dp P(X > t) = n·C(n−1, t)·p^t·(1−p)^(n−1−t).
+//
+// Unlike the 1 − Σ_head formulation of FrameErrorRate (kept bit-compatible
+// with the historical helper), the direct tail stays accurate to a few ulp
+// even where the head sum cancels catastrophically (FER ≪ 1e-10), which is
+// exactly where the Newton inversion needs a well-conditioned function.
+func (p *FERPlan) ferTailDeriv(pe float64) (fer, dLnFERdLnP float64) {
+	if pe <= 0 {
+		return 0, 0
+	}
+	if pe >= 1 {
+		return 1, 0
+	}
+	n, t := p.n, p.t
+	lnP, ln1mP := math.Log(pe), math.Log1p(-pe)
+	q := 1 - pe
+	ratio := pe / q
+
+	i0 := t + 1
+	term := math.Exp(p.lnC[i0] + float64(i0)*lnP + float64(n-i0)*ln1mP)
+	sum := term
+	for i := i0; i < n; i++ {
+		term *= float64(n-i) / float64(i+1) * ratio
+		if term == 0 {
+			break // underflow: every later term is smaller still
+		}
+		sum += term
+	}
+	fer = math.Min(sum, 1)
+	if fer <= 0 || fer >= 1 {
+		return fer, 0
+	}
+	dFdP := math.Exp(math.Log(float64(n)) + p.lnCPrev + float64(t)*lnP + float64(n-1-t)*ln1mP)
+	return fer, pe * dFdP / fer
+}
+
+// PostDecodeBER is the planned form of the package-level PostDecodeBER:
+// exact BERModeler expressions first, then pass-through (t = 0), the paper's
+// Eq. 2 (t = 1), or the union bound (t ≥ 2) with its tail evaluated by the
+// incremental term recurrence.
+func (p *FERPlan) PostDecodeBER(pe float64) float64 {
+	if p.deriv != nil {
+		return p.deriv.PostDecodeBER(pe)
+	}
+	if p.opaque != nil {
+		return p.opaque.PostDecodeBER(pe)
+	}
+	switch {
+	case p.t == 0:
+		return pe
+	case p.t == 1:
+		return PaperHammingBER(p.n, pe)
+	default:
+		ber, _ := p.unionTail(pe)
+		return ber
+	}
+}
+
+// unionTail evaluates the union-bound post-decoding BER
+//
+//	(1/n) · Σ_{i=t+1}^{n} (i + t) · C(n, i) · p^i · (1−p)^(n−i)
+//
+// and its derivative dBER/dp in one pass. Only the first term pays an Exp;
+// successive binomial terms follow from b_{i+1} = b_i · (n−i)/(i+1) · p/q,
+// and each term's derivative is b_i · (i/p − (n−i)/q).
+func (p *FERPlan) unionTail(pe float64) (ber, dBERdP float64) {
+	if pe <= 0 {
+		return 0, 0
+	}
+	if pe >= 1 {
+		return 1, 0
+	}
+	n, t := p.n, p.t
+	lnP, ln1mP := math.Log(pe), math.Log1p(-pe)
+	q := 1 - pe
+	ratio := pe / q
+
+	i0 := t + 1
+	term := math.Exp(p.lnC[i0] + float64(i0)*lnP + float64(n-i0)*ln1mP)
+	sum := float64(i0+t) * term
+	dsum := float64(i0+t) * term * (float64(i0)/pe - float64(n-i0)/q)
+	for i := i0; i < n; i++ {
+		term *= float64(n-i) / float64(i+1) * ratio
+		if term == 0 {
+			break // underflow: every later term is smaller still
+		}
+		w := float64(i + 1 + t)
+		sum += w * term
+		dsum += w * term * (float64(i+1)/pe - float64(n-i-1)/q)
+	}
+	nf := float64(n)
+	if sum/nf >= 1 {
+		return 1, 0
+	}
+	return sum / nf, dsum / nf
+}
+
+// postDecodeBERDeriv returns PostDecodeBER(pe) together with the log-log
+// slope d lnBER / d lnp, and reports whether the derivative is available
+// (opaque BERModeler codes only supply the value).
+func (p *FERPlan) postDecodeBERDeriv(pe float64) (ber, dLnBdLnP float64, ok bool) {
+	switch {
+	case p.deriv != nil:
+		b, d := p.deriv.postDecodeBERAndDeriv(pe)
+		if b <= 0 {
+			return b, 0, true
+		}
+		return b, pe * d / b, true
+	case p.opaque != nil:
+		return p.opaque.PostDecodeBER(pe), 0, false
+	case p.t == 0:
+		return pe, 1, true
+	case p.t == 1:
+		// Eq. 2: B = p − p(1−p)^(n−1) = p·(1 − q^(n−1)).
+		q := 1 - pe
+		qn1 := math.Pow(q, float64(p.n-1))
+		b := pe - pe*qn1
+		if b <= 0 {
+			return b, 0, true
+		}
+		// dB/dp = (1 − q^(n−1)) + p(n−1)q^(n−2).
+		dBdP := (1 - qn1) + pe*float64(p.n-1)*math.Pow(q, float64(p.n-2))
+		return b, pe * dBdP / b, true
+	default:
+		b, dBdP := p.unionTail(pe)
+		if b <= 0 || b >= 1 {
+			return b, 0, true
+		}
+		return b, pe * dBdP / b, true
+	}
+}
+
+// Search bracket shared by both planned inversions, matching the unplanned
+// solvers: ln p over [1e-18, 0.4999].
+var (
+	lnPLo = math.Log(1e-18)
+	lnPHi = math.Log(0.4999)
+)
+
+// newtonTol is the ln-p convergence tolerance of the planned inversions —
+// tighter than the 1e-12 of the legacy bisection so that planned and legacy
+// roots agree to well under 1e-12 relative.
+const newtonTol = 1e-13
+
+// RequiredRawBER inverts PostDecodeBER with bisection-guarded Newton
+// iterations on ln p: the raw channel bit error probability at which the
+// post-decoding BER equals target.
+func (p *FERPlan) RequiredRawBER(target float64) (float64, error) {
+	if !(target > 0 && target < 0.5) {
+		return 0, fmt.Errorf("ecc: target BER %g outside (0, 0.5)", target)
+	}
+	if p.opaque != nil {
+		// Opaque BERModeler: no derivative available, use the legacy
+		// derivative-free monotone solve.
+		f := func(lnP float64) float64 {
+			post := p.PostDecodeBER(math.Exp(lnP))
+			if post <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log(post)
+		}
+		lnP, err := mathx.SolveMonotone(f, math.Log(target), lnPLo, lnPHi, 1e-12)
+		if err != nil {
+			return 0, fmt.Errorf("ecc: %s: inverting BER %g: %w", p.code.Name(), target, err)
+		}
+		return math.Exp(lnP), nil
+	}
+	lnT := math.Log(target)
+	fd := func(lnP float64) (float64, float64) {
+		ber, d, _ := p.postDecodeBERDeriv(math.Exp(lnP))
+		if ber <= 0 {
+			return math.Inf(-1), 0
+		}
+		return math.Log(ber) - lnT, d
+	}
+	lnP, err := mathx.NewtonBisect(fd, lnPLo, lnPHi, newtonTol)
+	if err != nil {
+		return 0, fmt.Errorf("ecc: %s: inverting BER %g: %w", p.code.Name(), target, err)
+	}
+	return math.Exp(lnP), nil
+}
+
+// RequiredRawBERForFER inverts the frame error rate with bisection-guarded
+// Newton iterations on ln p: the raw channel bit error probability at which
+// the code's FER equals target.
+//
+// The solve runs on the direct binomial-tail evaluation (see ferTailDeriv),
+// which stays well-conditioned at deep targets where the historical
+// 1 − Σ_head formulation only defines the FER to ≈2e-16/target relative;
+// within that intrinsic roundoff band the returned root is the accurate one.
+func (p *FERPlan) RequiredRawBERForFER(target float64) (float64, error) {
+	if !(target > 0 && target < 1) {
+		return 0, fmt.Errorf("ecc: target FER %g outside (0, 1)", target)
+	}
+	lnT := math.Log(target)
+	fd := func(lnP float64) (float64, float64) {
+		fer, d := p.ferTailDeriv(math.Exp(lnP))
+		if fer <= 0 {
+			return math.Inf(-1), 0
+		}
+		return math.Log(fer) - lnT, d
+	}
+	lnP, err := mathx.NewtonBisect(fd, lnPLo, lnPHi, newtonTol)
+	if err != nil {
+		return 0, fmt.Errorf("ecc: %s: inverting FER %g: %w", p.code.Name(), target, err)
+	}
+	return math.Exp(lnP), nil
+}
+
+// ExpectedWordsBetweenFailures is the planned MTBF-style metric: the mean
+// number of codewords between decoder failures at raw bit error probability
+// pe.
+func (p *FERPlan) ExpectedWordsBetweenFailures(pe float64) float64 {
+	fer := p.FrameErrorRate(pe)
+	if fer <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / fer
+}

@@ -90,3 +90,22 @@ func (c *Repetition) PostDecodeBER(p float64) float64 {
 	}
 	return math.Min(sum, 1)
 }
+
+// postDecodeBERAndDeriv implements berDerivModeler. The value duplicates
+// PostDecodeBER term for term (bit-identical); the derivative is the
+// binomial-tail identity d/dp P(X ≥ m) = r·C(r−1, m−1)·p^(m−1)·(1−p)^(r−m)
+// with m = r/2 + 1.
+func (c *Repetition) postDecodeBERAndDeriv(p float64) (float64, float64) {
+	var sum float64
+	for i := c.r/2 + 1; i <= c.r; i++ {
+		sum += binomialTerm(c.r, i, p)
+	}
+	ber := math.Min(sum, 1)
+	if p <= 0 || p >= 1 {
+		return ber, 0
+	}
+	m := c.r/2 + 1
+	deriv := float64(c.r) * math.Exp(lchoose(c.r-1, m-1)+
+		float64(m-1)*math.Log(p)+float64(c.r-m)*math.Log1p(-p))
+	return ber, deriv
+}

@@ -61,3 +61,6 @@ func (c *Uncoded) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
 // PostDecodeBER implements BERModeler: without coding the channel error
 // probability passes straight through.
 func (c *Uncoded) PostDecodeBER(p float64) float64 { return p }
+
+// postDecodeBERAndDeriv implements berDerivModeler: dBER/dp = 1.
+func (c *Uncoded) postDecodeBERAndDeriv(p float64) (float64, float64) { return p, 1 }

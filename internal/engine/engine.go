@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"photonoc/internal/core"
 	"photonoc/internal/ecc"
@@ -20,13 +22,20 @@ const DefaultCacheEntries = 4096
 
 // Engine is a concurrent, memoizing solver over one link configuration and
 // one scheme roster. It is safe for use by multiple goroutines; the
-// configuration is deep-copied at construction and never mutated.
+// configuration is deep-copied at construction, compiled once into a solve
+// plan (link budgets, crosstalk, FER plans) and never mutated.
 type Engine struct {
 	cfg         core.LinkConfig
+	compiled    *core.Compiled
 	schemes     []ecc.Code
 	workers     int
 	cache       *lruCache // nil when disabled via WithCache(0)
 	fingerprint string
+
+	// Cold-solve accounting: every solve that actually runs the compiled
+	// pipeline (a cache miss, or any solve with the cache disabled).
+	coldSolves  atomic.Uint64
+	coldSolveNS atomic.Int64
 }
 
 // settings accumulates functional options before validation.
@@ -122,8 +131,20 @@ func New(opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("%w: copying config: %v", ErrInvalidConfig, err)
 	}
 
+	// Compile the configuration once — the link budgets, crosstalk
+	// fractions and eye fractions every solve reads — and pre-warm the FER
+	// plan of each roster scheme, so no sweep worker ever compiles.
+	compiled, err := cfgCopy.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	for _, c := range s.schemes {
+		ecc.PlanFor(c)
+	}
+
 	e := &Engine{
 		cfg:         cfgCopy,
+		compiled:    compiled,
 		schemes:     s.schemes,
 		workers:     s.workers,
 		fingerprint: fingerprintBytes(raw),
@@ -174,13 +195,28 @@ func (e *Engine) Workers() int { return e.workers }
 // component of every cache key.
 func (e *Engine) ConfigFingerprint() string { return e.fingerprint }
 
-// CacheStats snapshots the memo-cache accounting. With the cache disabled
-// it reports zeroes.
+// CacheStats snapshots the memo-cache accounting plus the engine's
+// cold-solve timing. With the cache disabled the hit/miss/entry fields
+// report zeroes; the cold-solve fields still accumulate, since every solve
+// is then cold.
 func (e *Engine) CacheStats() CacheStats {
-	if e.cache == nil {
-		return CacheStats{}
+	var s CacheStats
+	if e.cache != nil {
+		s = e.cache.stats()
 	}
-	return e.cache.stats()
+	s.ColdSolves = e.coldSolves.Load()
+	s.ColdSolveTime = time.Duration(e.coldSolveNS.Load())
+	return s
+}
+
+// solveCold runs the compiled pipeline for one grid point, accounting the
+// wall time under the engine's cold-solve statistics.
+func (e *Engine) solveCold(code ecc.Code, targetBER float64) (core.Evaluation, error) {
+	start := time.Now()
+	ev, err := e.compiled.Evaluate(code, targetBER)
+	e.coldSolves.Add(1)
+	e.coldSolveNS.Add(int64(time.Since(start)))
+	return ev, err
 }
 
 // validateBER rejects target BERs the solver cannot mean anything for —
@@ -209,13 +245,13 @@ func (e *Engine) Evaluate(ctx context.Context, code ecc.Code, targetBER float64)
 		return core.Evaluation{}, err
 	}
 	if e.cache == nil {
-		return e.cfg.Evaluate(code, targetBER)
+		return e.solveCold(code, targetBER)
 	}
 	key := cacheKey{fingerprint: e.fingerprint, scheme: code.Name(), targetBER: targetBER}
 	if ev, ok := e.cache.get(key); ok {
 		return ev, nil
 	}
-	ev, err := e.cfg.Evaluate(code, targetBER)
+	ev, err := e.solveCold(code, targetBER)
 	if err != nil {
 		return core.Evaluation{}, err
 	}

@@ -129,8 +129,48 @@ func TestCacheDisabled(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if s := e.CacheStats(); s != (CacheStats{}) {
-		t.Errorf("disabled cache should report zeroes, got %+v", s)
+	s := e.CacheStats()
+	if s.Hits != 0 || s.Misses != 0 || s.Entries != 0 || s.Capacity != 0 {
+		t.Errorf("disabled cache should report zero lookup stats, got %+v", s)
+	}
+	// Every solve is cold without a cache, and each one takes time.
+	if s.ColdSolves != 3 || s.ColdSolveTime <= 0 {
+		t.Errorf("cold-solve accounting: %+v", s)
+	}
+}
+
+func TestColdSolveTiming(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if s := e.CacheStats(); s.ColdSolves != 0 || s.AvgColdSolve() != 0 {
+		t.Errorf("fresh engine: %+v", s)
+	}
+	// First solve is cold; repeats hit the cache and stay unaccounted.
+	for i := 0; i < 4; i++ {
+		if _, err := e.Evaluate(ctx, ecc.MustHamming74(), 1e-11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.CacheStats()
+	if s.ColdSolves != 1 {
+		t.Errorf("cold solves = %d, want 1 (cache hits are not cold)", s.ColdSolves)
+	}
+	if s.ColdSolveTime <= 0 || s.AvgColdSolve() != s.ColdSolveTime {
+		t.Errorf("timing: %+v (avg %v)", s, s.AvgColdSolve())
+	}
+	// A second distinct point adds exactly one more cold solve.
+	if _, err := e.Evaluate(ctx, ecc.MustHamming74(), 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.CacheStats()
+	if s2.ColdSolves != 2 || s2.ColdSolveTime < s.ColdSolveTime {
+		t.Errorf("after second point: %+v", s2)
+	}
+	if avg := s2.AvgColdSolve(); avg != s2.ColdSolveTime/2 {
+		t.Errorf("avg cold solve %v, want %v", avg, s2.ColdSolveTime/2)
 	}
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"photonoc/internal/core"
 )
@@ -17,7 +18,8 @@ type cacheKey struct {
 	targetBER   float64
 }
 
-// CacheStats is a snapshot of the memo cache accounting.
+// CacheStats is a snapshot of the memo cache accounting plus the engine's
+// cold-solve timing.
 type CacheStats struct {
 	// Hits and Misses count lookups since the engine was built.
 	Hits, Misses uint64
@@ -25,6 +27,11 @@ type CacheStats struct {
 	Entries int
 	// Capacity is the configured maximum; 0 means the cache is disabled.
 	Capacity int
+	// ColdSolves counts solves that ran the compiled pipeline — cache
+	// misses, plus every solve when the cache is disabled.
+	ColdSolves uint64
+	// ColdSolveTime is the cumulative wall time spent in cold solves.
+	ColdSolveTime time.Duration
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -34,6 +41,15 @@ func (s CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// AvgColdSolve returns the mean wall time of one cold solve, or 0 before
+// any solve has run.
+func (s CacheStats) AvgColdSolve() time.Duration {
+	if s.ColdSolves == 0 {
+		return 0
+	}
+	return s.ColdSolveTime / time.Duration(s.ColdSolves)
 }
 
 // lruCache is a mutex-guarded LRU of solved operating points.

@@ -58,7 +58,60 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 			lo, flo = mid, fm
 		}
 	}
-	return 0.5 * (lo + hi), nil
+	return 0, fmt.Errorf("%w: tolerance %g not reached, final bracket [%g, %g]", ErrNoConverge, tol, lo, hi)
+}
+
+// NewtonBisect finds a root of f in [lo, hi] using Newton iterations guarded
+// by a shrinking bisection bracket: a Newton step that leaves the bracket,
+// or a non-finite/zero derivative, falls back to the bracket midpoint, so the
+// method inherits bisection's guaranteed convergence while smooth functions
+// converge quadratically. fd must return f(x) and f'(x); f(lo) and f(hi)
+// must have opposite signs (−Inf/+Inf endpoint values bracket like any other
+// sign). It is the solver behind the ecc package's planned FER inversions.
+func NewtonBisect(fd func(float64) (fx, dfx float64), lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	flo, _ := fd(lo)
+	fhi, _ := fd(hi)
+	switch {
+	case flo == 0:
+		return lo, nil
+	case fhi == 0:
+		return hi, nil
+	case math.IsNaN(flo) || math.IsNaN(fhi):
+		return 0, fmt.Errorf("%w: f is NaN at an endpoint", ErrNoBracket)
+	case (flo > 0) == (fhi > 0):
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+	x := 0.5 * (lo + hi)
+	for i := 0; i < 100; i++ {
+		fx, dfx := fd(x)
+		switch {
+		case fx == 0:
+			return x, nil
+		case math.IsNaN(fx):
+			return 0, fmt.Errorf("%w: f(%g) is NaN", ErrNoConverge, x)
+		case (fx > 0) == (fhi > 0):
+			hi, fhi = x, fx
+		default:
+			lo = x
+		}
+		if hi-lo <= tol {
+			return 0.5 * (lo + hi), nil
+		}
+		// Newton step, bracket-guarded: reject steps that leave (lo, hi)
+		// or come from a flat/invalid derivative.
+		nx := x - fx/dfx
+		if math.IsInf(fx, 0) || dfx == 0 || math.IsNaN(nx) || nx <= lo || nx >= hi {
+			nx = 0.5 * (lo + hi)
+		}
+		if math.Abs(nx-x) <= tol {
+			return nx, nil
+		}
+		x = nx
+	}
+	return 0, fmt.Errorf("%w: tolerance %g not reached, final bracket [%g, %g]", ErrNoConverge, tol, lo, hi)
 }
 
 // SolveMonotone solves f(x) == target for x in [lo, hi], assuming f is

@@ -3,6 +3,7 @@ package mathx
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -59,6 +60,69 @@ func TestSolveMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestBisectReportsNonConvergence(t *testing.T) {
+	// An impossible tolerance exhausts the iteration budget; the solver must
+	// say so (wrapping ErrNoConverge with the final bracket) instead of
+	// silently returning the midpoint.
+	_, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 0)
+	if !errors.Is(err, ErrNoConverge) {
+		t.Fatalf("err = %v, want ErrNoConverge", err)
+	}
+	if !strings.Contains(err.Error(), "bracket") {
+		t.Errorf("error %q should carry the final bracket", err)
+	}
+}
+
+func TestNewtonBisectSimpleRoots(t *testing.T) {
+	cases := []struct {
+		name   string
+		fd     func(float64) (float64, float64)
+		lo, hi float64
+		want   float64
+	}{
+		{"linear", func(x float64) (float64, float64) { return 2*x - 3, 2 }, 0, 10, 1.5},
+		{"cubic", func(x float64) (float64, float64) { return x*x*x - 2, 3 * x * x }, 0, 4, math.Cbrt(2)},
+		{"cos", func(x float64) (float64, float64) { return math.Cos(x), -math.Sin(x) }, 0, 3, math.Pi / 2},
+		{"reversed-interval", func(x float64) (float64, float64) { return x - 1, 1 }, 5, 0, 1},
+		{"steep-exp", func(x float64) (float64, float64) { return math.Exp(x) - 100, math.Exp(x) }, 0, 10, math.Log(100)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := NewtonBisect(c.fd, c.lo, c.hi, 1e-13)
+			if err != nil {
+				t.Fatalf("NewtonBisect: %v", err)
+			}
+			if !ApproxEqual(got, c.want, 1e-9) {
+				t.Errorf("root = %.15g, want %.15g", got, c.want)
+			}
+		})
+	}
+}
+
+func TestNewtonBisectGuards(t *testing.T) {
+	// No sign change → bracket error.
+	if _, err := NewtonBisect(func(x float64) (float64, float64) { return x*x + 1, 2 * x }, -5, 5, 1e-12); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+	// A lying derivative (always zero) must still converge via the
+	// bisection fallback.
+	got, err := NewtonBisect(func(x float64) (float64, float64) { return x - 1, 0 }, 0, 5, 1e-12)
+	if err != nil || !ApproxEqual(got, 1, 1e-9) {
+		t.Errorf("zero-derivative fallback: got %g, %v", got, err)
+	}
+	// −Inf endpoint values bracket like any finite negative value (the FER
+	// inversion sees ln(0) at its lower bracket).
+	got, err = NewtonBisect(func(x float64) (float64, float64) {
+		if x < 0.5 {
+			return math.Inf(-1), 0
+		}
+		return math.Log(x), 1 / x
+	}, 0, 3, 1e-12)
+	if err != nil || !ApproxEqual(got, 1, 1e-9) {
+		t.Errorf("-Inf endpoint: got %g, %v", got, err)
 	}
 }
 

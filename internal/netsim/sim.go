@@ -23,18 +23,55 @@ type arrivalEvent struct {
 	msg message
 }
 
+// eventHeap is a typed min-heap on arrival time. The sift algorithm mirrors
+// container/heap exactly (so pop order, including ties, is unchanged), but
+// push takes the concrete type: no per-event interface boxing allocation in
+// the trace-generation hot loop.
 type eventHeap []arrivalEvent
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(arrivalEvent)) }
-func (h *eventHeap) Pop() interface{} {
+func (h *eventHeap) push(ev arrivalEvent) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() arrivalEvent {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	h.down(0, n)
+	ev := (*h)[n]
+	*h = (*h)[:n]
+	return ev
+}
+
+func (h eventHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].at < h[i].at) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h eventHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].at < h[j1].at {
+			j = j2
+		}
+		if !(h[j].at < h[i].at) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // tokenOverheadSec is the fixed MWSR arbitration cost per transfer

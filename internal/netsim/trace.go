@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -85,23 +84,22 @@ func RecordTraceCtx(ctx context.Context, cfg Config) (Trace, error) {
 	srcRate := cfg.Load * capacity / float64(cfg.MessageBits)
 	gen := newTrafficGenerator(cfg, rng, srcRate, baseTransfer)
 
-	events := &eventHeap{}
-	heap.Init(events)
+	events := make(eventHeap, 0, topo.ONIs)
 	for s := 0; s < topo.ONIs; s++ {
 		if ev, ok := gen.next(s, 0); ok {
-			heap.Push(events, ev)
+			events.push(ev)
 		}
 	}
 	tr := make(Trace, 0, cfg.Messages)
-	for events.Len() > 0 && len(tr) < cfg.Messages {
+	for len(events) > 0 && len(tr) < cfg.Messages {
 		if len(tr)%4096 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		ev := heap.Pop(events).(arrivalEvent)
+		ev := events.pop()
 		if nx, ok := gen.next(ev.msg.src, ev.at); ok {
-			heap.Push(events, nx)
+			events.push(nx)
 		}
 		tr = append(tr, TraceEvent{
 			TimeSec:     ev.msg.arrival,

@@ -39,8 +39,11 @@ func MonteCarloCodedBER(c ecc.Code, snr float64, blocks int, rng *rand.Rand) (Co
 		RawExpected: ch.TheoreticalRawBER(),
 		Expected:    ecc.PostDecodeBER(c, ch.TheoreticalRawBER()),
 	}
+	// Scratch buffers live outside the block loop; every bit is rewritten
+	// each iteration, and the error count is a word-wise XOR + popcount.
+	data := bits.New(c.K())
+	rx := bits.New(c.N())
 	for b := 0; b < blocks; b++ {
-		data := bits.New(c.K())
 		for i := 0; i < c.K(); i++ {
 			data.Set(i, rng.Intn(2))
 		}
@@ -48,7 +51,9 @@ func MonteCarloCodedBER(c ecc.Code, snr float64, blocks int, rng *rand.Rand) (Co
 		if err != nil {
 			return CodedBERResult{}, err
 		}
-		rx, _ := ch.TransmitVector(word)
+		if _, err := ch.TransmitInto(rx, word); err != nil {
+			return CodedBERResult{}, err
+		}
 		decoded, info, err := c.Decode(rx)
 		if err != nil {
 			return CodedBERResult{}, err
@@ -57,7 +62,7 @@ func MonteCarloCodedBER(c ecc.Code, snr float64, blocks int, rng *rand.Rand) (Co
 		if info.Detected {
 			res.DetectedBlocks++
 		}
-		d, err := bits.HammingDistance(data, decoded)
+		d, err := data.XorPopCount(decoded)
 		if err != nil {
 			return CodedBERResult{}, err
 		}

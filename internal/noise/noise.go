@@ -65,15 +65,28 @@ func (c *OOKChannel) TransmitBit(b int) int {
 // received vector and the number of flips.
 func (c *OOKChannel) TransmitVector(v bits.Vector) (bits.Vector, int) {
 	out := bits.New(v.Len())
+	flips, _ := c.TransmitInto(out, v)
+	return out, flips
+}
+
+// TransmitInto passes every bit of v through the channel into dst, which
+// must have v's length, and returns the number of flips. It reuses dst's
+// storage, so a Monte-Carlo loop can run block after block without
+// per-block allocations. The RNG consumption is identical to
+// TransmitVector's.
+func (c *OOKChannel) TransmitInto(dst, v bits.Vector) (int, error) {
+	if dst.Len() != v.Len() {
+		return 0, fmt.Errorf("noise: TransmitInto destination holds %d bits, want %d", dst.Len(), v.Len())
+	}
 	flips := 0
 	for i := 0; i < v.Len(); i++ {
 		b := c.TransmitBit(v.Bit(i))
-		out.Set(i, b)
+		dst.Set(i, b)
 		if b != v.Bit(i) {
 			flips++
 		}
 	}
-	return out, flips
+	return flips, nil
 }
 
 // RawBERResult is a Monte-Carlo BER estimate with its confidence interval.

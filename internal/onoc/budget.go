@@ -41,11 +41,18 @@ func (b LinkBudget) String() string {
 		b.ModulatorOffLambdaDB, b.DropBankPassDB, b.DropLossDB, b.TotalDB())
 }
 
-// Budget computes the worst-case link budget for channel ch.
+// Budget computes the worst-case link budget for channel ch, validating the
+// specification first. Compiled callers (LinkPlan) validate once and use the
+// unexported form directly.
 func (c *ChannelSpec) Budget(ch int) (LinkBudget, error) {
 	if err := c.Validate(); err != nil {
 		return LinkBudget{}, err
 	}
+	return c.budget(ch)
+}
+
+// budget is Budget without the per-call specification validation.
+func (c *ChannelSpec) budget(ch int) (LinkBudget, error) {
 	if ch < 0 || ch >= c.Grid.Count {
 		return LinkBudget{}, fmt.Errorf("onoc: channel %d out of range [0,%d)", ch, c.Grid.Count)
 	}

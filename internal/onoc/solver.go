@@ -1,12 +1,6 @@
 package onoc
 
-import (
-	"errors"
-	"fmt"
-
-	"photonoc/internal/mathx"
-	"photonoc/internal/photonics"
-)
+import "fmt"
 
 // OperatingPoint is the solved optical state of one wavelength of the
 // channel at a required SNR: how much the laser must emit and what that
@@ -43,61 +37,34 @@ type OperatingPoint struct {
 // with OPsignal the received eye amplitude P1·(1 − 1/ER) and
 // OPcrosstalk = χ·P1, then walking the '1' level back through the link
 // budget to the laser facet and through the thermal model to Plaser.
+//
+// It is a thin wrapper over the memoized compiled plan (see Compile and
+// Plan): the configuration-constant budget, crosstalk and eye fraction are
+// derived once per distinct specification instead of per call.
 func (c *ChannelSpec) OperatingPoint(snr float64, ch int) (OperatingPoint, error) {
 	if snr <= 0 {
 		return OperatingPoint{}, fmt.Errorf("onoc: SNR %g must be positive", snr)
 	}
-	budget, err := c.Budget(ch)
+	p, err := c.Plan()
 	if err != nil {
 		return OperatingPoint{}, err
 	}
-	chi, err := c.CrosstalkFraction(ch)
-	if err != nil {
-		return OperatingPoint{}, err
-	}
-	erDB := c.ModulatorAt(ch).ExtinctionRatioDB()
-	eyeFraction := 1 - 1/mathx.FromDB(erDB)
-	margin := eyeFraction - chi
-	if margin <= 0 {
-		return OperatingPoint{}, fmt.Errorf("onoc: channel %d crosstalk (χ=%.4f) closes the eye (fraction %.4f)", ch, chi, eyeFraction)
-	}
-
-	op := OperatingPoint{
-		Channel:           ch,
-		SNR:               snr,
-		EyeFraction:       eyeFraction,
-		CrosstalkFraction: chi,
-		BudgetDB:          budget.TotalDB(),
-	}
-	op.ReceivedOneLevelW = c.Detector.RequiredSignalPower(snr) / margin
-	op.LaserOpticalW = op.ReceivedOneLevelW * mathx.FromDB(budget.TotalDB())
-
-	pe, err := c.Laser.ElectricalPower(op.LaserOpticalW, c.Activity)
-	switch {
-	case err == nil:
-		op.LaserElectricalW = pe
-		op.Feasible = true
-	case errors.Is(err, photonics.ErrLaserInfeasible):
-		op.InfeasibleReason = err.Error()
-	default:
-		return OperatingPoint{}, err
-	}
-	return op, nil
+	return p.OperatingPoint(snr, ch)
 }
 
 // WorstOperatingPoint solves every channel and returns the one demanding
 // the most laser power — the wavelength that sizes the shared laser-current
 // setting (the paper drives all the channel's lasers with one control).
+//
+// Like OperatingPoint it runs over the memoized compiled plan, which also
+// lets it invert the laser characteristic only for the worst channel.
 func (c *ChannelSpec) WorstOperatingPoint(snr float64) (OperatingPoint, error) {
-	var worst OperatingPoint
-	for ch := 0; ch < c.Grid.Count; ch++ {
-		op, err := c.OperatingPoint(snr, ch)
-		if err != nil {
-			return OperatingPoint{}, err
-		}
-		if ch == 0 || op.LaserOpticalW > worst.LaserOpticalW {
-			worst = op
-		}
+	if snr <= 0 {
+		return OperatingPoint{}, fmt.Errorf("onoc: SNR %g must be positive", snr)
 	}
-	return worst, nil
+	p, err := c.Plan()
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+	return p.WorstOperatingPoint(snr)
 }

@@ -87,6 +87,14 @@ func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
 	var sent []bits.Vector
 	var received []bits.Vector
 
+	// The default channel is a word-wise BSC injector: geometric gap
+	// sampling + XOR on the packed lane words, O(expected flips) per lane
+	// instead of one RNG draw per bit.
+	bsc, err := bits.NewBSC(cfg.RawBER)
+	if err != nil {
+		return PipelineStats{}, fmt.Errorf("serdes: %w", err)
+	}
+
 	flushLanes := func() error {
 		for lane := 0; lane < cfg.Lanes; lane++ {
 			n := ser.LaneLen(lane)
@@ -102,7 +110,7 @@ func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
 				stats.InjectedErrors += int64(flips)
 				stream = rx
 			} else {
-				stats.InjectedErrors += int64(bits.FlipRandom(stream, cfg.Rng, cfg.RawBER))
+				stats.InjectedErrors += int64(bsc.Corrupt(stream, cfg.Rng))
 			}
 			if err := des.PushLane(lane, stream); err != nil {
 				return err
