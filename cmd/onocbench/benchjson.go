@@ -14,6 +14,7 @@ import (
 
 	"photonoc/internal/bits"
 	"photonoc/internal/ecc"
+	"photonoc/internal/mc"
 )
 
 // BenchReport is the machine-readable output of `onocbench -json`: the
@@ -36,7 +37,7 @@ type BenchReport struct {
 // BenchMetric is one tracked benchmark measurement.
 type BenchMetric struct {
 	// Name identifies the metric: cold_sweep, warm_sweep, fer_inversion,
-	// monte_carlo_block.
+	// monte_carlo_block, mc_throughput, mc_scalar_throughput.
 	Name string `json:"name"`
 	// NsPerOp is wall nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
@@ -45,6 +46,9 @@ type BenchMetric struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	// N is the iteration count the measurement averaged over.
 	N int `json:"n"`
+	// FramesPerSec is the Monte-Carlo validation throughput (simulated
+	// codewords per second); set only on the mc_* metrics.
+	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
 }
 
 // benchBERGrid is the tracked sweep grid: the 8 extended schemes × 6 target
@@ -147,6 +151,34 @@ func runBenchJSON(w io.Writer, cfg photonoc.LinkConfig, workers int) error {
 		}
 		_ = sink
 	})
+	// The Monte-Carlo validation throughput pair: the tracked mc_throughput
+	// metric is the bit-sliced engine at the paper's H(71,64) / p = 1e-3
+	// operating point on a single worker; mc_scalar_throughput is the scalar
+	// per-frame path on the identical workload — the frozen baseline of the
+	// bit-slicing speedup claim.
+	const mcFrames = 1 << 16
+	mcCode := ecc.MustHamming7164()
+	measureMC := func(name string, scalar bool) {
+		measure(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := mc.Run(ctx, mcCode, 1e-3, mc.Options{
+					Frames: mcFrames, Seed: int64(i), Workers: 1, Shards: 1,
+					ForceScalar: scalar,
+				})
+				if err != nil {
+					fail(b, err)
+				}
+				if res.Frames < mcFrames {
+					fail(b, fmt.Errorf("mc benchmark ran %d of %d frames", res.Frames, mcFrames))
+				}
+			}
+		})
+		m := &report.Benchmarks[len(report.Benchmarks)-1]
+		m.FramesPerSec = mcFrames / m.NsPerOp * 1e9
+	}
+	measureMC("mc_throughput", false)
+	measureMC("mc_scalar_throughput", true)
 	if benchErr != nil {
 		return benchErr
 	}

@@ -9,6 +9,7 @@ import (
 	"photonoc/internal/core"
 	"photonoc/internal/engine"
 	"photonoc/internal/manager"
+	"photonoc/internal/mc"
 	"photonoc/internal/netsim"
 )
 
@@ -36,6 +37,16 @@ type Option = engine.Option
 
 // SweepResult is one streamed sweep outcome; see Engine.SweepStream.
 type SweepResult = engine.Result
+
+// MCOptions configures a Monte-Carlo validation run; see Engine.ValidateMC.
+// The zero value needs at least Frames set. Same Seed + same Shards pins the
+// counts exactly, regardless of Workers.
+type MCOptions = mc.Options
+
+// MCResult is the outcome of a Monte-Carlo validation run: exact error
+// counts, BER/FER with 95% Wilson confidence intervals, the analytic plan
+// predictions, and throughput accounting.
+type MCResult = mc.Result
 
 // CacheStats is a snapshot of the Engine's memo-cache accounting.
 type CacheStats = engine.CacheStats

@@ -1,9 +1,10 @@
 // Bervalidation: validate the paper's analytic BER chain (Eq. 2/3) by
-// simulation — plain Monte-Carlo at moderate SNR, an end-to-end coded
-// pipeline over a binary symmetric channel, and importance sampling down
-// at the paper's 1e-11 operating point. The operating points under test
-// come from the photonoc.Engine, tying the statistical validation to the
-// same solver the sweeps and the manager use.
+// simulation — the bit-sliced Monte-Carlo engine over the coded link, plain
+// Monte-Carlo on the raw OOK channel, the bit-true serdes pipeline, and
+// importance sampling down at the paper's 1e-11 operating point. The
+// operating points under test come from the photonoc.Engine, and the coded
+// validations run through the same Engine's ValidateMC/ValidateGrid, tying
+// the statistical validation to the solver the sweeps and the manager use.
 //
 //	go run ./examples/bervalidation
 package main
@@ -50,14 +51,32 @@ func main() {
 			snr, res.Expected, res.BER, res.LowCI, res.HighCI)
 	}
 
-	fmt.Println("\n--- coded link vs Eq. 2 (Monte-Carlo over codewords) ---")
+	fmt.Println("\n--- coded link vs Eq. 2 (bit-sliced Monte-Carlo, 2M frames each) ---")
+	// A hard-decision OOK channel at SNR 2.5 is a BSC at p = ½·erfc(√SNR).
+	p := ecc.RawBERFromSNR(2.5)
 	for _, code := range []photonoc.Code{photonoc.Hamming74(), photonoc.Hamming7164()} {
-		res, err := noise.MonteCarloCodedBER(code, 2.5, 150_000, rng)
+		res, err := eng.ValidateMC(ctx, code, p, photonoc.MCOptions{
+			Frames: 2_000_000, Seed: 42,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-9s @ SNR 2.5: Eq.2 %.3e  simulated %.3e  (corrected %d bits, %d detected blocks)\n",
-			code.Name(), res.Expected, res.BER, res.CorrectedBits, res.DetectedBlocks)
+		fmt.Printf("%-9s @ p=%.2e: Eq.2 %.3e  simulated %.3e  CI [%.2e, %.2e]  (%.1fM frames/s, %d corrected, %d detected)\n",
+			code.Name(), p, res.ExpectedBER, res.BER, res.BERLow, res.BERHigh,
+			res.FramesPerSec/1e6, res.CorrectedBits, res.DetectedFrames)
+	}
+
+	fmt.Println("\n--- frame error rates vs binomial tail (ValidateGrid, early-stopped at 5% rel. err.) ---")
+	grid, err := eng.ValidateGrid(ctx, nil, []float64{1e-2, 1e-3}, photonoc.MCOptions{
+		Frames: 50_000_000, TargetRelErr: 0.05, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range grid {
+		fmt.Printf("%-9s @ p=%.0e: analytic FER %.3e  simulated %.3e  CI [%.2e, %.2e]  (%d frames%s)\n",
+			res.Code, res.P, res.ExpectedFER, res.FER, res.FERLow, res.FERHigh,
+			res.Frames, map[bool]string{true: ", converged early", false: ""}[res.Converged])
 	}
 
 	fmt.Println("\n--- full TX→channel→RX pipeline (bit-true serdes path) ---")
@@ -70,7 +89,7 @@ func main() {
 		}
 		fmt.Printf("%-9s: measured CT %.3f, injected %6d errors, residual BER %.3e (Eq.2: %.3e)\n",
 			code.Name(), stats.MeasuredCT(), stats.InjectedErrors, stats.ResidualBER(),
-			ecc.PostDecodeBER(code, 5e-3))
+			ecc.PlanFor(code).PostDecodeBER(5e-3))
 	}
 
 	fmt.Println("\n--- deep tail via importance sampling (plain MC would need >1e12 bits) ---")

@@ -60,6 +60,19 @@ func (q *Queue) PopVector(n int) (Vector, error) {
 	return v, nil
 }
 
+// PopVectorInto removes the dst.Len() oldest bits into dst, overwriting it.
+// It is the allocation-free form of PopVector used by the serdes pipeline's
+// per-word drain loop.
+func (q *Queue) PopVectorInto(dst Vector) error {
+	if dst.Len() > q.Len() {
+		return fmt.Errorf("bits: PopVectorInto(%d) with only %d queued", dst.Len(), q.Len())
+	}
+	for i := 0; i < dst.Len(); i++ {
+		dst.Set(i, q.Pop())
+	}
+	return nil
+}
+
 // maybeCompact reclaims consumed words once they dominate the buffer.
 func (q *Queue) maybeCompact() {
 	if q.head < 4096 || q.head*2 < q.tail {

@@ -7,6 +7,7 @@ package bits
 import (
 	"fmt"
 	"math/bits"
+	"math/rand"
 	"strings"
 )
 
@@ -175,16 +176,49 @@ func (v Vector) AndMaskParity(mask []uint64) int {
 
 // Slice returns a copy of bits [lo, hi).
 func (v Vector) Slice(lo, hi int) Vector {
+	out := New(hi - lo)
+	v.SliceInto(out, lo)
+	return out
+}
+
+// SliceInto copies bits [lo, lo+dst.Len()) of v into dst, overwriting all of
+// dst. It allocates nothing, which makes it the block-extraction primitive of
+// the zero-alloc encode/decode seams: word-aligned sources copy whole words.
+func (v Vector) SliceInto(dst Vector, lo int) {
+	hi := lo + dst.n
 	if lo < 0 || hi > v.n || lo > hi {
 		panic(fmt.Sprintf("bits: Slice[%d:%d) of %d-bit vector", lo, hi, v.n))
 	}
-	out := New(hi - lo)
-	for i := lo; i < hi; i++ {
-		if v.Bit(i) == 1 {
-			out.Set(i-lo, 1)
+	if lo&63 == 0 {
+		// Word-aligned fast path: whole-word copy plus a masked tail.
+		copy(dst.words, v.words[lo>>6:])
+		if tail := uint(dst.n) & 63; tail != 0 && len(dst.words) > 0 {
+			dst.words[len(dst.words)-1] &= (1 << tail) - 1
 		}
+		return
 	}
-	return out
+	for i := lo; i < hi; i++ {
+		dst.Set(i-lo, v.Bit(i))
+	}
+}
+
+// Zero clears every bit of v.
+func (v Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// FillRandom overwrites v with independent fair bits drawn word-wise from
+// rng (one Uint64 per 64 bits instead of one draw per bit). It is the
+// payload generator of the Monte-Carlo paths.
+func (v Vector) FillRandom(rng *rand.Rand) {
+	for i := range v.words {
+		v.words[i] = rng.Uint64()
+	}
+	if tail := uint(v.n) & 63; tail != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << tail) - 1
+	}
 }
 
 // Concat returns a new vector holding v followed by o.
@@ -203,10 +237,21 @@ func (v Vector) Concat(o Vector) Vector {
 	return out
 }
 
-// CopyInto writes v into dst starting at bit offset off.
+// CopyInto writes v into dst starting at bit offset off. Other dst bits are
+// left untouched. Word-aligned offsets copy whole words.
 func (v Vector) CopyInto(dst Vector, off int) {
 	if off < 0 || off+v.n > dst.n {
 		panic(fmt.Sprintf("bits: CopyInto at %d overflows %d-bit destination", off, dst.n))
+	}
+	if off&63 == 0 && v.n > 0 {
+		w := off >> 6
+		full := v.n >> 6
+		copy(dst.words[w:w+full], v.words[:full])
+		if tail := uint(v.n) & 63; tail != 0 {
+			mask := uint64(1)<<tail - 1
+			dst.words[w+full] = dst.words[w+full]&^mask | v.words[full]&mask
+		}
+		return
 	}
 	for i := 0; i < v.n; i++ {
 		dst.Set(off+i, v.Bit(i))

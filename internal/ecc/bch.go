@@ -101,17 +101,30 @@ func (c *BCH) Generator() gf2.BinPoly { return c.gen }
 // Encode implements Code: systematic polynomial encoding. Data bit j becomes
 // the coefficient of x^{n−k+j}; the low n−k coefficients hold the remainder.
 func (c *BCH) Encode(data bits.Vector) (bits.Vector, error) {
-	if err := checkDataLen(c, data); err != nil {
+	out := bits.New(c.n)
+	if err := c.EncodeInto(out, data); err != nil {
 		return bits.Vector{}, err
 	}
-	deg := c.n - c.k
-	out := bits.New(c.n)
-	data.CopyInto(out, deg)
-	rem := c.polyMod(out)
-	for i := 0; i < deg; i++ {
-		out.Set(i, int(rem>>uint(i))&1)
-	}
 	return out, nil
+}
+
+// EncodeInto implements InplaceCode without allocating. dst is fully
+// overwritten (parity remainder in the low n−k bits, data above).
+func (c *BCH) EncodeInto(dst, data bits.Vector) error {
+	if err := checkDataLen(c, data); err != nil {
+		return err
+	}
+	if err := checkEncodeDst(c, dst); err != nil {
+		return err
+	}
+	deg := c.n - c.k
+	dst.Zero()
+	data.CopyInto(dst, deg)
+	rem := c.polyMod(dst)
+	for i := 0; i < deg; i++ {
+		dst.Set(i, int(rem>>uint(i))&1)
+	}
+	return nil
 }
 
 // polyMod returns v(x) mod gen(x) as packed bits (degree < n−k ≤ 63).
@@ -132,15 +145,37 @@ func (c *BCH) polyMod(v bits.Vector) uint64 {
 // α^1..α^{2t}.
 func (c *BCH) Syndromes(word bits.Vector) []uint16 {
 	synd := make([]uint16, 2*c.t)
-	ones := word.OnesPositions()
-	for j := 1; j <= 2*c.t; j++ {
-		var s uint16
-		for _, pos := range ones {
-			s ^= c.field.Alpha(j * pos)
-		}
-		synd[j-1] = s
-	}
+	c.syndromesInto(synd, word)
 	return synd
+}
+
+// SyndromesInto implements the syndrome seam without allocating: dst must
+// hold 2t entries and receives S_1..S_2t.
+func (c *BCH) SyndromesInto(dst []uint16, word bits.Vector) error {
+	if len(dst) != 2*c.t {
+		return fmt.Errorf("ecc: %s: SyndromesInto needs %d entries, got %d", c.name, 2*c.t, len(dst))
+	}
+	if err := checkWordLen(c, word); err != nil {
+		return err
+	}
+	c.syndromesInto(dst, word)
+	return nil
+}
+
+// syndromesInto accumulates each set bit's α^{j·pos} contribution into dst,
+// visiting the word once instead of materializing the ones-position list.
+func (c *BCH) syndromesInto(dst []uint16, word bits.Vector) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for pos := 0; pos < c.n; pos++ {
+		if word.Bit(pos) == 0 {
+			continue
+		}
+		for j := 1; j <= len(dst); j++ {
+			dst[j-1] ^= c.field.Alpha(j * pos)
+		}
+	}
 }
 
 // Decode implements Code using algebraic decoding. Error patterns of weight
@@ -148,11 +183,37 @@ func (c *BCH) Syndromes(word bits.Vector) []uint16 {
 // to factor over the field (miscorrection, as for any bounded-distance
 // decoder, remains possible and is exercised by the Monte-Carlo tests).
 func (c *BCH) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
-	if err := checkWordLen(c, word); err != nil {
+	out := bits.New(c.k)
+	info, err := c.DecodeInto(out, word)
+	if err != nil {
 		return bits.Vector{}, DecodeInfo{}, err
 	}
+	return out, info, nil
+}
+
+// DecodeInto implements InplaceCode with Decode's exact semantics. The
+// received word is never cloned: the miscorrection guard re-evaluates the
+// syndromes with the candidate flips folded in algebraically
+// (S_j(word ⊕ e) = S_j(word) ⊕ Σ α^{j·p}), and only data-region flips are
+// applied to dst. The Berlekamp-Massey and Chien stages retain their small
+// internal allocations.
+func (c *BCH) DecodeInto(dst, word bits.Vector) (DecodeInfo, error) {
+	if err := checkWordLen(c, word); err != nil {
+		return DecodeInfo{}, err
+	}
+	if err := checkDecodeDst(c, dst); err != nil {
+		return DecodeInfo{}, err
+	}
 	deg := c.n - c.k
-	synd := c.Syndromes(word)
+	var synBuf [16]uint16
+	var synd []uint16
+	if 2*c.t <= len(synBuf) {
+		synd = synBuf[:2*c.t]
+	} else {
+		synd = make([]uint16, 2*c.t)
+	}
+	c.syndromesInto(synd, word)
+	word.SliceInto(dst, deg)
 	allZero := true
 	for _, s := range synd {
 		if s != 0 {
@@ -161,25 +222,30 @@ func (c *BCH) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
 		}
 	}
 	if allZero {
-		return word.Slice(deg, c.n), DecodeInfo{}, nil
+		return DecodeInfo{}, nil
 	}
 	lambda := c.field.BerlekampMassey(synd)
 	if gf2.PolyDegree(lambda) > c.t {
-		return word.Slice(deg, c.n), DecodeInfo{Detected: true}, nil
+		return DecodeInfo{Detected: true}, nil
 	}
 	positions, ok := c.field.ChienSearch(lambda, c.n)
 	if !ok || len(positions) == 0 {
-		return word.Slice(deg, c.n), DecodeInfo{Detected: true}, nil
-	}
-	fixed := word.Clone()
-	for _, p := range positions {
-		fixed.Flip(p)
+		return DecodeInfo{Detected: true}, nil
 	}
 	// Guard against miscorrection: the patched word must be a codeword.
-	for _, s := range c.Syndromes(fixed) {
+	for j := 1; j <= len(synd); j++ {
+		s := synd[j-1]
+		for _, p := range positions {
+			s ^= c.field.Alpha(j * p)
+		}
 		if s != 0 {
-			return word.Slice(deg, c.n), DecodeInfo{Detected: true}, nil
+			return DecodeInfo{Detected: true}, nil
 		}
 	}
-	return fixed.Slice(deg, c.n), DecodeInfo{Corrected: len(positions)}, nil
+	for _, p := range positions {
+		if p >= deg {
+			dst.Flip(p - deg)
+		}
+	}
+	return DecodeInfo{Corrected: len(positions)}, nil
 }

@@ -39,6 +39,47 @@ type Code interface {
 	Decode(word bits.Vector) (bits.Vector, DecodeInfo, error)
 }
 
+// InplaceCode is implemented by codes whose encode/decode can run into
+// caller-provided buffers: EncodeInto writes the N-bit codeword for data into
+// dst, DecodeInto recovers the K data bits of word into dst, both with the
+// same semantics (and validation errors) as Encode/Decode but without
+// allocating the result. Every code in this package implements it; the
+// Monte-Carlo runners and the serdes pipeline run exclusively through these
+// seams.
+type InplaceCode interface {
+	Code
+	EncodeInto(dst, data bits.Vector) error
+	DecodeInto(dst, word bits.Vector) (DecodeInfo, error)
+}
+
+// encodeIntoAny encodes through the InplaceCode seam when available and
+// falls back on a copy from Encode otherwise.
+func encodeIntoAny(c Code, dst, data bits.Vector) error {
+	if ic, ok := c.(InplaceCode); ok {
+		return ic.EncodeInto(dst, data)
+	}
+	w, err := c.Encode(data)
+	if err != nil {
+		return err
+	}
+	w.CopyInto(dst, 0)
+	return nil
+}
+
+// decodeIntoAny decodes through the InplaceCode seam when available and
+// falls back on a copy from Decode otherwise.
+func decodeIntoAny(c Code, dst, word bits.Vector) (DecodeInfo, error) {
+	if ic, ok := c.(InplaceCode); ok {
+		return ic.DecodeInto(dst, word)
+	}
+	d, info, err := c.Decode(word)
+	if err != nil {
+		return DecodeInfo{}, err
+	}
+	d.CopyInto(dst, 0)
+	return info, nil
+}
+
 // DecodeInfo reports what the decoder did to a received word.
 type DecodeInfo struct {
 	// Corrected is the number of bit flips the decoder applied.
@@ -76,6 +117,22 @@ func Describe(c Code) string {
 func checkDataLen(c Code, data bits.Vector) error {
 	if data.Len() != c.K() {
 		return fmt.Errorf("ecc: %s: Encode needs %d data bits, got %d", c.Name(), c.K(), data.Len())
+	}
+	return nil
+}
+
+// checkEncodeDst validates an EncodeInto destination size (N bits).
+func checkEncodeDst(c Code, dst bits.Vector) error {
+	if dst.Len() != c.N() {
+		return fmt.Errorf("ecc: %s: EncodeInto needs a %d-bit destination, got %d", c.Name(), c.N(), dst.Len())
+	}
+	return nil
+}
+
+// checkDecodeDst validates a DecodeInto destination size (K bits).
+func checkDecodeDst(c Code, dst bits.Vector) error {
+	if dst.Len() != c.K() {
+		return fmt.Errorf("ecc: %s: DecodeInto needs a %d-bit destination, got %d", c.Name(), c.K(), dst.Len())
 	}
 	return nil
 }

@@ -51,14 +51,32 @@ func (c *ExtendedHamming) T() int { return 1 }
 
 // Encode implements Code: inner codeword plus an overall even-parity bit.
 func (c *ExtendedHamming) Encode(data bits.Vector) (bits.Vector, error) {
-	word, err := c.inner.Encode(data)
-	if err != nil {
+	out := bits.New(c.N())
+	if err := c.EncodeInto(out, data); err != nil {
 		return bits.Vector{}, err
 	}
-	out := bits.New(c.N())
-	word.CopyInto(out, 0)
-	out.Set(c.N()-1, word.PopCount()&1)
 	return out, nil
+}
+
+// EncodeInto implements InplaceCode without allocating: the inner systematic
+// layout is written directly into dst and the overall parity accumulated
+// alongside the inner parity bits.
+func (c *ExtendedHamming) EncodeInto(dst, data bits.Vector) error {
+	if err := checkDataLen(c, data); err != nil {
+		return err
+	}
+	if err := checkEncodeDst(c, dst); err != nil {
+		return err
+	}
+	data.CopyInto(dst, 0)
+	overall := data.PopCount()
+	for j, mask := range c.inner.parityMasks {
+		b := data.AndMaskParity(mask)
+		dst.Set(c.inner.k+j, b)
+		overall += b
+	}
+	dst.Set(c.N()-1, overall&1)
+	return nil
 }
 
 // Decode implements Code with the standard SECDED case analysis:
@@ -68,33 +86,47 @@ func (c *ExtendedHamming) Encode(data bits.Vector) (bits.Vector, error) {
 //	syndrome != 0, parity bad  → single error, corrected by lookup
 //	syndrome != 0, parity ok   → double error, detected-uncorrectable
 func (c *ExtendedHamming) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
-	if err := checkWordLen(c, word); err != nil {
-		return bits.Vector{}, DecodeInfo{}, err
-	}
-	innerWord := word.Slice(0, c.inner.N())
-	syn, err := c.inner.Syndrome(innerWord)
+	out := bits.New(c.K())
+	info, err := c.DecodeInto(out, word)
 	if err != nil {
 		return bits.Vector{}, DecodeInfo{}, err
 	}
+	return out, info, nil
+}
+
+// DecodeInto implements InplaceCode: Decode's SECDED case analysis without
+// allocating. The inner syndrome is evaluated directly on the extended word
+// (the parity masks read only the data prefix, and the inner parity bits sit
+// at their inner positions).
+func (c *ExtendedHamming) DecodeInto(dst, word bits.Vector) (DecodeInfo, error) {
+	if err := checkWordLen(c, word); err != nil {
+		return DecodeInfo{}, err
+	}
+	if err := checkDecodeDst(c, dst); err != nil {
+		return DecodeInfo{}, err
+	}
+	syn := c.inner.syndromeOf(word)
 	parityBad := word.PopCount()&1 == 1
+	word.SliceInto(dst, 0)
 
 	switch {
 	case syn == 0 && !parityBad:
-		return innerWord.Slice(0, c.K()), DecodeInfo{}, nil
+		return DecodeInfo{}, nil
 	case syn == 0 && parityBad:
 		// Only the appended parity bit is wrong; the data is intact.
-		return innerWord.Slice(0, c.K()), DecodeInfo{Corrected: 1}, nil
+		return DecodeInfo{Corrected: 1}, nil
 	case parityBad:
-		pos, known := c.inner.synDecode[syn]
+		pos, known := c.inner.synLookup(syn)
 		if !known {
-			return innerWord.Slice(0, c.K()), DecodeInfo{Detected: true}, nil
+			return DecodeInfo{Detected: true}, nil
 		}
-		fixed := innerWord.Clone()
-		fixed.Flip(pos)
-		return fixed.Slice(0, c.K()), DecodeInfo{Corrected: 1}, nil
+		if pos < c.K() {
+			dst.Flip(pos)
+		}
+		return DecodeInfo{Corrected: 1}, nil
 	default:
 		// Nonzero syndrome with good overall parity: an even number of
 		// errors. Uncorrectable by design.
-		return innerWord.Slice(0, c.K()), DecodeInfo{Detected: true}, nil
+		return DecodeInfo{Detected: true}, nil
 	}
 }

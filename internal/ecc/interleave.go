@@ -81,6 +81,10 @@ type InterleavedCode struct {
 	inner Code
 	il    *Interleaver
 	name  string
+	// innerLin is the inner code as a LinearCode when it is one; the
+	// bit-sliced kernels specialize on it (the interleaver permutation is
+	// then a pure re-indexing of sliced words — see sliced.go).
+	innerLin *LinearCode
 }
 
 // NewInterleavedCode builds the composition.
@@ -89,10 +93,12 @@ func NewInterleavedCode(inner Code, depth int) (*InterleavedCode, error) {
 	if err != nil {
 		return nil, err
 	}
+	lin, _ := inner.(*LinearCode)
 	return &InterleavedCode{
-		inner: inner,
-		il:    il,
-		name:  fmt.Sprintf("IL%dx%s", depth, inner.Name()),
+		inner:    inner,
+		il:       il,
+		name:     fmt.Sprintf("IL%dx%s", depth, inner.Name()),
+		innerLin: lin,
 	}, nil
 }
 
@@ -116,41 +122,72 @@ func (c *InterleavedCode) BurstTolerance() int { return c.il.Depth() * c.inner.T
 
 // Encode implements Code.
 func (c *InterleavedCode) Encode(data bits.Vector) (bits.Vector, error) {
-	if err := checkDataLen(c, data); err != nil {
+	out := bits.New(c.N())
+	if err := c.EncodeInto(out, data); err != nil {
 		return bits.Vector{}, err
 	}
-	words := make([]bits.Vector, c.il.Depth())
-	k := c.inner.K()
-	for i := range words {
-		w, err := c.inner.Encode(data.Slice(i*k, (i+1)*k))
-		if err != nil {
-			return bits.Vector{}, err
-		}
-		words[i] = w
+	return out, nil
+}
+
+// EncodeInto implements InplaceCode. Unlike the single-block codes it keeps
+// two inner-block scratch vectors per call (the interleaver permutation
+// prevents encoding in place); only the output allocation is avoided.
+func (c *InterleavedCode) EncodeInto(dst, data bits.Vector) error {
+	if err := checkDataLen(c, data); err != nil {
+		return err
 	}
-	return c.il.Interleave(words)
+	if err := checkEncodeDst(c, dst); err != nil {
+		return err
+	}
+	depth, width, k := c.il.Depth(), c.il.width, c.inner.K()
+	blockData := bits.New(k)
+	blockWord := bits.New(width)
+	for row := 0; row < depth; row++ {
+		data.SliceInto(blockData, row*k)
+		if err := encodeIntoAny(c.inner, blockWord, blockData); err != nil {
+			return err
+		}
+		for col := 0; col < width; col++ {
+			dst.Set(col*depth+row, blockWord.Bit(col))
+		}
+	}
+	return nil
 }
 
 // Decode implements Code.
 func (c *InterleavedCode) Decode(stream bits.Vector) (bits.Vector, DecodeInfo, error) {
-	if err := checkWordLen(c, stream); err != nil {
-		return bits.Vector{}, DecodeInfo{}, err
-	}
-	words, err := c.il.Deinterleave(stream)
+	out := bits.New(c.K())
+	info, err := c.DecodeInto(out, stream)
 	if err != nil {
 		return bits.Vector{}, DecodeInfo{}, err
 	}
-	out := bits.New(c.K())
+	return out, info, nil
+}
+
+// DecodeInto implements InplaceCode, with the same two-scratch-vector caveat
+// as EncodeInto.
+func (c *InterleavedCode) DecodeInto(dst, stream bits.Vector) (DecodeInfo, error) {
+	if err := checkWordLen(c, stream); err != nil {
+		return DecodeInfo{}, err
+	}
+	if err := checkDecodeDst(c, dst); err != nil {
+		return DecodeInfo{}, err
+	}
+	depth, width, k := c.il.Depth(), c.il.width, c.inner.K()
+	blockWord := bits.New(width)
+	blockData := bits.New(k)
 	var agg DecodeInfo
-	k := c.inner.K()
-	for i, w := range words {
-		data, info, err := c.inner.Decode(w)
+	for row := 0; row < depth; row++ {
+		for col := 0; col < width; col++ {
+			blockWord.Set(col, stream.Bit(col*depth+row))
+		}
+		info, err := decodeIntoAny(c.inner, blockData, blockWord)
 		if err != nil {
-			return bits.Vector{}, DecodeInfo{}, err
+			return DecodeInfo{}, err
 		}
 		agg.Corrected += info.Corrected
 		agg.Detected = agg.Detected || info.Detected
-		data.CopyInto(out, i*k)
+		blockData.CopyInto(dst, row*k)
 	}
-	return out, agg, nil
+	return agg, nil
 }

@@ -23,11 +23,30 @@ type LinearCode struct {
 	// the parity of data AND mask. This is the bitwise image of column j
 	// of P and the hot loop of Encode.
 	parityMasks [][]uint64
+	// parityIdx[j] lists the data-bit positions under parityMasks[j] — the
+	// same footprint as an index list, which is what the bit-sliced kernels
+	// iterate (one XOR of sliced words per listed position).
+	parityIdx [][]int32
 	// synDecode maps a syndrome (as an r-bit integer) to the codeword
-	// position it corrects. Populated only for t == 1 codes.
+	// position it corrects. Populated only for t == 1 codes; retained even
+	// when the dense table below is built, as the reference lookup.
 	synDecode map[uint64]int
-	g, h      *gf2.Matrix
+	// synTable is the dense image of synDecode, indexed directly by the
+	// syndrome: entry s holds the position correcting syndrome s, or
+	// synDetected (−1) for syndromes with no entry (detected-uncorrectable,
+	// possible for shortened codes). Built for t == 1 codes with
+	// r <= denseSynBits; larger codes fall back on the map.
+	synTable []int32
+	g, h     *gf2.Matrix
 }
+
+// denseSynBits caps the dense syndrome table at 2^22 × 4 B = 16 MiB; codes
+// with more parity bits keep the map lookup.
+const denseSynBits = 22
+
+// synDetected is the dense-table sentinel for syndromes with no correctable
+// position.
+const synDetected = int32(-1)
 
 // NewLinear builds a systematic linear code from its parity submatrix.
 // t must be 0 (detect-only or no protection) or 1 (single-error correction
@@ -47,14 +66,18 @@ func NewLinear(name string, p *gf2.Matrix, t int) (*LinearCode, error) {
 
 	dataWords := (k + 63) / 64
 	c.parityMasks = make([][]uint64, r)
+	c.parityIdx = make([][]int32, r)
 	for j := 0; j < r; j++ {
 		mask := make([]uint64, dataWords)
+		var idx []int32
 		for i := 0; i < k; i++ {
 			if p.At(i, j) == 1 {
 				mask[i>>6] |= 1 << (uint(i) & 63)
+				idx = append(idx, int32(i))
 			}
 		}
 		c.parityMasks[j] = mask
+		c.parityIdx[j] = idx
 	}
 
 	// G = [I_k | P], H = [Pᵀ | I_r]; retained for verification and tests.
@@ -97,8 +120,39 @@ func NewLinear(name string, p *gf2.Matrix, t int) (*LinearCode, error) {
 			}
 			c.synDecode[syn] = k + j
 		}
+		if r <= denseSynBits {
+			c.synTable = make([]int32, 1<<uint(r))
+			for s := range c.synTable {
+				c.synTable[s] = synDetected
+			}
+			for syn, pos := range c.synDecode {
+				c.synTable[syn] = int32(pos)
+			}
+		}
 	}
 	return c, nil
+}
+
+// synLookup resolves a nonzero syndrome to the codeword position it corrects,
+// through the dense table when built and the map otherwise. The boolean
+// reports whether the syndrome is correctable.
+func (c *LinearCode) synLookup(syn uint64) (int, bool) {
+	if c.synTable != nil {
+		pos := c.synTable[syn]
+		if pos == synDetected {
+			return 0, false
+		}
+		return int(pos), true
+	}
+	pos, ok := c.synDecode[syn]
+	return pos, ok
+}
+
+// synLookupMap is the map-only reference lookup, kept for the dense-vs-map
+// property tests.
+func (c *LinearCode) synLookupMap(syn uint64) (int, bool) {
+	pos, ok := c.synDecode[syn]
+	return pos, ok
 }
 
 // Name implements Code.
@@ -125,50 +179,88 @@ func (c *LinearCode) ParityMask(j int) []uint64 { return c.parityMasks[j] }
 
 // Encode implements Code: codeword = data ++ parity.
 func (c *LinearCode) Encode(data bits.Vector) (bits.Vector, error) {
-	if err := checkDataLen(c, data); err != nil {
-		return bits.Vector{}, err
-	}
 	out := bits.New(c.N())
-	data.CopyInto(out, 0)
-	for j, mask := range c.parityMasks {
-		out.Set(c.k+j, data.AndMaskParity(mask))
+	if err := c.EncodeInto(out, data); err != nil {
+		return bits.Vector{}, err
 	}
 	return out, nil
 }
 
+// EncodeInto implements InplaceCode: it writes the codeword for data into
+// dst (length N) without allocating.
+func (c *LinearCode) EncodeInto(dst, data bits.Vector) error {
+	if err := checkDataLen(c, data); err != nil {
+		return err
+	}
+	if err := checkEncodeDst(c, dst); err != nil {
+		return err
+	}
+	data.CopyInto(dst, 0)
+	for j, mask := range c.parityMasks {
+		dst.Set(c.k+j, data.AndMaskParity(mask))
+	}
+	return nil
+}
+
+// syndromeOf computes the syndrome of a length-checked word without copying:
+// the parity masks cover only data-bit positions, so evaluating them against
+// the full codeword (whose trailing words also hold parity bits) reads
+// exactly the data prefix. word may be longer than N (the SECDED extension
+// reuses this on its N+1-bit words).
+func (c *LinearCode) syndromeOf(word bits.Vector) uint64 {
+	var syn uint64
+	for j, mask := range c.parityMasks {
+		bit := word.AndMaskParity(mask) ^ word.Bit(c.k+j)
+		syn |= uint64(bit) << uint(j)
+	}
+	return syn
+}
+
 // Syndrome returns the r-bit syndrome of a received word as an integer.
+// It allocates nothing.
 func (c *LinearCode) Syndrome(word bits.Vector) (uint64, error) {
 	if err := checkWordLen(c, word); err != nil {
 		return 0, err
 	}
-	data := word.Slice(0, c.k)
-	var syn uint64
-	for j, mask := range c.parityMasks {
-		bit := data.AndMaskParity(mask) ^ word.Bit(c.k+j)
-		syn |= uint64(bit) << uint(j)
-	}
-	return syn, nil
+	return c.syndromeOf(word), nil
 }
 
 // Decode implements Code. For t = 1 codes a nonzero syndrome is corrected by
-// table lookup; unknown syndromes (shortened codes) are flagged Detected.
-// For t = 0 codes any nonzero syndrome is Detected.
+// syndrome lookup (dense table for r <= 22 parity bits, map above); unknown
+// syndromes (shortened codes) are flagged Detected. For t = 0 codes any
+// nonzero syndrome is Detected.
 func (c *LinearCode) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
-	syn, err := c.Syndrome(word)
+	out := bits.New(c.k)
+	info, err := c.DecodeInto(out, word)
 	if err != nil {
 		return bits.Vector{}, DecodeInfo{}, err
 	}
+	return out, info, nil
+}
+
+// DecodeInto implements InplaceCode: it recovers the K data bits of word
+// into dst without allocating, under Decode's exact semantics.
+func (c *LinearCode) DecodeInto(dst, word bits.Vector) (DecodeInfo, error) {
+	if err := checkWordLen(c, word); err != nil {
+		return DecodeInfo{}, err
+	}
+	if err := checkDecodeDst(c, dst); err != nil {
+		return DecodeInfo{}, err
+	}
+	syn := c.syndromeOf(word)
+	word.SliceInto(dst, 0)
 	if syn == 0 {
-		return word.Slice(0, c.k), DecodeInfo{}, nil
+		return DecodeInfo{}, nil
 	}
 	if c.t == 0 {
-		return word.Slice(0, c.k), DecodeInfo{Detected: true}, nil
+		return DecodeInfo{Detected: true}, nil
 	}
-	pos, known := c.synDecode[syn]
+	pos, known := c.synLookup(syn)
 	if !known {
-		return word.Slice(0, c.k), DecodeInfo{Detected: true}, nil
+		return DecodeInfo{Detected: true}, nil
 	}
-	fixed := word.Clone()
-	fixed.Flip(pos)
-	return fixed.Slice(0, c.k), DecodeInfo{Corrected: 1}, nil
+	if pos < c.k {
+		dst.Flip(pos)
+	}
+	return DecodeInfo{Corrected: 1}, nil
 }

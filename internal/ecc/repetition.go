@@ -40,26 +40,48 @@ func (c *Repetition) T() int { return (c.r - 1) / 2 }
 
 // Encode implements Code: bit i occupies positions [i·r, (i+1)·r).
 func (c *Repetition) Encode(data bits.Vector) (bits.Vector, error) {
-	if err := checkDataLen(c, data); err != nil {
-		return bits.Vector{}, err
-	}
 	out := bits.New(c.N())
-	for i := 0; i < c.k; i++ {
-		if data.Bit(i) == 1 {
-			for j := 0; j < c.r; j++ {
-				out.Set(i*c.r+j, 1)
-			}
-		}
+	if err := c.EncodeInto(out, data); err != nil {
+		return bits.Vector{}, err
 	}
 	return out, nil
 }
 
+// EncodeInto implements InplaceCode without allocating.
+func (c *Repetition) EncodeInto(dst, data bits.Vector) error {
+	if err := checkDataLen(c, data); err != nil {
+		return err
+	}
+	if err := checkEncodeDst(c, dst); err != nil {
+		return err
+	}
+	for i := 0; i < c.k; i++ {
+		b := data.Bit(i)
+		for j := 0; j < c.r; j++ {
+			dst.Set(i*c.r+j, b)
+		}
+	}
+	return nil
+}
+
 // Decode implements Code by per-bit majority vote.
 func (c *Repetition) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
-	if err := checkWordLen(c, word); err != nil {
+	data := bits.New(c.k)
+	info, err := c.DecodeInto(data, word)
+	if err != nil {
 		return bits.Vector{}, DecodeInfo{}, err
 	}
-	data := bits.New(c.k)
+	return data, info, nil
+}
+
+// DecodeInto implements InplaceCode: the majority vote without allocating.
+func (c *Repetition) DecodeInto(dst, word bits.Vector) (DecodeInfo, error) {
+	if err := checkWordLen(c, word); err != nil {
+		return DecodeInfo{}, err
+	}
+	if err := checkDecodeDst(c, dst); err != nil {
+		return DecodeInfo{}, err
+	}
 	info := DecodeInfo{}
 	for i := 0; i < c.k; i++ {
 		ones := 0
@@ -70,7 +92,7 @@ func (c *Repetition) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
 		if 2*ones > c.r {
 			bit = 1
 		}
-		data.Set(i, bit)
+		dst.Set(i, bit)
 		// Minority copies are the corrections the majority vote implied.
 		if bit == 1 {
 			info.Corrected += c.r - ones
@@ -78,7 +100,7 @@ func (c *Repetition) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
 			info.Corrected += ones
 		}
 	}
-	return data, info, nil
+	return info, nil
 }
 
 // PostDecodeBER implements BERModeler with the exact majority-vote error

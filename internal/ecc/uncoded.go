@@ -50,12 +50,36 @@ func (c *Uncoded) Encode(data bits.Vector) (bits.Vector, error) {
 	return data.Clone(), nil
 }
 
+// EncodeInto implements InplaceCode (identity copy).
+func (c *Uncoded) EncodeInto(dst, data bits.Vector) error {
+	if err := checkDataLen(c, data); err != nil {
+		return err
+	}
+	if err := checkEncodeDst(c, dst); err != nil {
+		return err
+	}
+	data.CopyInto(dst, 0)
+	return nil
+}
+
 // Decode implements Code (identity; nothing can be detected).
 func (c *Uncoded) Decode(word bits.Vector) (bits.Vector, DecodeInfo, error) {
 	if err := checkWordLen(c, word); err != nil {
 		return bits.Vector{}, DecodeInfo{}, err
 	}
 	return word.Clone(), DecodeInfo{}, nil
+}
+
+// DecodeInto implements InplaceCode (identity copy).
+func (c *Uncoded) DecodeInto(dst, word bits.Vector) (DecodeInfo, error) {
+	if err := checkWordLen(c, word); err != nil {
+		return DecodeInfo{}, err
+	}
+	if err := checkDecodeDst(c, dst); err != nil {
+		return DecodeInfo{}, err
+	}
+	word.CopyInto(dst, 0)
+	return DecodeInfo{}, nil
 }
 
 // PostDecodeBER implements BERModeler: without coding the channel error

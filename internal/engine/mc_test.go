@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"photonoc/internal/ecc"
+	"photonoc/internal/mc"
+)
+
+func newTestEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e, err := New(WithSchemes(ecc.PaperSchemes()...), WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidateMCBasic(t *testing.T) {
+	e := newTestEngine(t, 2)
+	res, err := e.ValidateMC(context.Background(), ecc.MustHamming7164(), 1e-2, mc.Options{
+		Frames: 100_000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames < 100_000 {
+		t.Errorf("short run: %d frames", res.Frames)
+	}
+	if res.Workers != 2 {
+		t.Errorf("workers %d should default to the engine pool size 2", res.Workers)
+	}
+	if res.FrameErrors == 0 {
+		t.Error("H(71,64) at p=1e-2 must show frame errors")
+	}
+	if res.FERLow > res.FER || res.FERHigh < res.FER {
+		t.Errorf("Wilson interval [%g,%g] excludes the estimate %g", res.FERLow, res.FERHigh, res.FER)
+	}
+}
+
+func TestValidateMCInvalidInput(t *testing.T) {
+	e := newTestEngine(t, 1)
+	ctx := context.Background()
+	if _, err := e.ValidateMC(ctx, nil, 1e-3, mc.Options{Frames: 64}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("nil code: got %v, want ErrInvalidInput", err)
+	}
+	if _, err := e.ValidateMC(ctx, ecc.MustHamming74(), 1.5, mc.Options{Frames: 64}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("p=1.5: got %v, want ErrInvalidInput", err)
+	}
+	if _, err := e.ValidateMC(ctx, ecc.MustHamming74(), 1e-3, mc.Options{}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("zero frames: got %v, want ErrInvalidInput", err)
+	}
+	if _, err := e.ValidateGrid(ctx, nil, nil, mc.Options{Frames: 64}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("empty grid: got %v, want ErrInvalidInput", err)
+	}
+	if _, err := e.ValidateGrid(ctx, []ecc.Code{nil}, []float64{1e-3}, mc.Options{Frames: 64}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("nil code in grid: got %v, want ErrInvalidInput", err)
+	}
+}
+
+// TestValidateGridDeterministicAcrossWorkers: the grid fan-out must produce
+// identical counts in identical order no matter how many pool workers the
+// engine runs — each point owns a seed derived from its grid index.
+func TestValidateGridDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	grid := []float64{1e-2, 5e-2}
+	opts := mc.Options{Frames: 20_000, Seed: 9, Shards: 4}
+	var ref []mc.Result
+	for _, workers := range []int{1, 2, 4} {
+		e := newTestEngine(t, workers)
+		got, err := e.ValidateGrid(ctx, nil, grid, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(grid)*len(ecc.PaperSchemes()) {
+			t.Fatalf("got %d results, want %d", len(got), len(grid)*len(ecc.PaperSchemes()))
+		}
+		if ref == nil {
+			ref = got
+			// Order contract: p-major, scheme order within each p.
+			for i, p := range grid {
+				for j, c := range ecc.PaperSchemes() {
+					r := got[i*len(ecc.PaperSchemes())+j]
+					if r.Code != c.Name() || r.P != p {
+						t.Fatalf("result %d is (%s, %g), want (%s, %g)", i*3+j, r.Code, r.P, c.Name(), p)
+					}
+				}
+			}
+			continue
+		}
+		for i := range got {
+			if got[i].BitErrors != ref[i].BitErrors || got[i].FrameErrors != ref[i].FrameErrors ||
+				got[i].Frames != ref[i].Frames {
+				t.Errorf("workers=%d: point %d counts diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestValidateGridPointsAreIndependent: repeated (code, p) grid points must
+// draw from distinct stream families — the per-point seed derivation mixes
+// the grid index, so nested shard derivation cannot alias across points.
+func TestValidateGridPointsAreIndependent(t *testing.T) {
+	e := newTestEngine(t, 1)
+	code := ecc.MustHamming74()
+	got, err := e.ValidateGrid(context.Background(),
+		[]ecc.Code{code, code}, []float64{5e-2}, mc.Options{Frames: 100_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].BitErrors == got[1].BitErrors && got[0].FrameErrors == got[1].FrameErrors {
+		t.Error("duplicate grid points produced identical counts; per-point streams alias")
+	}
+}
+
+func TestValidateGridCancellation(t *testing.T) {
+	e := newTestEngine(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ValidateGrid(ctx, nil, []float64{1e-3}, mc.Options{Frames: 1 << 30}); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}

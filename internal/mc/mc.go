@@ -1,0 +1,366 @@
+// Package mc is the bit-sliced Monte-Carlo validation engine: it measures a
+// code's post-decoding bit and frame error rates over a binary symmetric
+// channel by direct simulation of the encode → BSC → decode loop, at the
+// volumes the paper's operating points demand.
+//
+// Two kernels share one harness. The bit-sliced kernel transposes 64
+// independent frames into lane-major []uint64 words — sliced word i holds
+// codeword bit i of all 64 frames — so each XOR/AND/popcount advances 64
+// trials at once (see ecc.Slicer); codes without a sliced kernel (BCH) run
+// on a scalar per-frame path through the zero-alloc ecc.InplaceCode seams.
+// Both kernels draw channel errors with the same geometric gap sampling as
+// bits.BSC, so work is O(expected flips), not O(bits).
+//
+// The harness shards the trial volume over independent deterministic RNG
+// streams: shard s always simulates the same frames with the same stream
+// regardless of how many worker goroutines execute it, so a (Seed, Shards)
+// pair pins the counts exactly — across runs and across Workers settings.
+// Aggregation is streamed: after every round the harness folds the shard
+// counts, publishes a snapshot with Wilson confidence intervals, and stops
+// early once the frame-error estimate reaches the requested relative
+// precision.
+package mc
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"photonoc/internal/ecc"
+	"photonoc/internal/mathx"
+)
+
+// DefaultShards is the number of independent RNG streams when Options.Shards
+// is not set. The determinism contract is keyed by (Seed, Shards): changing
+// the shard count changes the streams, changing Workers never does.
+const DefaultShards = 16
+
+// maxBatchWords caps the per-shard words simulated between aggregation
+// barriers, bounding both early-stop latency and cancellation latency.
+const maxBatchWords = 256
+
+// goldenGamma is the splitmix64 Weyl increment used to derive per-shard
+// (and, in the engine's grid runner, per-point) seeds from the root seed.
+const goldenGamma uint64 = 0x9E3779B97F4A7C15
+
+// DeriveSeed maps (root, i) to a derived seed through the splitmix64
+// finalizer. The avalanche mixing matters: derivation nests (the engine's
+// grid runner derives a per-point seed, and Run derives per-shard seeds from
+// that), so a merely additive step would alias point i's shard s+1 with
+// point i+1's shard s. The mixed form keeps every nested stream distinct.
+func DeriveSeed(root int64, i int) int64 {
+	z := uint64(root) + uint64(i+1)*goldenGamma
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Options configures a Monte-Carlo run.
+type Options struct {
+	// Frames is the trial volume: the number of codewords to simulate.
+	// It is rounded up to a whole number of 64-frame words. Required.
+	Frames int64
+	// TargetRelErr, when positive, stops the run early once the 95% Wilson
+	// half-width of the frame-error rate falls below TargetRelErr × FER
+	// (checked after every round, on the aggregate counts).
+	TargetRelErr float64
+	// Workers is the number of goroutines executing shards. Defaults to
+	// GOMAXPROCS. Workers affects wall time only, never the counts.
+	Workers int
+	// Shards is the number of independent deterministic RNG streams the
+	// trial volume is split over. Defaults to DefaultShards. Part of the
+	// determinism contract: same Seed + same Shards ⇒ same counts.
+	Shards int
+	// Seed is the root seed; shard s draws from
+	// rand.NewSource(DeriveSeed(Seed, s)).
+	Seed int64
+	// BatchWords is the number of 64-frame words each shard simulates per
+	// round, between aggregation barriers. Defaults to the smaller of 256
+	// and an even split of the volume.
+	BatchWords int
+	// ForceScalar runs the scalar per-frame kernel even when the code has a
+	// bit-sliced one — the cross-validation and baseline-benchmark switch.
+	ForceScalar bool
+	// Progress, when non-nil, receives an aggregate snapshot after every
+	// round, on the coordinating goroutine.
+	Progress func(Result)
+}
+
+// Result is the outcome of a Monte-Carlo run. All counts are exact integers;
+// BER/FER carry 95% Wilson confidence intervals.
+type Result struct {
+	// Code and P identify the operating point: code name and BSC raw bit
+	// error probability.
+	Code string
+	P    float64
+
+	// Frames is the number of codewords simulated; PayloadBits = Frames·K.
+	Frames      int64
+	PayloadBits int64
+
+	// BitErrors counts wrong payload bits after decoding; FrameErrors
+	// counts frames that failed — decoded data differing from the sent
+	// data, or the decoder flagging the frame detected-uncorrectable.
+	// DetectedFrames counts the flagged subset; CorrectedBits the repairs
+	// the decoder applied.
+	BitErrors      int64
+	FrameErrors    int64
+	DetectedFrames int64
+	CorrectedBits  int64
+
+	// BER = BitErrors/PayloadBits with its Wilson interval.
+	BER, BERLow, BERHigh float64
+	// FER = FrameErrors/Frames with its Wilson interval.
+	FER, FERLow, FERHigh float64
+
+	// ExpectedBER and ExpectedFER are the analytic plan predictions
+	// (ecc.PlanFor): the post-decoding BER model and the binomial-tail
+	// frame error rate. The tail is exact for single-block bounded-distance
+	// decoders; for repetition and interleaved compositions it is an upper
+	// bound (errors split across sub-blocks can all be corrected).
+	ExpectedBER float64
+	ExpectedFER float64
+
+	// Elapsed and FramesPerSec report throughput; Sliced tells which
+	// kernel ran; Converged reports an early stop on TargetRelErr.
+	Elapsed      time.Duration
+	FramesPerSec float64
+	Sliced       bool
+	Converged    bool
+
+	// Workers, Shards and Seed echo the effective run parameters.
+	Workers int
+	Shards  int
+	Seed    int64
+}
+
+// counts is the integer accumulator shared by both kernels.
+type counts struct {
+	frames, payloadBits           int64
+	bitErrors, frameErrors        int64
+	detectedFrames, correctedBits int64
+}
+
+func (c *counts) add(o counts) {
+	c.frames += o.frames
+	c.payloadBits += o.payloadBits
+	c.bitErrors += o.bitErrors
+	c.frameErrors += o.frameErrors
+	c.detectedFrames += o.detectedFrames
+	c.correctedBits += o.correctedBits
+}
+
+// runner is one shard's kernel: simulate `words` 64-frame words, folding
+// outcomes into c, checking ctx every ctxCheckStride words.
+type runner interface {
+	runWords(ctx context.Context, words int, c *counts) error
+}
+
+// ctxCheckStride bounds cancellation latency inside a batch.
+const ctxCheckStride = 64
+
+// Run simulates opts.Frames transmissions of code c over a BSC with bit
+// flip probability p and returns the measured error rates. See the package
+// comment for the determinism and early-stopping contracts.
+func Run(ctx context.Context, code ecc.Code, p float64, opts Options) (Result, error) {
+	if code == nil {
+		return Result{}, fmt.Errorf("mc: nil code")
+	}
+	if math.IsNaN(p) || p < 0 || p >= 1 {
+		return Result{}, fmt.Errorf("mc: flip probability %g outside [0, 1)", p)
+	}
+	if opts.Frames <= 0 {
+		return Result{}, fmt.Errorf("mc: Frames must be positive, got %d", opts.Frames)
+	}
+	if opts.TargetRelErr < 0 || math.IsNaN(opts.TargetRelErr) {
+		return Result{}, fmt.Errorf("mc: TargetRelErr %g must be non-negative", opts.TargetRelErr)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	totalWords := (opts.Frames + ecc.SlicedWidth - 1) / ecc.SlicedWidth
+	batch := int64(opts.BatchWords)
+	if batch <= 0 {
+		batch = (totalWords + int64(shards) - 1) / int64(shards)
+		if batch > maxBatchWords {
+			batch = maxBatchWords
+		}
+	}
+	if batch < 1 {
+		batch = 1
+	}
+
+	// Fixed per-shard word quotas: the schedule is decided up front so the
+	// counts depend only on (Seed, Shards) and the stop round.
+	quota := make([]int64, shards)
+	for s := range quota {
+		quota[s] = totalWords / int64(shards)
+		if int64(s) < totalWords%int64(shards) {
+			quota[s]++
+		}
+	}
+
+	slicer, sliced := ecc.AsSlicer(code)
+	if opts.ForceScalar {
+		sliced = false
+	}
+	states := make([]runner, shards)
+	for s := range states {
+		rng := rand.New(rand.NewSource(DeriveSeed(opts.Seed, s)))
+		if sliced {
+			states[s] = newSlicedRunner(slicer, p, rng)
+		} else {
+			r, err := newScalarRunner(code, p, rng)
+			if err != nil {
+				return Result{}, err
+			}
+			states[s] = r
+		}
+	}
+
+	plan := ecc.PlanFor(code)
+	start := time.Now()
+	var total counts
+	converged := false
+
+	snapshot := func() Result {
+		res := Result{
+			Code:           code.Name(),
+			P:              p,
+			Frames:         total.frames,
+			PayloadBits:    total.payloadBits,
+			BitErrors:      total.bitErrors,
+			FrameErrors:    total.frameErrors,
+			DetectedFrames: total.detectedFrames,
+			CorrectedBits:  total.correctedBits,
+			ExpectedBER:    plan.PostDecodeBER(p),
+			ExpectedFER:    plan.FrameErrorRate(p),
+			Sliced:         sliced,
+			Converged:      converged,
+			Workers:        workers,
+			Shards:         shards,
+			Seed:           opts.Seed,
+		}
+		if total.payloadBits > 0 {
+			res.BER = float64(total.bitErrors) / float64(total.payloadBits)
+			res.BERLow, res.BERHigh = mathx.WilsonInterval(total.bitErrors, total.payloadBits, 1.96)
+		}
+		if total.frames > 0 {
+			res.FER = float64(total.frameErrors) / float64(total.frames)
+			res.FERLow, res.FERHigh = mathx.WilsonInterval(total.frameErrors, total.frames, 1.96)
+		}
+		res.Elapsed = time.Since(start)
+		if secs := res.Elapsed.Seconds(); secs > 0 {
+			res.FramesPerSec = float64(res.Frames) / secs
+		}
+		return res
+	}
+
+	remaining := make([]int64, shards)
+	copy(remaining, quota)
+	perRound := make([]counts, shards)
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		active := 0
+		for _, r := range remaining {
+			if r > 0 {
+				active++
+			}
+		}
+		if active == 0 {
+			break
+		}
+		if err := runRound(ctx, states, remaining, perRound, batch, workers); err != nil {
+			return Result{}, err
+		}
+		for s := range perRound {
+			total.add(perRound[s])
+		}
+		if opts.TargetRelErr > 0 && total.frameErrors > 0 {
+			lo, hi := mathx.WilsonInterval(total.frameErrors, total.frames, 1.96)
+			fer := float64(total.frameErrors) / float64(total.frames)
+			if (hi-lo)/2 <= opts.TargetRelErr*fer {
+				converged = true
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(snapshot())
+		}
+		if converged {
+			break
+		}
+	}
+	return snapshot(), nil
+}
+
+// runRound advances every shard with remaining quota by up to `batch` words,
+// fanning the shards over the worker pool. perRound[s] receives shard s's
+// counts for this round (zeroed first); remaining is decremented in place.
+func runRound(ctx context.Context, states []runner, remaining []int64, perRound []counts, batch int64, workers int) error {
+	type job struct {
+		shard int
+		words int
+	}
+	jobs := make([]job, 0, len(states))
+	for s := range states {
+		perRound[s] = counts{}
+		if remaining[s] <= 0 {
+			continue
+		}
+		w := batch
+		if remaining[s] < w {
+			w = remaining[s]
+		}
+		remaining[s] -= w
+		jobs = append(jobs, job{shard: s, words: int(w)})
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if err := states[j.shard].runWords(ctx, j.words, &perRound[j.shard]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	idx := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				if err := states[j.shard].runWords(ctx, j.words, &perRound[j.shard]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}

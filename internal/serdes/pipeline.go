@@ -63,6 +63,14 @@ func (s PipelineStats) ResidualBER() float64 {
 // RunPipeline pushes `words` random IP words through the full encode →
 // serialize → noisy channel → deserialize → decode path and verifies
 // payload integrity bit by bit.
+//
+// The loop is streaming and allocation-free in steady state: each word is
+// generated, encoded through the EncodeWordInto seam into reused block
+// buffers, carried over the lanes (flushed per word), decoded back through
+// DecodeWordInto and compared word-wise against the buffer it was generated
+// in — nothing is retained per word. A custom Channel function keeps its
+// allocating vector-in/vector-out signature; the default BSC path corrupts
+// the reused lane buffers in place.
 func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
 	if cfg.Rng == nil {
 		return PipelineStats{}, fmt.Errorf("serdes: pipeline needs an RNG")
@@ -84,8 +92,6 @@ func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
 	}
 
 	stats := PipelineStats{}
-	var sent []bits.Vector
-	var received []bits.Vector
 
 	// The default channel is a word-wise BSC injector: geometric gap
 	// sampling + XOR on the packed lane words, O(expected flips) per lane
@@ -95,24 +101,48 @@ func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
 		return PipelineStats{}, fmt.Errorf("serdes: %w", err)
 	}
 
+	// Reused buffers: the TX word, its encoded blocks, the received blocks,
+	// the decoded word, and one lane buffer per distinct flush size (lane
+	// occupancy repeats over the round-robin cycle, so this set is small
+	// and warms up within the first few words).
+	word := bits.New(cfg.NData)
+	rxWord := bits.New(cfg.NData)
+	blocks := make([]bits.Vector, iface.BlocksPerWord)
+	rxBlocks := make([]bits.Vector, iface.BlocksPerWord)
+	for b := range blocks {
+		blocks[b] = bits.New(cfg.Code.N())
+		rxBlocks[b] = bits.New(cfg.Code.N())
+	}
+	laneBufs := make(map[int]bits.Vector)
+
 	flushLanes := func() error {
 		for lane := 0; lane < cfg.Lanes; lane++ {
 			n := ser.LaneLen(lane)
 			if n == 0 {
 				continue
 			}
-			stream, err := ser.PopLane(lane, n)
-			if err != nil {
-				return err
-			}
 			if cfg.Channel != nil {
+				stream, err := ser.PopLane(lane, n)
+				if err != nil {
+					return err
+				}
 				rx, flips := cfg.Channel(stream)
 				stats.InjectedErrors += int64(flips)
-				stream = rx
-			} else {
-				stats.InjectedErrors += int64(bsc.Corrupt(stream, cfg.Rng))
+				if err := des.PushLane(lane, rx); err != nil {
+					return err
+				}
+				continue
 			}
-			if err := des.PushLane(lane, stream); err != nil {
+			buf, ok := laneBufs[n]
+			if !ok {
+				buf = bits.New(n)
+				laneBufs[n] = buf
+			}
+			if err := ser.PopLaneInto(buf, lane); err != nil {
+				return err
+			}
+			stats.InjectedErrors += int64(bsc.Corrupt(buf, cfg.Rng))
+			if err := des.PushLane(lane, buf); err != nil {
 				return err
 			}
 		}
@@ -120,13 +150,8 @@ func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
 	}
 
 	for w := 0; w < words; w++ {
-		word := bits.New(cfg.NData)
-		for i := 0; i < cfg.NData; i++ {
-			word.Set(i, cfg.Rng.Intn(2))
-		}
-		sent = append(sent, word)
-		blocks, err := iface.EncodeWord(word)
-		if err != nil {
+		word.FillRandom(cfg.Rng)
+		if err := iface.EncodeWordInto(blocks, word); err != nil {
 			return PipelineStats{}, err
 		}
 		for _, blk := range blocks {
@@ -134,38 +159,28 @@ func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
 		}
 		stats.Words++
 		stats.PayloadBits += int64(cfg.NData)
-	}
-	stats.CodedBits = ser.CodedBits
-	if err := flushLanes(); err != nil {
-		return PipelineStats{}, err
-	}
 
-	// Drain complete code blocks, regrouping them into IP words.
-	var pending []bits.Vector
-	for {
-		blk, ok := des.PopWord()
-		if !ok {
-			break
+		if err := flushLanes(); err != nil {
+			return PipelineStats{}, err
 		}
-		pending = append(pending, blk)
-		if len(pending) == iface.BlocksPerWord {
-			word, info, err := iface.DecodeWord(pending)
+		for b := range rxBlocks {
+			ok, err := des.PopWordInto(rxBlocks[b])
 			if err != nil {
 				return PipelineStats{}, err
 			}
-			stats.CorrectedBits += int64(info.Corrected)
-			if info.Detected {
-				stats.DetectedBlocks++
+			if !ok {
+				return PipelineStats{}, fmt.Errorf("serdes: deserializer starved after word %d block %d", w, b)
 			}
-			received = append(received, word)
-			pending = nil
 		}
-	}
-	if len(received) != len(sent) {
-		return PipelineStats{}, fmt.Errorf("serdes: sent %d words, received %d", len(sent), len(received))
-	}
-	for i := range sent {
-		d, err := bits.HammingDistance(sent[i], received[i])
+		info, err := iface.DecodeWordInto(rxWord, rxBlocks)
+		if err != nil {
+			return PipelineStats{}, err
+		}
+		stats.CorrectedBits += int64(info.Corrected)
+		if info.Detected {
+			stats.DetectedBlocks++
+		}
+		d, err := rxWord.XorPopCount(word)
 		if err != nil {
 			return PipelineStats{}, err
 		}
@@ -174,5 +189,6 @@ func RunPipeline(cfg PipelineConfig, words int) (PipelineStats, error) {
 			stats.WordErrors++
 		}
 	}
+	stats.CodedBits = ser.CodedBits
 	return stats, nil
 }

@@ -97,6 +97,41 @@ func TestPipelineValidation(t *testing.T) {
 	}
 }
 
+// TestPipelinePerWordAllocations is the allocation-regression pin for the
+// streaming pipeline: once the lane buffers and queues are warm, pushing
+// more words through must not allocate per word (the EncodeWordInto /
+// DecodeWordInto / PopVectorInto seams replaced the historical per-block
+// Encode and per-word vector churn). Measured as the marginal allocations
+// between a short and a long run, amortized per extra word.
+func TestPipelinePerWordAllocations(t *testing.T) {
+	for _, code := range []ecc.Code{ecc.MustHamming7164(), ecc.MustHamming74()} {
+		code := code
+		t.Run(code.Name(), func(t *testing.T) {
+			run := func(words int) float64 {
+				return testing.AllocsPerRun(3, func() {
+					if _, err := RunPipeline(PipelineConfig{
+						Code: code, NData: 64, Lanes: 16,
+						RawBER: 1e-3, Rng: rand.New(rand.NewSource(9)),
+					}, words); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			// Both runs sit past the queue warm-up horizon (lane queues stop
+			// growing once they reach their ~4096-bit compaction threshold,
+			// after ≲1000 words), so the marginal cost is pure steady state.
+			const short, long = 2000, 4000
+			perWord := (run(long) - run(short)) / float64(long-short)
+			// Queue growth is amortized and the block/lane buffers are
+			// reused; anything approaching one allocation per word means a
+			// hot-path regression.
+			if perWord > 0.1 {
+				t.Errorf("%s: %.3f allocs per word in steady state, want ~0", code.Name(), perWord)
+			}
+		})
+	}
+}
+
 func close(a, b, tol float64) bool {
 	d := a - b
 	if d < 0 {

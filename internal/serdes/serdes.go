@@ -54,6 +54,15 @@ func (s *Serializer) PopLane(lane, n int) (bits.Vector, error) {
 	return s.lanes[lane].PopVector(n)
 }
 
+// PopLaneInto drains dst.Len() bits from a lane into dst without
+// allocating — the pipeline's steady-state drain path.
+func (s *Serializer) PopLaneInto(dst bits.Vector, lane int) error {
+	if lane < 0 || lane >= len(s.lanes) {
+		return fmt.Errorf("serdes: lane %d out of range [0,%d)", lane, len(s.lanes))
+	}
+	return s.lanes[lane].PopVectorInto(dst)
+}
+
 // Deserializer reassembles fixed-size words from per-lane bitstreams using
 // the same round-robin discipline as the Serializer.
 type Deserializer struct {
@@ -96,13 +105,38 @@ func (d *Deserializer) PopWord() (bits.Vector, bool) {
 	return w, true
 }
 
+// PopWordInto is the allocation-free PopWord: it fills dst (which must hold
+// wordBits bits) with the next complete word. The boolean reports whether a
+// word was available; a mis-sized dst is a caller bug and returns an error.
+func (d *Deserializer) PopWordInto(dst bits.Vector) (bool, error) {
+	if dst.Len() != d.wordBits {
+		return false, fmt.Errorf("serdes: PopWordInto buffer holds %d bits, deserializer words are %d", dst.Len(), d.wordBits)
+	}
+	if d.lanes[d.next].Len() < d.wordBits {
+		return false, nil
+	}
+	if err := d.lanes[d.next].PopVectorInto(dst); err != nil {
+		return false, err // unreachable: length checked above
+	}
+	d.next = (d.next + 1) % len(d.lanes)
+	return true, nil
+}
+
 // Interface is the full transmit or receive conversion for one IP word:
-// splitting an Ndata-bit word into code blocks and back.
+// splitting an Ndata-bit word into code blocks and back. The *Into forms
+// reuse an internal block scratch buffer, so an Interface, like the
+// serializers it feeds, is a serial datapath element — not safe for
+// concurrent use.
 type Interface struct {
 	Code  ecc.Code
 	NData int
 	// BlocksPerWord is NData / K.
 	BlocksPerWord int
+
+	// inplace is Code's zero-alloc seam when it offers one (every code in
+	// internal/ecc does); blockBuf is the K-bit scratch of the Into forms.
+	inplace  ecc.InplaceCode
+	blockBuf bits.Vector
 }
 
 // NewInterface validates that the code tiles the IP bus width exactly
@@ -114,7 +148,14 @@ func NewInterface(code ecc.Code, nData int) (*Interface, error) {
 	if nData%code.K() != 0 {
 		return nil, fmt.Errorf("serdes: Ndata %d not divisible by %s block size %d", nData, code.Name(), code.K())
 	}
-	return &Interface{Code: code, NData: nData, BlocksPerWord: nData / code.K()}, nil
+	ic, _ := code.(ecc.InplaceCode)
+	return &Interface{
+		Code:          code,
+		NData:         nData,
+		BlocksPerWord: nData / code.K(),
+		inplace:       ic,
+		blockBuf:      bits.New(code.K()),
+	}, nil
 }
 
 // EncodeWord splits an IP word into blocks and encodes each.
@@ -132,6 +173,68 @@ func (f *Interface) EncodeWord(word bits.Vector) ([]bits.Vector, error) {
 		out[b] = coded
 	}
 	return out, nil
+}
+
+// EncodeWordInto is the allocation-free EncodeWord: blocks must hold
+// BlocksPerWord vectors of N bits each, which are overwritten with the
+// encoded blocks of word.
+func (f *Interface) EncodeWordInto(blocks []bits.Vector, word bits.Vector) error {
+	if word.Len() != f.NData {
+		return fmt.Errorf("serdes: word is %d bits, interface expects %d", word.Len(), f.NData)
+	}
+	if len(blocks) != f.BlocksPerWord {
+		return fmt.Errorf("serdes: got %d block buffers, want %d", len(blocks), f.BlocksPerWord)
+	}
+	k := f.Code.K()
+	for b := range blocks {
+		word.SliceInto(f.blockBuf, b*k)
+		if f.inplace != nil {
+			if err := f.inplace.EncodeInto(blocks[b], f.blockBuf); err != nil {
+				return err
+			}
+			continue
+		}
+		coded, err := f.Code.Encode(f.blockBuf)
+		if err != nil {
+			return err
+		}
+		coded.CopyInto(blocks[b], 0)
+	}
+	return nil
+}
+
+// DecodeWordInto is the allocation-free DecodeWord: the decoded IP word is
+// assembled into word (NData bits).
+func (f *Interface) DecodeWordInto(word bits.Vector, blocks []bits.Vector) (ecc.DecodeInfo, error) {
+	if word.Len() != f.NData {
+		return ecc.DecodeInfo{}, fmt.Errorf("serdes: word buffer is %d bits, interface expects %d", word.Len(), f.NData)
+	}
+	if len(blocks) != f.BlocksPerWord {
+		return ecc.DecodeInfo{}, fmt.Errorf("serdes: got %d blocks, want %d", len(blocks), f.BlocksPerWord)
+	}
+	k := f.Code.K()
+	var agg ecc.DecodeInfo
+	for b, blk := range blocks {
+		var info ecc.DecodeInfo
+		if f.inplace != nil {
+			var err error
+			info, err = f.inplace.DecodeInto(f.blockBuf, blk)
+			if err != nil {
+				return ecc.DecodeInfo{}, err
+			}
+			f.blockBuf.CopyInto(word, b*k)
+		} else {
+			data, di, err := f.Code.Decode(blk)
+			if err != nil {
+				return ecc.DecodeInfo{}, err
+			}
+			info = di
+			data.CopyInto(word, b*k)
+		}
+		agg.Corrected += info.Corrected
+		agg.Detected = agg.Detected || info.Detected
+	}
+	return agg, nil
 }
 
 // DecodeWord reassembles an IP word from received code blocks.

@@ -1,6 +1,7 @@
 package photonoc
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -77,5 +78,32 @@ func TestFacadeTable1(t *testing.T) {
 	}
 	if len(rows) != 12 || len(totals) != 6 {
 		t.Errorf("table1 shape %d/%d", len(rows), len(totals))
+	}
+}
+
+func TestFacadeValidateMC(t *testing.T) {
+	eng, err := New(WithSchemes(PaperSchemes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := eng.ValidateMC(ctx, Hamming7164(), 1e-2, MCOptions{Frames: 50_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != "H(71,64)" || res.Frames < 50_000 || res.FrameErrors == 0 {
+		t.Errorf("unexpected MC result: %+v", res)
+	}
+	// The analytic FER (exact for a bounded-distance decoder) must sit
+	// inside a widened Wilson band.
+	if res.ExpectedFER < res.FERLow*0.8 || res.ExpectedFER > res.FERHigh*1.2 {
+		t.Errorf("analytic FER %g far outside CI [%g, %g]", res.ExpectedFER, res.FERLow, res.FERHigh)
+	}
+	grid, err := eng.ValidateGrid(ctx, nil, []float64{1e-2}, MCOptions{Frames: 10_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != len(PaperSchemes()) {
+		t.Errorf("grid returned %d results, want %d", len(grid), len(PaperSchemes()))
 	}
 }
