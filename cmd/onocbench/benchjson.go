@@ -37,7 +37,7 @@ type BenchReport struct {
 // BenchMetric is one tracked benchmark measurement.
 type BenchMetric struct {
 	// Name identifies the metric: cold_sweep, warm_sweep, fer_inversion,
-	// monte_carlo_block, mc_throughput, mc_scalar_throughput.
+	// monte_carlo_block, mc_throughput, mc_scalar_throughput, noc_eval.
 	Name string `json:"name"`
 	// NsPerOp is wall nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
@@ -49,6 +49,9 @@ type BenchMetric struct {
 	// FramesPerSec is the Monte-Carlo validation throughput (simulated
 	// codewords per second); set only on the mc_* metrics.
 	FramesPerSec float64 `json:"frames_per_sec,omitempty"`
+	// SolvesPerSec is the per-link operating-point solve throughput of a
+	// network evaluation; set only on the noc_eval metric.
+	SolvesPerSec float64 `json:"solves_per_sec,omitempty"`
 }
 
 // benchBERGrid is the tracked sweep grid: the 8 extended schemes × 6 target
@@ -179,6 +182,32 @@ func runBenchJSON(w io.Writer, cfg photonoc.LinkConfig, workers int) error {
 	}
 	measureMC("mc_throughput", false)
 	measureMC("mc_scalar_throughput", true)
+
+	// Network evaluation: one cold solve of a 16-tile SWMR crossbar —
+	// 16 links with distinct loss budgets × the paper's 3 schemes — plus
+	// the load/saturation/latency aggregation, through an engine with
+	// memoization disabled.
+	nocEng, err := photonoc.New(engineOpts(0)...)
+	if err != nil {
+		return err
+	}
+	nocTopo := photonoc.NoCConfig{Kind: photonoc.NoCCrossbar, Tiles: 16}
+	nocOpts := photonoc.NoCEvalOptions{TargetBER: 1e-11, Objective: photonoc.MinEnergy}
+	nocSolves := 16 * len(nocEng.Schemes())
+	measure("noc_eval", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := nocEng.Network(ctx, nocTopo, nocOpts)
+			if err != nil {
+				fail(b, err)
+			}
+			if !res.Feasible {
+				fail(b, fmt.Errorf("crossbar infeasible: %s", res.InfeasibleReason))
+			}
+		}
+	})
+	m := &report.Benchmarks[len(report.Benchmarks)-1]
+	m.SolvesPerSec = float64(nocSolves) / m.NsPerOp * 1e9
 	if benchErr != nil {
 		return benchErr
 	}

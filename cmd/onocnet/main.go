@@ -1,0 +1,220 @@
+// Command onocnet evaluates whole network-on-chip topologies built from the
+// paper's calibrated MWSR channel: per-link scheme/laser decisions, traffic
+// loads, saturation throughput, latency percentiles and the network energy
+// budget.
+//
+//	onocnet -topology mesh -tiles 64 -ber 1e-11
+//	onocnet -topology crossbar -tiles 16 -pattern hotspot -hotspot 3
+//	onocnet -topology ring -tiles 8 -sweep 1e-12,1e-9 -points 7
+//	onocnet -topology bus -tiles 12 -links        # per-link detail
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+
+	"photonoc"
+
+	"photonoc/internal/manager"
+	"photonoc/internal/mathx"
+	"photonoc/internal/report"
+)
+
+func main() {
+	topology := flag.String("topology", "mesh", "bus|crossbar|ring|mesh")
+	tiles := flag.Int("tiles", 16, "network tiles")
+	columns := flag.Int("columns", 0, "mesh columns (0 = most square)")
+	pitch := flag.Float64("pitch", 0, "tile pitch in cm (0 = spread the base waveguide)")
+	ber := flag.Float64("ber", 1e-11, "target BER")
+	sweep := flag.String("sweep", "", "BER sweep range lo,hi (overrides -ber)")
+	points := flag.Int("points", 5, "sweep points")
+	pattern := flag.String("pattern", "uniform", "uniform|hotspot|permutation|streaming")
+	hotspot := flag.Int("hotspot", 0, "hotspot destination tile")
+	hotFrac := flag.Float64("hotfrac", 0.30, "hotspot traffic fraction in (0,1)")
+	objective := flag.String("objective", "min-energy", "min-power|min-energy|min-latency")
+	rate := flag.Float64("rate", 0, "injection rate per tile in bits/s (0 = half of saturation)")
+	useDAC := flag.Bool("dac", false, "quantize laser settings through the paper's 6-bit DAC")
+	perLink := flag.Bool("links", false, "print the per-link table")
+	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "onocnet: %v\n", err)
+		os.Exit(1)
+	}
+
+	kind, err := photonoc.ParseNoCKind(*topology)
+	if err != nil {
+		fail(err)
+	}
+	pat, err := photonoc.ParsePattern(*pattern)
+	if err != nil {
+		fail(err)
+	}
+	var obj manager.Objective
+	switch *objective {
+	case "min-power":
+		obj = photonoc.MinPower
+	case "min-energy":
+		obj = photonoc.MinEnergy
+	case "min-latency":
+		obj = photonoc.MinLatency
+	default:
+		fail(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	opts := []photonoc.Option{}
+	if *workers != 0 {
+		opts = append(opts, photonoc.WithWorkers(*workers))
+	}
+	eng, err := photonoc.New(opts...)
+	if err != nil {
+		fail(err)
+	}
+
+	topo := photonoc.NoCConfig{Kind: kind, Tiles: *tiles, Columns: *columns, TilePitchCM: *pitch}
+	net, err := eng.BuildNetwork(topo)
+	if err != nil {
+		fail(err)
+	}
+	traffic, err := pat.Matrix(*tiles, *hotspot, *hotFrac)
+	if err != nil {
+		fail(err)
+	}
+	evalOpts := photonoc.NoCEvalOptions{
+		TargetBER:               *ber,
+		Objective:               obj,
+		Traffic:                 traffic,
+		InjectionRateBitsPerSec: *rate,
+	}
+	if *useDAC {
+		dac := photonoc.PaperDAC()
+		evalOpts.DAC = &dac
+	}
+
+	fmt.Printf("topology %s: %d tiles, %d links, %d waveguides (%s traffic)\n",
+		kind, net.Tiles(), net.NumLinks(), len(net.Waveguides()), pat)
+
+	if *sweep != "" {
+		lo, hi, perr := parseRange(*sweep)
+		if perr != nil {
+			fail(perr)
+		}
+		if err := runSweep(ctx, eng, topo, evalOpts, mathx.Logspace(lo, hi, *points)); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	res, err := eng.Network(ctx, topo, evalOpts)
+	if err != nil {
+		fail(err)
+	}
+	if err := printResult(net, res, *perLink); err != nil {
+		fail(err)
+	}
+}
+
+// parseRange splits "lo,hi" into its bounds.
+func parseRange(s string) (lo, hi float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("sweep range %q: want lo,hi", s)
+	}
+	if lo, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return 0, 0, fmt.Errorf("sweep bound %q: %v", parts[0], err)
+	}
+	if hi, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return 0, 0, fmt.Errorf("sweep bound %q: %v", parts[1], err)
+	}
+	return lo, hi, nil
+}
+
+// runSweep streams the BER sweep, rendering each aggregated point as it
+// completes.
+func runSweep(ctx context.Context, eng *photonoc.Engine, topo photonoc.NoCConfig, opts photonoc.NoCEvalOptions, bers []float64) error {
+	t := report.NewTable("Network sweep",
+		"BER", "feasible", "schemes", "sat Gb/s/tile", "pJ/bit", "p50 µs", "p99 µs")
+	for r := range eng.NetworkSweepStream(ctx, topo, bers, opts) {
+		if r.Err != nil {
+			return r.Err
+		}
+		res := r.Result
+		if !res.Feasible {
+			t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "no", res.InfeasibleReason, "-", "-", "-", "-")
+			continue
+		}
+		t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "yes", schemeMix(res),
+			fmt.Sprintf("%.2f", res.SaturationInjectionBitsPerSec/1e9),
+			fmt.Sprintf("%.2f", res.EnergyPerBitJ*1e12),
+			fmt.Sprintf("%.3f", res.P50LatencySec*1e6),
+			fmt.Sprintf("%.3f", res.P99LatencySec*1e6))
+	}
+	return t.Render(os.Stdout)
+}
+
+// schemeMix formats the per-scheme link counts.
+func schemeMix(res photonoc.NoCResult) string {
+	parts := make([]string, 0, len(res.SchemeUse))
+	for name, count := range res.SchemeUse {
+		parts = append(parts, fmt.Sprintf("%s×%d", name, count))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	sort.Strings(parts) // deterministic order across map iterations
+	return strings.Join(parts, " ")
+}
+
+// printResult renders one network operating point.
+func printResult(net *photonoc.NoC, res photonoc.NoCResult, perLink bool) error {
+	if !res.Feasible {
+		fmt.Printf("infeasible at BER %.1e: %s\n", res.TargetBER, res.InfeasibleReason)
+		return nil
+	}
+	t := report.NewTable(fmt.Sprintf("Network operating point @ BER %.0e", res.TargetBER), "metric", "value")
+	t.AddRowf("scheme mix", schemeMix(res))
+	t.AddRowf("saturation injection", fmt.Sprintf("%.2f Gb/s per tile", res.SaturationInjectionBitsPerSec/1e9))
+	t.AddRowf("evaluated injection", fmt.Sprintf("%.2f Gb/s per tile", res.InjectionRateBitsPerSec/1e9))
+	t.AddRowf("delivered payload", fmt.Sprintf("%.1f Gb/s", res.DeliveredBitsPerSec/1e9))
+	t.AddRowf("laser power", fmt.Sprintf("%.1f mW", res.LaserPowerW*1e3))
+	t.AddRowf("modulator power", fmt.Sprintf("%.1f mW", res.ModulatorPowerW*1e3))
+	t.AddRowf("interface power", fmt.Sprintf("%.3f mW", res.InterfacePowerW*1e3))
+	t.AddRowf("network power", fmt.Sprintf("%.1f mW", res.NetworkPowerW*1e3))
+	t.AddRowf("energy per bit", fmt.Sprintf("%.2f pJ (active %.2f pJ)", res.EnergyPerBitJ*1e12, res.ActiveEnergyPerBitJ*1e12))
+	t.AddRowf("latency mean / p50 / p95 / p99", fmt.Sprintf("%.3f / %.3f / %.3f / %.3f µs",
+		res.MeanLatencySec*1e6, res.P50LatencySec*1e6, res.P95LatencySec*1e6, res.P99LatencySec*1e6))
+	if res.Saturated {
+		t.AddRowf("saturated", "yes — queue waits unbounded at this rate")
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if !perLink {
+		return nil
+	}
+	links := net.Links()
+	lt := report.NewTable("Per-link detail", "link", "reader", "λ", "len cm", "scheme", "Plaser µW", "util", "cap Gb/s")
+	for i, d := range res.Decisions {
+		load := res.Loads[i]
+		l := links[i]
+		lt.AddRowf(fmt.Sprintf("%d", d.Link),
+			fmt.Sprintf("%d", l.Reader),
+			fmt.Sprintf("%d", len(l.Lambdas)),
+			fmt.Sprintf("%.2f", l.LengthCM),
+			d.Eval.Code.Name(),
+			fmt.Sprintf("%.1f", d.LaserPowerW*1e6),
+			fmt.Sprintf("%.2f", load.Utilization),
+			fmt.Sprintf("%.1f", load.CapacityBitsPerSec/1e9))
+	}
+	return lt.Render(os.Stdout)
+}

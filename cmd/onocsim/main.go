@@ -24,6 +24,7 @@ import (
 func main() {
 	pattern := flag.String("pattern", "uniform", "uniform|hotspot|permutation|streaming")
 	hotspot := flag.Int("hotspot", 0, "hotspot destination node")
+	hotFrac := flag.Float64("hotfrac", 0.30, "hotspot traffic fraction in (0,1)")
 	load := flag.Float64("load", 0.4, "offered payload utilization per channel (0,1)")
 	messages := flag.Int("messages", 20000, "messages to simulate")
 	msgBytes := flag.Int("msgbytes", 4096, "payload per message in bytes")
@@ -48,19 +49,12 @@ func main() {
 	cfg.AdaptToDeadline = *adaptive
 	cfg.IdleLaserOff = *idleOff
 	cfg.HotspotNode = *hotspot
+	cfg.HotspotFraction = *hotFrac
 	cfg.Seed = *seed
 
-	switch *pattern {
-	case "uniform":
-		cfg.Pattern = netsim.Uniform
-	case "hotspot":
-		cfg.Pattern = netsim.Hotspot
-	case "permutation":
-		cfg.Pattern = netsim.Permutation
-	case "streaming":
-		cfg.Pattern = netsim.Streaming
-	default:
-		fmt.Fprintf(os.Stderr, "onocsim: unknown pattern %q\n", *pattern)
+	var err error
+	if cfg.Pattern, err = netsim.ParsePattern(*pattern); err != nil {
+		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
 		os.Exit(2)
 	}
 	switch *objective {

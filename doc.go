@@ -79,6 +79,38 @@
 // (miscorrection, detection) with Wilson confidence intervals at tens of
 // millions of frames per second per core.
 //
+// # The network layer
+//
+// internal/noc scales the single calibrated channel to whole topologies —
+// the network-level evaluation the paper defers to future work. A
+// NoCConfig names a topology family (bus, crossbar, ring, mesh) and a tile
+// count; Engine.BuildNetwork compiles it into links with per-link waveguide
+// lengths (distinct loss budgets), a wavelength-allocation pass that
+// partitions the shared WavelengthGrid so no wavelength is reused on a
+// shared waveguide, and a routing table covering every (src, dst) pair:
+//
+//	topo := photonoc.NoCConfig{Kind: photonoc.NoCMesh, Tiles: 64}
+//	res, err := eng.Network(ctx, topo, photonoc.NoCEvalOptions{
+//		TargetBER: 1e-11, Objective: photonoc.MinEnergy,
+//	})
+//	fmt.Println(res.SchemeUse, res.EnergyPerBitJ, res.P99LatencySec)
+//
+//	// Batch and streaming BER sweeps, deterministic across worker counts.
+//	results, err := eng.NetworkSweep(ctx, topo, bers, opts)
+//	for r := range eng.NetworkSweepStream(ctx, topo, bers, opts) { ... }
+//
+// Every link's (scheme, target BER) solves fan across the Engine's worker
+// pool, keyed in the LRU by the link's configuration fingerprint — links
+// sharing a compiled plan (every bus link, every repeated mesh position)
+// reuse each other's solves. Scheme selection per link follows the runtime
+// manager's rule exactly, and a 1-waveguide bus over the paper topology
+// reproduces the single-link sweep bit for bit. Traffic matrices come from
+// the netsim patterns (Pattern.Matrix) or recorded traces (Trace.Matrix);
+// the aggregation derives per-link utilization, saturation throughput
+// (bisection over the injection rate), M/D/1 latency percentiles and the
+// network energy budget with standing lasers and activity-scaled
+// modulator/interface power.
+//
 // # Performance model
 //
 // Solves come in two costs. A warm solve is an LRU cache hit (microseconds).
@@ -120,6 +152,9 @@
 //   - internal/manager    — the runtime link manager with its laser DAC
 //   - internal/netsim     — a discrete-event traffic simulator over the
 //     interconnect (the paper's future-work evaluation)
+//   - internal/noc        — network-scale topologies (bus, crossbar, ring,
+//     mesh): wavelength allocation, routing, traffic-matrix aggregation
+//     (the machinery behind Engine.Network / NetworkSweep)
 //
 // The benchmark harness in bench_test.go regenerates every table and figure
 // of the paper; engine_bench_test.go compares the sequential and concurrent

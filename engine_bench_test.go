@@ -74,6 +74,32 @@ func BenchmarkEngineSweepWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkEval is the tracked noc_eval workload: one full network
+// evaluation of a 16-tile SWMR crossbar (16 links with distinct loss
+// budgets × the paper's 3 schemes) with memoization disabled, so every
+// iteration re-solves all 48 per-link operating points and re-aggregates
+// loads, saturation and latency.
+func BenchmarkNetworkEval(b *testing.B) {
+	eng, err := New(WithCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := NoCConfig{Kind: NoCCrossbar, Tiles: 16}
+	opts := NoCEvalOptions{TargetBER: 1e-11, Objective: MinEnergy}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Network(ctx, topo, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatalf("crossbar infeasible: %s", res.InfeasibleReason)
+		}
+	}
+}
+
 // BenchmarkManagerDecision compares per-request manager latency: a
 // standalone manager (private cache) against an engine-backed manager
 // sharing the sweep-warmed LRU.

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint digests a configuration into the short hex key the caching
+// layers use to tell configurations apart: equal configurations always
+// agree (encoding/json sorts map keys, so the serialization is canonical)
+// and any parameter change produces a new digest. The engine's memo cache
+// keys every solve by (fingerprint, scheme, target BER), and the network
+// layer stamps each derived per-link configuration so links sharing a
+// compiled plan share cache entries.
+func Fingerprint(cfg LinkConfig) (string, error) {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("core: fingerprinting config: %w", err)
+	}
+	return FingerprintBytes(raw), nil
+}
+
+// FingerprintBytes hashes a canonical JSON serialization of a configuration
+// into the short hex fingerprint.
+func FingerprintBytes(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:8])
+}

@@ -2,17 +2,17 @@ package engine
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"photonoc/internal/core"
 	"photonoc/internal/ecc"
+	"photonoc/internal/noc"
 )
 
 // DefaultCacheEntries is the memo-cache capacity when WithCache is not
@@ -36,6 +36,14 @@ type Engine struct {
 	// pipeline (a cache miss, or any solve with the cache disabled).
 	coldSolves  atomic.Uint64
 	coldSolveNS atomic.Int64
+
+	// Network-evaluation registries: per-link configurations compiled once
+	// per distinct fingerprint (the engine's own configuration is served
+	// from e.compiled instead), and built topologies memoized so repeated
+	// evaluations of one network never re-derive links or routes.
+	netMu    sync.Mutex
+	netPlans map[string]*core.Compiled
+	netBuilt map[netBuildKey]*noc.Network
 }
 
 // settings accumulates functional options before validation.
@@ -158,18 +166,17 @@ func New(opts ...Option) (*Engine, error) {
 // fingerprintBytes hashes a canonical JSON serialization into a short hex
 // fingerprint (encoding/json sorts map keys, so it is deterministic).
 func fingerprintBytes(raw []byte) string {
-	sum := sha256.Sum256(raw)
-	return hex.EncodeToString(sum[:8])
+	return core.FingerprintBytes(raw)
 }
 
 // Fingerprint computes the cache fingerprint of an arbitrary configuration
 // — the same digest an Engine over cfg would use in its cache keys.
 func Fingerprint(cfg core.LinkConfig) (string, error) {
-	raw, err := json.Marshal(cfg)
+	fp, err := core.Fingerprint(cfg)
 	if err != nil {
-		return "", fmt.Errorf("%w: fingerprinting config: %v", ErrInvalidConfig, err)
+		return "", fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
-	return fingerprintBytes(raw), nil
+	return fp, nil
 }
 
 // Config returns a copy of the engine's link configuration.
@@ -209,11 +216,11 @@ func (e *Engine) CacheStats() CacheStats {
 	return s
 }
 
-// solveCold runs the compiled pipeline for one grid point, accounting the
+// solveCold runs a compiled pipeline for one grid point, accounting the
 // wall time under the engine's cold-solve statistics.
-func (e *Engine) solveCold(code ecc.Code, targetBER float64) (core.Evaluation, error) {
+func (e *Engine) solveCold(compiled *core.Compiled, code ecc.Code, targetBER float64) (core.Evaluation, error) {
 	start := time.Now()
-	ev, err := e.compiled.Evaluate(code, targetBER)
+	ev, err := compiled.Evaluate(code, targetBER)
 	e.coldSolves.Add(1)
 	e.coldSolveNS.Add(int64(time.Since(start)))
 	return ev, err
@@ -244,14 +251,22 @@ func (e *Engine) Evaluate(ctx context.Context, code ecc.Code, targetBER float64)
 	if err := validateBER(targetBER); err != nil {
 		return core.Evaluation{}, err
 	}
+	return e.evaluateCompiled(e.fingerprint, e.compiled, code, targetBER)
+}
+
+// evaluateCompiled solves one operating point of one compiled configuration
+// through the memo cache, keyed by that configuration's fingerprint. The
+// engine's own configuration and every per-link network configuration share
+// this path — and therefore the LRU — without aliasing.
+func (e *Engine) evaluateCompiled(fp string, compiled *core.Compiled, code ecc.Code, targetBER float64) (core.Evaluation, error) {
 	if e.cache == nil {
-		return e.solveCold(code, targetBER)
+		return e.solveCold(compiled, code, targetBER)
 	}
-	key := cacheKey{fingerprint: e.fingerprint, scheme: code.Name(), targetBER: targetBER}
+	key := cacheKey{fingerprint: fp, scheme: code.Name(), targetBER: targetBER}
 	if ev, ok := e.cache.get(key); ok {
 		return ev, nil
 	}
-	ev, err := e.solveCold(code, targetBER)
+	ev, err := e.solveCold(compiled, code, targetBER)
 	if err != nil {
 		return core.Evaluation{}, err
 	}

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/manager"
+	"photonoc/internal/netsim"
+	"photonoc/internal/noc"
+)
+
+// netTestBERs is a small sweep grid spanning the paper's feasibility range.
+var netTestBERs = []float64{1e-9, 1e-11}
+
+func newNetEngine(t *testing.T, codes []ecc.Code, opts ...Option) *Engine {
+	t.Helper()
+	e, err := New(append([]Option{WithConfig(core.DefaultConfig()), WithSchemes(codes...)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestDegenerateBusMatchesSingleLinkSweep is the acceptance regression: a
+// 1-waveguide-per-reader bus over the paper topology reproduces the
+// sequential single-link cfg.Sweep evaluations and scheme decisions
+// exactly, through the engine's network path.
+func TestDegenerateBusMatchesSingleLinkSweep(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes)
+	cfg := core.DefaultConfig()
+	topo := noc.Config{Kind: noc.Bus, Tiles: cfg.Channel.Topo.ONIs}
+
+	results, err := e.NetworkSweep(context.Background(), topo, netTestBERs, noc.EvalOptions{Objective: manager.MinEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := cfg.Sweep(codes, netTestBERs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, ber := range netTestBERs {
+		// The manager's winner among this BER's sequential evaluations.
+		var want *core.Evaluation
+		for i := range codes {
+			ev := &ref[b*len(codes)+i]
+			if !ev.Feasible {
+				continue
+			}
+			if want == nil || manager.Better(*ev, *want, manager.MinEnergy) {
+				want = ev
+			}
+		}
+		if want == nil {
+			t.Fatalf("no feasible scheme at BER %g", ber)
+		}
+		res := results[b]
+		if !res.Feasible {
+			t.Fatalf("bus network infeasible at BER %g: %s", ber, res.InfeasibleReason)
+		}
+		for _, d := range res.Decisions {
+			if !reflect.DeepEqual(d.Eval, *want) {
+				t.Fatalf("BER %g link %d decision differs from cfg.Sweep winner:\n%+v\nvs\n%+v", ber, d.Link, d.Eval, *want)
+			}
+			if d.EnergyPerBitJ != want.EnergyPerBitJ {
+				t.Fatalf("BER %g link %d energy %g != single-link %g", ber, d.Link, d.EnergyPerBitJ, want.EnergyPerBitJ)
+			}
+		}
+		if rel := math.Abs(res.ActiveEnergyPerBitJ-want.EnergyPerBitJ) / want.EnergyPerBitJ; rel > 1e-12 {
+			t.Fatalf("BER %g active energy/bit off by %g relative", ber, rel)
+		}
+	}
+}
+
+// TestDegenerateBusMatchesNetsimManager ties the network decisions to the
+// netsim path: with the same DAC, the per-link scheme and quantized laser
+// power equal the runtime manager's per-transfer decision.
+func TestDegenerateBusMatchesNetsimManager(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes)
+	cfg := core.DefaultConfig()
+	dac := manager.PaperDAC()
+
+	mgr, err := manager.NewWithEvaluator(&cfg, codes, dac, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ber = 1e-11
+	dec, err := mgr.Configure(manager.Requirements{TargetBER: ber, Objective: manager.MinEnergy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := e.Network(context.Background(), noc.Config{Kind: noc.Bus, Tiles: cfg.Channel.Topo.ONIs},
+		noc.EvalOptions{TargetBER: ber, Objective: manager.MinEnergy, DAC: &dac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Decisions {
+		if d.Eval.Code.Name() != dec.Eval.Code.Name() {
+			t.Fatalf("link %d picked %s, manager picked %s", d.Link, d.Eval.Code.Name(), dec.Eval.Code.Name())
+		}
+		if d.LaserPowerW != dec.QuantizedLaserPowerW {
+			t.Fatalf("link %d quantized laser %g != manager's %g", d.Link, d.LaserPowerW, dec.QuantizedLaserPowerW)
+		}
+		if d.DACCode != dec.DACCode {
+			t.Fatalf("link %d DAC code %d != manager's %d", d.Link, d.DACCode, dec.DACCode)
+		}
+	}
+}
+
+// TestNetworkSweepDeterministicAcrossWorkers runs a ≥64-link topology at
+// Workers = 1, 2, 4 and requires identical results (the -race run of this
+// test is the race-cleanliness half of the acceptance criterion).
+func TestNetworkSweepDeterministicAcrossWorkers(t *testing.T) {
+	codes := ecc.PaperSchemes() // shared roster: pointer-identical schemes
+	topo := noc.Config{Kind: noc.Crossbar, Tiles: 64}
+	opts := noc.EvalOptions{Objective: manager.MinEnergy}
+
+	var ref []noc.Result
+	for _, workers := range []int{1, 2, 4} {
+		e := newNetEngine(t, codes, WithWorkers(workers))
+		res, err := e.NetworkSweep(context.Background(), topo, netTestBERs, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n := res[0].Links; n < 64 {
+			t.Fatalf("topology has %d links, want ≥ 64", n)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("workers=%d: network sweep differs from workers=1", workers)
+		}
+	}
+}
+
+// TestNetworkCacheReuseAcrossLinks asserts the cache-reuse half of the
+// acceptance criterion: links sharing a compiled plan hit the LRU instead
+// of re-solving. On the degenerate bus all 12 links share the engine's own
+// fingerprint, so exactly one cold solve runs per (scheme, BER).
+func TestNetworkCacheReuseAcrossLinks(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes, WithWorkers(1)) // sequential: exact accounting
+	topo := noc.Config{Kind: noc.Bus, Tiles: core.DefaultConfig().Channel.Topo.ONIs}
+
+	if _, err := e.NetworkSweep(context.Background(), topo, netTestBERs, noc.EvalOptions{Objective: manager.MinEnergy}); err != nil {
+		t.Fatal(err)
+	}
+	stats := e.CacheStats()
+	distinct := uint64(len(codes) * len(netTestBERs))
+	points := uint64(12 * len(codes) * len(netTestBERs))
+	if stats.ColdSolves != distinct {
+		t.Fatalf("cold solves %d, want %d (one per distinct key)", stats.ColdSolves, distinct)
+	}
+	if stats.Hits != points-distinct {
+		t.Fatalf("cache hits %d, want %d", stats.Hits, points-distinct)
+	}
+	if hr := stats.HitRate(); hr < 0.9 {
+		t.Fatalf("hit rate %.2f, want ≥ 0.9", hr)
+	}
+
+	// A mesh shares plans across rows and columns (and, for the square
+	// 8×8, between the two): 128 links collapse to the network's distinct
+	// fingerprints, so the overwhelming share of solves is served by reuse.
+	e2 := newNetEngine(t, codes, WithWorkers(1))
+	meshTopo := noc.Config{Kind: noc.Mesh, Tiles: 64}
+	net, err := e2.BuildNetwork(meshTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := make(map[string]bool)
+	for _, l := range net.Links() {
+		fps[l.Fingerprint] = true
+	}
+	if len(fps) >= net.NumLinks()/4 {
+		t.Fatalf("mesh has %d distinct fingerprints for %d links — not enough sharing to test reuse", len(fps), net.NumLinks())
+	}
+	if _, err := e2.NetworkSweep(context.Background(), meshTopo,
+		[]float64{1e-9}, noc.EvalOptions{Objective: manager.MinEnergy}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e2.CacheStats()
+	if s2.ColdSolves != uint64(len(fps)*len(codes)) {
+		t.Fatalf("mesh cold solves %d, want %d (one per distinct plan × scheme)", s2.ColdSolves, len(fps)*len(codes))
+	}
+	if hr := s2.HitRate(); hr < 0.85 {
+		t.Fatalf("mesh hit rate %.2f, want ≥ 0.85", hr)
+	}
+}
+
+// TestNetworkSharesCacheWithSingleLinkSweeps: a single-link sweep primes
+// the cache for the degenerate bus — zero additional cold solves.
+func TestNetworkSharesCacheWithSingleLinkSweeps(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes, WithWorkers(1))
+	if _, err := e.Sweep(context.Background(), nil, netTestBERs); err != nil {
+		t.Fatal(err)
+	}
+	cold := e.CacheStats().ColdSolves
+	if _, err := e.NetworkSweep(context.Background(), noc.Config{Kind: noc.Bus, Tiles: 12}, netTestBERs, noc.EvalOptions{Objective: manager.MinEnergy}); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.CacheStats().ColdSolves; after != cold {
+		t.Fatalf("network sweep re-solved %d points the single-link sweep already cached", after-cold)
+	}
+}
+
+// TestNetworkSweepStreamOrderAndParity: the stream yields every BER in grid
+// order with results identical to the batch sweep.
+func TestNetworkSweepStreamOrderAndParity(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes)
+	topo := noc.Config{Kind: noc.Ring, Tiles: 8}
+	opts := noc.EvalOptions{Objective: manager.MinEnergy}
+
+	batch, err := e.NetworkSweep(context.Background(), topo, netTestBERs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for r := range e.NetworkSweepStream(context.Background(), topo, netTestBERs, opts) {
+		if r.Err != nil {
+			t.Fatalf("stream item %d: %v", i, r.Err)
+		}
+		if r.Index != i || r.TargetBER != netTestBERs[i] {
+			t.Fatalf("stream item %d has index %d / BER %g", i, r.Index, r.TargetBER)
+		}
+		if !reflect.DeepEqual(r.Result, batch[i]) {
+			t.Fatalf("stream item %d differs from batch", i)
+		}
+		i++
+	}
+	if i != len(netTestBERs) {
+		t.Fatalf("stream yielded %d results, want %d", i, len(netTestBERs))
+	}
+}
+
+// TestNetworkSweepCancellation: a canceled context surfaces as the stream's
+// terminal error and aborts the batch call.
+func TestNetworkSweepCancellation(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes)
+	topo := noc.Config{Kind: noc.Crossbar, Tiles: 16}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := e.NetworkSweep(ctx, topo, netTestBERs, noc.EvalOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch sweep error = %v, want context.Canceled", err)
+	}
+	var last NetworkResult
+	for r := range e.NetworkSweepStream(ctx, topo, netTestBERs, noc.EvalOptions{}) {
+		last = r
+	}
+	if !errors.Is(last.Err, context.Canceled) {
+		t.Fatalf("stream terminal error = %v, want context.Canceled", last.Err)
+	}
+}
+
+// TestNetworkInvalidInputs: boundary validation wraps the typed errors.
+func TestNetworkInvalidInputs(t *testing.T) {
+	e := newNetEngine(t, ecc.PaperSchemes())
+	topo := noc.Config{Kind: noc.Bus, Tiles: 12}
+	if _, err := e.Network(context.Background(), topo, noc.EvalOptions{TargetBER: 0.7}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("BER 0.7 error = %v, want ErrInvalidInput", err)
+	}
+	if _, err := e.NetworkSweep(context.Background(), topo, nil, noc.EvalOptions{}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("empty grid error = %v, want ErrInvalidInput", err)
+	}
+	if _, err := e.NetworkSweep(context.Background(), noc.Config{Kind: noc.Ring, Tiles: 99}, netTestBERs, noc.EvalOptions{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("oversized ring error = %v, want ErrInvalidConfig", err)
+	}
+	bad := noc.EvalOptions{Traffic: noc.UniformMatrix(5)}
+	if _, err := e.NetworkSweep(context.Background(), topo, netTestBERs, bad); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("wrong-shape traffic error = %v, want ErrInvalidInput", err)
+	}
+}
+
+// TestNetworkTraceDrivenMatrix: a recorded netsim trace feeds the network
+// evaluator through Trace.Matrix.
+func TestNetworkTraceDrivenMatrix(t *testing.T) {
+	simCfg := netsim.DefaultConfig()
+	simCfg.Messages = 2000
+	tr, err := netsim.RecordTrace(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tr.Matrix(simCfg.Link.Channel.Topo.ONIs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newNetEngine(t, ecc.PaperSchemes())
+	res, err := e.Network(context.Background(), noc.Config{Kind: noc.Bus, Tiles: 12},
+		noc.EvalOptions{TargetBER: 1e-11, Objective: manager.MinEnergy, Traffic: noc.Matrix(m)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("trace-driven network infeasible: %s", res.InfeasibleReason)
+	}
+	if res.DeliveredBitsPerSec <= 0 {
+		t.Error("trace-driven network delivers nothing")
+	}
+}

@@ -206,9 +206,16 @@ func (m *Manager) ConfigureCtx(ctx context.Context, req Requirements) (Decision,
 	return m.program(*best)
 }
 
-// better reports whether a beats b under the objective, breaking ties
-// toward lower channel power and then lower CT.
+// better reports whether a beats b under the objective.
 func (m *Manager) better(a, b core.Evaluation, obj Objective) bool {
+	return Better(a, b, obj)
+}
+
+// Better reports whether evaluation a beats b under the objective, breaking
+// ties toward lower channel power and then lower CT. It is the manager's
+// selection rule, exported so the network-level evaluator picks per-link
+// schemes exactly as a per-transfer manager decision would.
+func Better(a, b core.Evaluation, obj Objective) bool {
 	switch obj {
 	case MinEnergy:
 		if a.EnergyPerBitJ != b.EnergyPerBitJ {

@@ -22,7 +22,8 @@ type Pattern int
 const (
 	// Uniform sends each message to a uniformly random other ONI.
 	Uniform Pattern = iota
-	// Hotspot concentrates 30% of the traffic on one destination.
+	// Hotspot concentrates a configurable share of the traffic
+	// (Config.HotspotFraction, default 30%) on one destination.
 	Hotspot
 	// Permutation fixes dst = (src + N/2) mod N (a transpose-like map).
 	Permutation
@@ -47,6 +48,23 @@ func (p Pattern) String() string {
 	}
 }
 
+// ParsePattern maps the CLI spelling of a workload to its Pattern — the
+// inverse of String, so command-line tools stop switching on magic strings.
+func ParsePattern(s string) (Pattern, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "hotspot":
+		return Hotspot, nil
+	case "permutation":
+		return Permutation, nil
+	case "streaming":
+		return Streaming, nil
+	default:
+		return 0, fmt.Errorf("netsim: unknown pattern %q (want uniform|hotspot|permutation|streaming)", s)
+	}
+}
+
 // Config drives one simulation run.
 type Config struct {
 	// Link is the channel/interface configuration (paper defaults via
@@ -61,6 +79,11 @@ type Config struct {
 	// Pattern picks the workload; HotspotNode the hot destination.
 	Pattern     Pattern
 	HotspotNode int
+	// HotspotFraction is the share of each non-hotspot source's messages
+	// aimed straight at HotspotNode (the remainder is uniform and may hit
+	// the hotspot again). Hotspot runs require it in (0, 1); DefaultConfig
+	// sets the historical 0.30.
+	HotspotFraction float64
 	// MessageBits is the payload per message.
 	MessageBits int
 	// Load is the offered payload utilization per channel (0, 1):
@@ -87,17 +110,18 @@ type Config struct {
 // 4 KiB messages, uniform traffic at 40% load, BER 1e-11.
 func DefaultConfig() Config {
 	return Config{
-		Link:          core.DefaultConfig(),
-		Schemes:       ecc.PaperSchemes(),
-		DAC:           manager.PaperDAC(),
-		TargetBER:     1e-11,
-		Pattern:       Uniform,
-		MessageBits:   4096 * 8,
-		Load:          0.4,
-		DeadlineSlack: 0,
-		Objective:     manager.MinEnergy,
-		Messages:      20000,
-		Seed:          1,
+		Link:            core.DefaultConfig(),
+		Schemes:         ecc.PaperSchemes(),
+		DAC:             manager.PaperDAC(),
+		TargetBER:       1e-11,
+		Pattern:         Uniform,
+		HotspotFraction: 0.30,
+		MessageBits:     4096 * 8,
+		Load:            0.4,
+		DeadlineSlack:   0,
+		Objective:       manager.MinEnergy,
+		Messages:        20000,
+		Seed:            1,
 	}
 }
 
@@ -125,8 +149,13 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("netsim: negative deadline slack %g", c.DeadlineSlack)
 	}
 	n := c.Link.Channel.Topo.ONIs
-	if c.Pattern == Hotspot && (c.HotspotNode < 0 || c.HotspotNode >= n) {
-		return fmt.Errorf("netsim: hotspot node %d outside [0,%d)", c.HotspotNode, n)
+	if c.Pattern == Hotspot {
+		if c.HotspotNode < 0 || c.HotspotNode >= n {
+			return fmt.Errorf("netsim: hotspot node %d outside [0,%d)", c.HotspotNode, n)
+		}
+		if c.HotspotFraction <= 0 || c.HotspotFraction >= 1 {
+			return fmt.Errorf("netsim: hotspot fraction %g outside (0, 1)", c.HotspotFraction)
+		}
 	}
 	return nil
 }

@@ -74,9 +74,11 @@ func (h eventHeap) down(i0, n int) {
 	}
 }
 
-// tokenOverheadSec is the fixed MWSR arbitration cost per transfer
-// (token grant + manager request/response round trip).
-const tokenOverheadSec = 10e-9
+// TokenOverheadSec is the fixed MWSR arbitration cost per transfer
+// (token grant + manager request/response round trip). The network-level
+// evaluator (internal/noc) charges the same cost per hop so analytic and
+// simulated latencies share the arbitration model.
+const TokenOverheadSec = 10e-9
 
 // Run generates the configured workload and executes the simulation. It is
 // exactly RecordTrace followed by RunTrace, which guarantees that recorded
@@ -135,7 +137,7 @@ func runMessages(ctx context.Context, cfg Config, ev core.Evaluator, feed func(y
 		if nextFree[m.dst] > start {
 			start = nextFree[m.dst]
 		}
-		start += tokenOverheadSec
+		start += TokenOverheadSec
 
 		// The manager configures the link for this transfer.
 		req := manager.Requirements{TargetBER: cfg.TargetBER, Objective: cfg.Objective}
@@ -241,11 +243,21 @@ func runMessages(ctx context.Context, cfg Config, ev core.Evaluator, feed func(y
 	return res, nil
 }
 
-// percentile reads a quantile from an ascending-sorted sample.
+// percentile reads a quantile from an ascending-sorted sample using the
+// lower nearest-rank convention: index ⌊q·(n−1)⌋. Edge behavior is defined
+// explicitly (and pinned by TestPercentileEdges) rather than left to
+// implicit indexing: an empty sample yields 0, a single sample is returned
+// for every q, q ≤ 0 (including NaN) yields the minimum and q ≥ 1 the
+// maximum.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	if !(q > 0) { // q ≤ 0, and NaN quantiles land on the defined floor
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
 }

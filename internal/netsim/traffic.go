@@ -61,7 +61,7 @@ func (g *trafficGenerator) next(src int, now float64) (arrivalEvent, bool) {
 func (g *trafficGenerator) pickDestination(src int) int {
 	switch g.cfg.Pattern {
 	case Hotspot:
-		if src != g.cfg.HotspotNode && g.rng.Float64() < 0.30 {
+		if src != g.cfg.HotspotNode && g.rng.Float64() < g.cfg.HotspotFraction {
 			return g.cfg.HotspotNode
 		}
 		return g.uniformOther(src)

@@ -1,0 +1,305 @@
+package noc
+
+import (
+	"fmt"
+
+	"photonoc/internal/core"
+)
+
+// Link is one MWSR channel of the network: a set of writer tiles sharing a
+// waveguide toward one reader tile, on an allocated slice of the wavelength
+// grid.
+type Link struct {
+	// ID is the link's index in Network.Links order.
+	ID int
+	// Reader is the destination tile.
+	Reader int
+	// Writers are the tiles that can transmit on this link.
+	Writers []int
+	// Waveguide identifies the physical medium; links sharing a waveguide
+	// hold disjoint wavelength allocations.
+	Waveguide int
+	// LengthCM is the worst-case writer→reader waveguide span.
+	LengthCM float64
+	// Lambdas are the allocated wavelength indices into the base grid,
+	// ascending and contiguous.
+	Lambdas []int
+	// Config is the derived per-link configuration the solver evaluates:
+	// the base configuration re-scoped to this link's waveguide length,
+	// writer count and wavelength subgrid.
+	Config core.LinkConfig
+	// Fingerprint is the cache digest of Config — links sharing it share
+	// one compiled solve plan and therefore memoized operating points.
+	Fingerprint string
+}
+
+// Network is a compiled topology: links, wavelength allocation and routes.
+// It is immutable and safe for concurrent use.
+type Network struct {
+	cfg    Config
+	rows   int // mesh shape (rows = 0 for non-mesh kinds)
+	cols   int
+	links  []Link
+	routes [][][]int // routes[src][dst] = link IDs, nil on the diagonal
+	// waveguideLinks groups link IDs by waveguide for allocation checks.
+	waveguideLinks map[int][]int
+}
+
+// Build compiles a Config into a Network: it lays out the links of the
+// topology, allocates the wavelength grid over shared waveguides, derives
+// each link's configuration (validated against the core rules) and the
+// routing table covering every (src, dst) pair.
+func Build(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg}
+	var err error
+	switch cfg.Kind {
+	case Bus:
+		err = n.buildBus()
+	case Crossbar:
+		err = n.buildCrossbar()
+	case Ring:
+		err = n.buildRing()
+	case Mesh:
+		err = n.buildMesh()
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.waveguideLinks = make(map[int][]int)
+	for _, l := range n.links {
+		n.waveguideLinks[l.Waveguide] = append(n.waveguideLinks[l.Waveguide], l.ID)
+	}
+	if err := n.finishLinks(); err != nil {
+		return nil, err
+	}
+	if err := n.buildRoutes(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// buildBus replicates the paper's MWSR bus once per reader: every link
+// keeps the base channel untouched except for the writer roster, so with
+// Tiles == base ONIs the per-link configuration is the base configuration,
+// byte for byte.
+func (n *Network) buildBus() error {
+	for d := 0; d < n.cfg.Tiles; d++ {
+		n.links = append(n.links, Link{
+			ID:        d,
+			Reader:    d,
+			Writers:   otherTiles(n.cfg.Tiles, d),
+			Waveguide: d,
+			LengthCM:  n.cfg.Base.Channel.Waveguide.LengthCM,
+		})
+	}
+	return nil
+}
+
+// buildCrossbar gives each reader a dedicated serpentine waveguide: the
+// medium runs from tile 0 past every writer to tile Tiles−1 and folds back
+// to the reader, so the worst-case span — and with it the loss budget — is
+// distinct per reader position.
+func (n *Network) buildCrossbar() error {
+	pitch := n.cfg.pitchCM()
+	span := float64(n.cfg.Tiles - 1)
+	for d := 0; d < n.cfg.Tiles; d++ {
+		n.links = append(n.links, Link{
+			ID:        d,
+			Reader:    d,
+			Writers:   otherTiles(n.cfg.Tiles, d),
+			Waveguide: d,
+			LengthCM:  pitch * (span + span - float64(d)),
+		})
+	}
+	return nil
+}
+
+// buildRing places every tile on one shared ring waveguide: each reader
+// owns a disjoint block of the grid (allocated in finishLinks) and the
+// worst-case writer sits a full ring minus one hop away.
+func (n *Network) buildRing() error {
+	pitch := n.cfg.pitchCM()
+	length := pitch * float64(n.cfg.Tiles-1)
+	for d := 0; d < n.cfg.Tiles; d++ {
+		n.links = append(n.links, Link{
+			ID:        d,
+			Reader:    d,
+			Writers:   otherTiles(n.cfg.Tiles, d),
+			Waveguide: 0,
+			LengthCM:  length,
+		})
+	}
+	return nil
+}
+
+// buildMesh lays tiles in a rows × cols rectangle. Each row (when it has at
+// least two tiles) is a wavelength-routed bus carrying one link per reader
+// in the row; columns likewise. Waveguide IDs: rows are 0..rows−1, columns
+// rows..rows+cols−1.
+func (n *Network) buildMesh() error {
+	rows, cols, err := n.cfg.meshShape()
+	if err != nil {
+		return err
+	}
+	n.rows, n.cols = rows, cols
+	pitch := n.cfg.pitchCM()
+	tile := func(r, c int) int { return r*cols + c }
+	addLink := func(reader, waveguide int, members []int, span int) {
+		writers := make([]int, 0, len(members)-1)
+		for _, t := range members {
+			if t != reader {
+				writers = append(writers, t)
+			}
+		}
+		n.links = append(n.links, Link{
+			ID:        len(n.links),
+			Reader:    reader,
+			Writers:   writers,
+			Waveguide: waveguide,
+			LengthCM:  pitch * float64(span-1),
+		})
+	}
+	if cols >= 2 {
+		for r := 0; r < rows; r++ {
+			members := make([]int, cols)
+			for c := 0; c < cols; c++ {
+				members[c] = tile(r, c)
+			}
+			for c := 0; c < cols; c++ {
+				addLink(tile(r, c), r, members, cols)
+			}
+		}
+	}
+	if rows >= 2 {
+		for c := 0; c < cols; c++ {
+			members := make([]int, rows)
+			for r := 0; r < rows; r++ {
+				members[r] = tile(r, c)
+			}
+			for r := 0; r < rows; r++ {
+				addLink(tile(r, c), rows+c, members, rows)
+			}
+		}
+	}
+	return nil
+}
+
+// finishLinks runs the wavelength-allocation pass over shared waveguides,
+// derives each link's configuration and validates it.
+func (n *Network) finishLinks() error {
+	if err := n.allocateWavelengths(); err != nil {
+		return err
+	}
+	for i := range n.links {
+		if err := n.deriveConfig(&n.links[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deriveConfig re-scopes the base configuration to one link and stamps its
+// cache fingerprint.
+func (n *Network) deriveConfig(l *Link) error {
+	cfg := n.cfg.Base // value copy; the InterfacePowers map is shared read-only
+	ch := &cfg.Channel
+	base := n.cfg.Base.Channel
+	ch.Waveguide.LengthCM = l.LengthCM
+	ch.Topo.ONIs = len(l.Writers) + 1
+	ch.Topo.Wavelengths = len(l.Lambdas)
+	ch.Grid = subgrid(base.Grid, l.Lambdas)
+	if n.cfg.Kind != Bus {
+		// Each link is one physical waveguide; network totals come from
+		// Aggregate, not the single-link interconnect scaler.
+		ch.Topo.WaveguidesPerChannel = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("noc: link %d (reader %d): %w", l.ID, l.Reader, err)
+	}
+	fp, err := core.Fingerprint(cfg)
+	if err != nil {
+		return fmt.Errorf("noc: link %d: %w", l.ID, err)
+	}
+	l.Config = cfg
+	l.Fingerprint = fp
+	return nil
+}
+
+// Kind returns the topology family.
+func (n *Network) Kind() Kind { return n.cfg.Kind }
+
+// Tiles returns the tile count.
+func (n *Network) Tiles() int { return n.cfg.Tiles }
+
+// MeshShape returns the rows × cols factorization (0, 0 for non-mesh
+// networks).
+func (n *Network) MeshShape() (rows, cols int) { return n.rows, n.cols }
+
+// Links returns a copy of the link table in ID order. The copy is deep on
+// the mutable fields (Writers, Lambdas), upholding the Network's
+// immutability contract against caller edits.
+func (n *Network) Links() []Link {
+	out := make([]Link, len(n.links))
+	for i := range n.links {
+		out[i] = n.links[i].clone()
+	}
+	return out
+}
+
+// NumLinks returns the link count.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// Link returns the link with the given ID (a deep copy, like Links).
+func (n *Network) Link(id int) (Link, error) {
+	if id < 0 || id >= len(n.links) {
+		return Link{}, fmt.Errorf("noc: link %d out of range [0,%d)", id, len(n.links))
+	}
+	return n.links[id].clone(), nil
+}
+
+// clone deep-copies the link's mutable fields (slices and the interface
+// power table, which the network's links otherwise share read-only).
+func (l Link) clone() Link {
+	l.Writers = append([]int(nil), l.Writers...)
+	l.Lambdas = append([]int(nil), l.Lambdas...)
+	if l.Config.InterfacePowers != nil {
+		m := make(map[string]core.InterfacePower, len(l.Config.InterfacePowers))
+		for k, v := range l.Config.InterfacePowers {
+			m[k] = v
+		}
+		l.Config.InterfacePowers = m
+	}
+	return l
+}
+
+// Waveguides returns, per waveguide ID, the IDs of the links sharing it.
+func (n *Network) Waveguides() map[int][]int {
+	out := make(map[int][]int, len(n.waveguideLinks))
+	for wg, ids := range n.waveguideLinks {
+		out[wg] = append([]int(nil), ids...)
+	}
+	return out
+}
+
+// otherTiles lists every tile except self, ascending.
+func otherTiles(tiles, self int) []int {
+	out := make([]int, 0, tiles-1)
+	for t := 0; t < tiles; t++ {
+		if t != self {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// fullGrid lists every wavelength index of an m-channel grid.
+func fullGrid(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a row-normalized traffic matrix: Matrix[s][d] is the fraction
+// of tile s's injected payload destined to tile d. Rows sum to 1 (or to 0
+// for a silent source, as trace-driven matrices produce), the diagonal is
+// zero. The netsim layer extracts matrices from its synthetic patterns
+// (Pattern.Matrix) and from recorded traces (Trace.Matrix).
+type Matrix [][]float64
+
+// UniformMatrix spreads every tile's traffic evenly over the other tiles.
+func UniformMatrix(tiles int) Matrix {
+	m := make(Matrix, tiles)
+	w := 1 / float64(tiles-1)
+	for s := range m {
+		m[s] = make([]float64, tiles)
+		for d := range m[s] {
+			if d != s {
+				m[s][d] = w
+			}
+		}
+	}
+	return m
+}
+
+// rowSumTol absorbs the float error of row normalization.
+const rowSumTol = 1e-9
+
+// Validate checks shape and stochasticity for a tiles-tile network.
+func (m Matrix) Validate(tiles int) error {
+	if len(m) != tiles {
+		return fmt.Errorf("noc: traffic matrix has %d rows for %d tiles", len(m), tiles)
+	}
+	active := 0
+	for s, row := range m {
+		if len(row) != tiles {
+			return fmt.Errorf("noc: traffic matrix row %d has %d columns for %d tiles", s, len(row), tiles)
+		}
+		sum := 0.0
+		for d, w := range row {
+			if math.IsNaN(w) || w < 0 {
+				return fmt.Errorf("noc: traffic matrix [%d][%d] = %g must be a non-negative number", s, d, w)
+			}
+			if d == s && w != 0 {
+				return fmt.Errorf("noc: traffic matrix row %d sends to itself", s)
+			}
+			sum += w
+		}
+		switch {
+		case sum == 0:
+			// Silent source (legal for trace-driven matrices).
+		case math.Abs(sum-1) <= rowSumTol:
+			active++
+		default:
+			return fmt.Errorf("noc: traffic matrix row %d sums to %g, want 0 or 1", s, sum)
+		}
+	}
+	if active == 0 {
+		return fmt.Errorf("noc: traffic matrix has no active source")
+	}
+	return nil
+}
+
+// activeRows reports which sources inject traffic.
+func (m Matrix) activeRows() []bool {
+	out := make([]bool, len(m))
+	for s, row := range m {
+		sum := 0.0
+		for _, w := range row {
+			sum += w
+		}
+		out[s] = sum > 0
+	}
+	return out
+}

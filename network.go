@@ -1,0 +1,67 @@
+package photonoc
+
+import (
+	"photonoc/internal/engine"
+	"photonoc/internal/netsim"
+	"photonoc/internal/noc"
+)
+
+// Network-layer types: full topologies of ChannelSpec-backed links with
+// wavelength allocation, routing and a parallel network evaluator. Build a
+// topology with Engine.BuildNetwork (or BuildNoC) and evaluate it with the
+// promoted Engine.Network / Engine.NetworkSweep / Engine.NetworkSweepStream
+// entry points.
+type (
+	// NoCConfig describes a network topology to build: the family, the
+	// tile count and the prototype link configuration (a zero Base adopts
+	// the Engine's configuration in Engine.BuildNetwork).
+	NoCConfig = noc.Config
+	// NoCKind is the topology family (bus, crossbar, ring, mesh).
+	NoCKind = noc.Kind
+	// NoC is a built network: links with derived per-link configurations,
+	// wavelength allocation over shared waveguides, and a routing table.
+	NoC = noc.Network
+	// NoCLink is one MWSR channel of a network.
+	NoCLink = noc.Link
+	// NoCEvalOptions parameterizes a network evaluation (target BER,
+	// objective, traffic matrix, injection rate, optional laser DAC).
+	NoCEvalOptions = noc.EvalOptions
+	// NoCResult is one solved network operating point: per-link decisions
+	// and loads, saturation throughput, energy and latency aggregates.
+	NoCResult = noc.Result
+	// NoCLinkDecision is the chosen operating point of one link.
+	NoCLinkDecision = noc.LinkDecision
+	// NoCLinkLoad is the traffic view of one link.
+	NoCLinkLoad = noc.LinkLoad
+	// TrafficMatrix is a row-normalized (src, dst) traffic matrix; netsim
+	// patterns and recorded traces both extract one (Pattern.Matrix,
+	// Trace.Matrix), and UniformTraffic builds the default.
+	TrafficMatrix = noc.Matrix
+	// NetworkSweepResult is one streamed network-sweep outcome.
+	NetworkSweepResult = engine.NetworkResult
+	// SimPattern is a synthetic netsim workload (see ParsePattern).
+	SimPattern = netsim.Pattern
+)
+
+// Topology families for NoCConfig.Kind.
+const (
+	NoCBus      = noc.Bus
+	NoCCrossbar = noc.Crossbar
+	NoCRing     = noc.Ring
+	NoCMesh     = noc.Mesh
+)
+
+// ParseNoCKind maps "bus|crossbar|ring|mesh" to its NoCKind.
+func ParseNoCKind(s string) (NoCKind, error) { return noc.ParseKind(s) }
+
+// BuildNoC compiles a topology configuration into an immutable network.
+// Unlike Engine.BuildNetwork it requires cfg.Base to be set.
+func BuildNoC(cfg NoCConfig) (*NoC, error) { return noc.Build(cfg) }
+
+// UniformTraffic spreads every tile's traffic evenly over the other tiles.
+func UniformTraffic(tiles int) TrafficMatrix { return noc.UniformMatrix(tiles) }
+
+// ParsePattern maps "uniform|hotspot|permutation|streaming" to its
+// SimPattern; Pattern.Matrix then extracts the traffic matrix the network
+// evaluator consumes.
+func ParsePattern(s string) (SimPattern, error) { return netsim.ParsePattern(s) }

@@ -1,0 +1,67 @@
+package photonoc
+
+import (
+	"context"
+	"testing"
+)
+
+// TestNetworkFacade exercises the network layer end to end through the
+// public API: topology construction, pattern-extracted traffic, a streamed
+// sweep, and the cache-reuse contract.
+func TestNetworkFacade(t *testing.T) {
+	eng, err := New(WithSchemes(PaperSchemes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := NoCConfig{Kind: NoCMesh, Tiles: 16}
+	net, err := eng.BuildNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.VerifyAllocation(); err != nil {
+		t.Fatal(err)
+	}
+
+	pattern, err := ParsePattern("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic, err := pattern.Matrix(16, 5, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NoCEvalOptions{Objective: MinEnergy, Traffic: TrafficMatrix(traffic)}
+
+	bers := []float64{1e-9, 1e-11}
+	batch, err := eng.NetworkSweep(context.Background(), topo, bers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for r := range eng.NetworkSweepStream(context.Background(), topo, bers, opts) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("stream index %d, want %d", r.Index, i)
+		}
+		if r.Result.EnergyPerBitJ != batch[i].EnergyPerBitJ {
+			t.Fatalf("stream/batch energy mismatch at BER %g", r.TargetBER)
+		}
+		i++
+	}
+	if i != len(bers) {
+		t.Fatalf("stream yielded %d results", i)
+	}
+	for _, res := range batch {
+		if !res.Feasible {
+			t.Fatalf("mesh infeasible at BER %g: %s", res.TargetBER, res.InfeasibleReason)
+		}
+		if res.SaturationInjectionBitsPerSec <= 0 || res.EnergyPerBitJ <= 0 {
+			t.Fatalf("degenerate aggregates at BER %g: %+v", res.TargetBER, res)
+		}
+	}
+	if stats := eng.CacheStats(); stats.HitRate() < 0.5 {
+		t.Errorf("network sweep hit rate %.2f — per-link plan sharing broken?", stats.HitRate())
+	}
+}
