@@ -1,18 +1,23 @@
 // Command onocnet evaluates whole network-on-chip topologies built from the
 // paper's calibrated MWSR channel: per-link scheme/laser decisions, traffic
 // loads, saturation throughput, latency percentiles and the network energy
-// budget.
+// budget — analytically, or cross-validated against the network-scale
+// discrete-event simulator with -sim.
 //
 //	onocnet -topology mesh -tiles 64 -ber 1e-11
 //	onocnet -topology crossbar -tiles 16 -pattern hotspot -hotspot 3
 //	onocnet -topology ring -tiles 8 -sweep 1e-12,1e-9 -points 7
 //	onocnet -topology bus -tiles 12 -links        # per-link detail
+//	onocnet -topology mesh -tiles 16 -sim         # analytic vs DES
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -26,39 +31,88 @@ import (
 	"photonoc/internal/report"
 )
 
-func main() {
-	topology := flag.String("topology", "mesh", "bus|crossbar|ring|mesh")
-	tiles := flag.Int("tiles", 16, "network tiles")
-	columns := flag.Int("columns", 0, "mesh columns (0 = most square)")
-	pitch := flag.Float64("pitch", 0, "tile pitch in cm (0 = spread the base waveguide)")
-	ber := flag.Float64("ber", 1e-11, "target BER")
-	sweep := flag.String("sweep", "", "BER sweep range lo,hi (overrides -ber)")
-	points := flag.Int("points", 5, "sweep points")
-	pattern := flag.String("pattern", "uniform", "uniform|hotspot|permutation|streaming")
-	hotspot := flag.Int("hotspot", 0, "hotspot destination tile")
-	hotFrac := flag.Float64("hotfrac", 0.30, "hotspot traffic fraction in (0,1)")
-	objective := flag.String("objective", "min-energy", "min-power|min-energy|min-latency")
-	rate := flag.Float64("rate", 0, "injection rate per tile in bits/s (0 = half of saturation)")
-	useDAC := flag.Bool("dac", false, "quantize laser settings through the paper's 6-bit DAC")
-	perLink := flag.Bool("links", false, "print the per-link table")
-	workers := flag.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
-	flag.Parse()
+// errFlagParse signals main that the FlagSet already printed the
+// diagnostic (and usage), so it must not be reported a second time.
+var errFlagParse = errors.New("onocnet: flag parse error")
 
+func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "onocnet: %v\n", err)
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "onocnet: %v\n", err)
+		}
 		os.Exit(1)
 	}
+}
 
+// run parses the flags and executes one invocation against out. It is the
+// whole CLI behind main, factored out so the golden-file tests can pin the
+// rendered tables byte for byte.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("onocnet", flag.ContinueOnError)
+	topology := fs.String("topology", "mesh", "bus|crossbar|ring|mesh")
+	tiles := fs.Int("tiles", 16, "network tiles")
+	columns := fs.Int("columns", 0, "mesh columns (0 = most square)")
+	pitch := fs.Float64("pitch", 0, "tile pitch in cm (0 = spread the base waveguide)")
+	ber := fs.Float64("ber", 1e-11, "target BER")
+	sweep := fs.String("sweep", "", "BER sweep range lo,hi (overrides -ber)")
+	points := fs.Int("points", 5, "sweep points")
+	pattern := fs.String("pattern", "uniform", "uniform|hotspot|permutation|streaming")
+	hotspot := fs.Int("hotspot", 0, "hotspot destination tile")
+	hotFrac := fs.Float64("hotfrac", 0.30, "hotspot traffic fraction in (0,1)")
+	objective := fs.String("objective", "min-energy", "min-power|min-energy|min-latency")
+	rate := fs.Float64("rate", 0, "injection rate per tile in bits/s (0 = half of saturation)")
+	useDAC := fs.Bool("dac", false, "quantize laser settings through the paper's 6-bit DAC")
+	perLink := fs.Bool("links", false, "print the per-link table")
+	workers := fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	sim := fs.Bool("sim", false, "run the discrete-event simulator and print it against the analytic aggregates")
+	messages := fs.Int("messages", 0, "messages to simulate with -sim (0 = 20000)")
+	seed := fs.Int64("seed", 1, "simulation seed for -sim")
+	qmax := fs.Int("qmax", 0, "per-link queue bound for -sim (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, a successful exit
+		}
+		return errFlagParse
+	}
+
+	// Validate everything derivable from the flags alone before building
+	// anything or writing any output, so a failed invocation never emits a
+	// plausible-looking partial result.
 	kind, err := photonoc.ParseNoCKind(*topology)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	pat, err := photonoc.ParsePattern(*pattern)
 	if err != nil {
-		fail(err)
+		return err
+	}
+	if *messages < 0 {
+		return fmt.Errorf("-messages %d must be non-negative", *messages)
+	}
+	if *qmax < 0 {
+		return fmt.Errorf("-qmax %d must be non-negative", *qmax)
+	}
+	if *rate < 0 || math.IsNaN(*rate) || math.IsInf(*rate, 0) {
+		return fmt.Errorf("-rate %g must be a non-negative finite number", *rate)
+	}
+	var sweepBERs []float64
+	if *sweep != "" {
+		if *sim {
+			return fmt.Errorf("-sim simulates one operating point and cannot be combined with -sweep (drop one of the two)")
+		}
+		lo, hi, perr := parseRange(*sweep)
+		if perr != nil {
+			return perr
+		}
+		if lo <= 0 || hi <= 0 || math.IsNaN(lo) || math.IsNaN(hi) {
+			return fmt.Errorf("sweep bounds %g,%g must be positive", lo, hi)
+		}
+		if *points < 2 {
+			return fmt.Errorf("-points %d: a sweep needs at least 2 points", *points)
+		}
+		sweepBERs = mathx.Logspace(lo, hi, *points)
 	}
 	var obj manager.Objective
 	switch *objective {
@@ -69,7 +123,7 @@ func main() {
 	case "min-latency":
 		obj = photonoc.MinLatency
 	default:
-		fail(fmt.Errorf("unknown objective %q", *objective))
+		return fmt.Errorf("unknown objective %q", *objective)
 	}
 
 	opts := []photonoc.Option{}
@@ -78,17 +132,17 @@ func main() {
 	}
 	eng, err := photonoc.New(opts...)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	topo := photonoc.NoCConfig{Kind: kind, Tiles: *tiles, Columns: *columns, TilePitchCM: *pitch}
 	net, err := eng.BuildNetwork(topo)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	traffic, err := pat.Matrix(*tiles, *hotspot, *hotFrac)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	evalOpts := photonoc.NoCEvalOptions{
 		TargetBER:               *ber,
@@ -101,27 +155,37 @@ func main() {
 		evalOpts.DAC = &dac
 	}
 
-	fmt.Printf("topology %s: %d tiles, %d links, %d waveguides (%s traffic)\n",
+	fmt.Fprintf(out, "topology %s: %d tiles, %d links, %d waveguides (%s traffic)\n",
 		kind, net.Tiles(), net.NumLinks(), len(net.Waveguides()), pat)
 
-	if *sweep != "" {
-		lo, hi, perr := parseRange(*sweep)
-		if perr != nil {
-			fail(perr)
-		}
-		if err := runSweep(ctx, eng, topo, evalOpts, mathx.Logspace(lo, hi, *points)); err != nil {
-			fail(err)
-		}
-		return
+	if sweepBERs != nil {
+		return runSweep(ctx, out, eng, topo, evalOpts, sweepBERs)
 	}
 
 	res, err := eng.Network(ctx, topo, evalOpts)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	if err := printResult(net, res, *perLink); err != nil {
-		fail(err)
+	if err := printResult(out, net, res, *perLink); err != nil {
+		return err
 	}
+	if !*sim {
+		return nil
+	}
+	simRes, err := eng.SimulateNetwork(ctx, topo, photonoc.NoCSimOptions{
+		TargetBER:               *ber,
+		Objective:               obj,
+		DAC:                     evalOpts.DAC,
+		Traffic:                 traffic,
+		InjectionRateBitsPerSec: *rate,
+		Messages:                *messages,
+		Seed:                    *seed,
+		MaxQueueDepth:           *qmax,
+	})
+	if err != nil {
+		return err
+	}
+	return printSim(out, res, simRes)
 }
 
 // parseRange splits "lo,hi" into its bounds.
@@ -141,7 +205,7 @@ func parseRange(s string) (lo, hi float64, err error) {
 
 // runSweep streams the BER sweep, rendering each aggregated point as it
 // completes.
-func runSweep(ctx context.Context, eng *photonoc.Engine, topo photonoc.NoCConfig, opts photonoc.NoCEvalOptions, bers []float64) error {
+func runSweep(ctx context.Context, out io.Writer, eng *photonoc.Engine, topo photonoc.NoCConfig, opts photonoc.NoCEvalOptions, bers []float64) error {
 	t := report.NewTable("Network sweep",
 		"BER", "feasible", "schemes", "sat Gb/s/tile", "pJ/bit", "p50 µs", "p99 µs")
 	for r := range eng.NetworkSweepStream(ctx, topo, bers, opts) {
@@ -153,19 +217,19 @@ func runSweep(ctx context.Context, eng *photonoc.Engine, topo photonoc.NoCConfig
 			t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "no", res.InfeasibleReason, "-", "-", "-", "-")
 			continue
 		}
-		t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "yes", schemeMix(res),
+		t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "yes", schemeMix(res.SchemeUse),
 			fmt.Sprintf("%.2f", res.SaturationInjectionBitsPerSec/1e9),
 			fmt.Sprintf("%.2f", res.EnergyPerBitJ*1e12),
 			fmt.Sprintf("%.3f", res.P50LatencySec*1e6),
 			fmt.Sprintf("%.3f", res.P99LatencySec*1e6))
 	}
-	return t.Render(os.Stdout)
+	return t.Render(out)
 }
 
-// schemeMix formats the per-scheme link counts.
-func schemeMix(res photonoc.NoCResult) string {
-	parts := make([]string, 0, len(res.SchemeUse))
-	for name, count := range res.SchemeUse {
+// schemeMix formats per-scheme link counts.
+func schemeMix(use map[string]int) string {
+	parts := make([]string, 0, len(use))
+	for name, count := range use {
 		parts = append(parts, fmt.Sprintf("%s×%d", name, count))
 	}
 	if len(parts) == 0 {
@@ -176,13 +240,13 @@ func schemeMix(res photonoc.NoCResult) string {
 }
 
 // printResult renders one network operating point.
-func printResult(net *photonoc.NoC, res photonoc.NoCResult, perLink bool) error {
+func printResult(out io.Writer, net *photonoc.NoC, res photonoc.NoCResult, perLink bool) error {
 	if !res.Feasible {
-		fmt.Printf("infeasible at BER %.1e: %s\n", res.TargetBER, res.InfeasibleReason)
+		fmt.Fprintf(out, "infeasible at BER %.1e: %s\n", res.TargetBER, res.InfeasibleReason)
 		return nil
 	}
 	t := report.NewTable(fmt.Sprintf("Network operating point @ BER %.0e", res.TargetBER), "metric", "value")
-	t.AddRowf("scheme mix", schemeMix(res))
+	t.AddRowf("scheme mix", schemeMix(res.SchemeUse))
 	t.AddRowf("saturation injection", fmt.Sprintf("%.2f Gb/s per tile", res.SaturationInjectionBitsPerSec/1e9))
 	t.AddRowf("evaluated injection", fmt.Sprintf("%.2f Gb/s per tile", res.InjectionRateBitsPerSec/1e9))
 	t.AddRowf("delivered payload", fmt.Sprintf("%.1f Gb/s", res.DeliveredBitsPerSec/1e9))
@@ -196,7 +260,7 @@ func printResult(net *photonoc.NoC, res photonoc.NoCResult, perLink bool) error 
 	if res.Saturated {
 		t.AddRowf("saturated", "yes — queue waits unbounded at this rate")
 	}
-	if err := t.Render(os.Stdout); err != nil {
+	if err := t.Render(out); err != nil {
 		return err
 	}
 	if !perLink {
@@ -216,5 +280,38 @@ func printResult(net *photonoc.NoC, res photonoc.NoCResult, perLink bool) error 
 			fmt.Sprintf("%.2f", load.Utilization),
 			fmt.Sprintf("%.1f", load.CapacityBitsPerSec/1e9))
 	}
-	return lt.Render(os.Stdout)
+	return lt.Render(out)
+}
+
+// printSim renders the discrete-event run next to the analytic aggregates
+// of the same operating point.
+func printSim(out io.Writer, ana photonoc.NoCResult, sim photonoc.NoCSimResults) error {
+	t := report.NewTable(fmt.Sprintf("Analytic vs simulated @ %.2f Gb/s per tile", ana.InjectionRateBitsPerSec/1e9),
+		"metric", "analytic", "simulated")
+	anaMaxUtil, anaMeanUtil := 0.0, 0.0
+	for _, l := range ana.Loads {
+		anaMeanUtil += l.Utilization / float64(len(ana.Loads))
+		if l.Utilization > anaMaxUtil {
+			anaMaxUtil = l.Utilization
+		}
+	}
+	t.AddRowf("scheme mix", schemeMix(ana.SchemeUse), schemeMix(sim.SchemeUse))
+	t.AddRowf("mean link utilization", fmt.Sprintf("%.3f", anaMeanUtil), fmt.Sprintf("%.3f", sim.MeanUtilization))
+	t.AddRowf("max link utilization", fmt.Sprintf("%.3f", anaMaxUtil), fmt.Sprintf("%.3f", sim.MaxUtilization))
+	t.AddRowf("mean latency", fmt.Sprintf("%.4f µs", ana.MeanLatencySec*1e6), fmt.Sprintf("%.4f µs", sim.MeanLatencySec*1e6))
+	t.AddRowf("p50 latency", fmt.Sprintf("%.4f µs", ana.P50LatencySec*1e6), fmt.Sprintf("%.4f µs", sim.P50LatencySec*1e6))
+	t.AddRowf("p99 latency", fmt.Sprintf("%.4f µs", ana.P99LatencySec*1e6), fmt.Sprintf("%.4f µs", sim.P99LatencySec*1e6))
+	t.AddRowf("energy per bit", fmt.Sprintf("%.2f pJ", ana.EnergyPerBitJ*1e12), fmt.Sprintf("%.2f pJ", sim.EnergyPerBitJ*1e12))
+	t.AddRowf("messages", "-", fmt.Sprintf("%d delivered / %d injected", sim.Messages, sim.Injected))
+	if sim.Dropped > 0 {
+		t.AddRowf("dropped", "-", fmt.Sprintf("%d (bounded queues)", sim.Dropped))
+	}
+	maxDepth := 0
+	for _, l := range sim.PerLink {
+		if l.MaxQueueDepth > maxDepth {
+			maxDepth = l.MaxQueueDepth
+		}
+	}
+	t.AddRowf("max queue depth", "-", fmt.Sprintf("%d", maxDepth))
+	return t.Render(out)
 }

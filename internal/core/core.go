@@ -23,6 +23,14 @@ import (
 	"photonoc/internal/onoc"
 )
 
+// TokenOverheadSec is the fixed MWSR arbitration cost per transfer
+// (token grant + manager request/response round trip). The single-link
+// simulator (internal/netsim), the network-scale discrete-event simulator
+// and the analytic network evaluator (internal/noc) all charge this same
+// cost per hop, so analytic and simulated latencies share the arbitration
+// model.
+const TokenOverheadSec = 10e-9
+
 // InterfacePower is the dynamic power of the electrical interface for one
 // communication scheme, as synthesized in Table I (whole 64-bit interface,
 // all wavelengths together).

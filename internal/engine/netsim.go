@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"photonoc/internal/manager"
+	"photonoc/internal/netsim"
+	"photonoc/internal/noc"
+)
+
+// NetworkSimOptions parameterizes one network-scale discrete-event
+// simulation run (Engine.SimulateNetwork).
+type NetworkSimOptions struct {
+	// TargetBER is the post-decoding BER every link must meet.
+	TargetBER float64
+	// Objective picks the per-link scheme (manager.Better's rule).
+	Objective manager.Objective
+	// DAC, when non-nil, quantizes each link's laser setting exactly as
+	// the runtime manager would program it.
+	DAC *manager.DAC
+	// Traffic is the row-normalized traffic matrix; nil means uniform.
+	Traffic noc.Matrix
+	// InjectionRateBitsPerSec is the offered payload per active tile;
+	// 0 simulates at half the analytic saturation rate — the same default
+	// operating point noc.Aggregate evaluates, so analytic and simulated
+	// results are directly comparable out of the box.
+	InjectionRateBitsPerSec float64
+	// MessageBits is the payload per message (0 = 4 KiB).
+	MessageBits int
+	// Messages is the number of messages to inject (0 = 20000).
+	Messages int
+	// Seed makes runs reproducible.
+	Seed int64
+	// MaxQueueDepth bounds per-link occupancy (0 = unbounded; see
+	// netsim.NetConfig.MaxQueueDepth).
+	MaxQueueDepth int
+}
+
+// SimulateNetwork runs the network-scale discrete-event simulator over a
+// topology: the (link × scheme) lattice at the target BER is solved across
+// the engine's worker pool (every solve keyed in the shared LRU by the
+// link's configuration fingerprint, exactly like Network/NetworkSweep),
+// the per-link winners are picked with noc.Decide — so the simulated
+// scheme/DAC decisions are bit-identical to the analytic evaluator's —
+// and the event-driven simulation replays a seeded synthetic workload over
+// the routes. The simulation core is sequential, so results for a fixed
+// seed are bit-identical across engine worker counts.
+//
+// A topology with an infeasible link cannot be simulated and returns an
+// error wrapping ErrInfeasible (unlike the analytic Network, which reports
+// it in the Result).
+func (e *Engine) SimulateNetwork(ctx context.Context, cfg noc.Config, opts NetworkSimOptions) (netsim.NetResults, error) {
+	if err := validateBER(opts.TargetBER); err != nil {
+		return netsim.NetResults{}, err
+	}
+	g, err := e.prepareNetwork(cfg, []float64{opts.TargetBER})
+	if err != nil {
+		return netsim.NetResults{}, err
+	}
+	if opts.Traffic != nil {
+		// Fail fast, before the lattice solves: the simulator re-validates,
+		// but by then the workers have already run.
+		if err := opts.Traffic.Validate(g.net.Tiles()); err != nil {
+			return netsim.NetResults{}, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		}
+	}
+	evals := g.newEvalLattice()
+	if err := e.forEach(ctx, g.pointsPerBER(), func(ctx context.Context, i int) error {
+		return e.solvePoint(g, evals, i)
+	}); err != nil {
+		return netsim.NetResults{}, err
+	}
+
+	evalOpts := noc.EvalOptions{
+		TargetBER:               opts.TargetBER,
+		Objective:               opts.Objective,
+		Traffic:                 opts.Traffic,
+		InjectionRateBitsPerSec: opts.InjectionRateBitsPerSec,
+		MessageBits:             opts.MessageBits,
+		DAC:                     opts.DAC,
+	}
+	decisions, err := noc.Decide(g.net, evals[0], evalOpts)
+	if err != nil {
+		return netsim.NetResults{}, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	for i := range decisions {
+		if !decisions[i].Feasible {
+			return netsim.NetResults{}, fmt.Errorf("%w: link %d: %s", ErrInfeasible, i, decisions[i].InfeasibleReason)
+		}
+	}
+
+	rate := opts.InjectionRateBitsPerSec
+	if rate == 0 {
+		// Adopt the analytic default operating point: half the saturation
+		// injection rate of this exact decision set.
+		agg, err := noc.Aggregate(g.net, decisions, evalOpts)
+		if err != nil {
+			return netsim.NetResults{}, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		}
+		rate = agg.InjectionRateBitsPerSec
+	}
+
+	res, err := netsim.RunNetwork(ctx, netsim.NetConfig{
+		Net:                     g.net,
+		Decisions:               decisions,
+		Traffic:                 opts.Traffic,
+		MessageBits:             opts.MessageBits,
+		InjectionRateBitsPerSec: rate,
+		Messages:                opts.Messages,
+		Seed:                    opts.Seed,
+		MaxQueueDepth:           opts.MaxQueueDepth,
+	})
+	if err != nil && ctx.Err() == nil {
+		// Everything netsim rejects at this point is a per-call input
+		// (negative counts, malformed rate); cancellation passes through.
+		return res, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	return res, err
+}

@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParsePattern: the CLI-facing parser never panics and round-trips
+// with String on every accepted spelling.
+func FuzzParsePattern(f *testing.F) {
+	for _, seed := range []string{"uniform", "hotspot", "permutation", "streaming", "", "Uniform", "hotspot ", "\xff"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePattern(s)
+		if err != nil {
+			return
+		}
+		if p.String() != s {
+			t.Fatalf("ParsePattern(%q) = %v, but %v.String() = %q", s, p, p, p.String())
+		}
+		if back, err := ParsePattern(p.String()); err != nil || back != p {
+			t.Fatalf("round trip %q → %v → %q broke: %v", s, p, p.String(), err)
+		}
+	})
+}
+
+// FuzzTraceValidate: arbitrary traces never panic the validator, and a
+// trace it accepts must satisfy the invariants replay relies on (ordering,
+// in-range endpoints, positive payloads) — including surviving the
+// empirical matrix extraction without division by zero.
+func FuzzTraceValidate(f *testing.F) {
+	f.Add(12, 0.0, 0, 1, 4096, 1.0, 1, 0, 8192)
+	f.Add(2, -1.0, 0, 1, 0, 0.5, 1, 1, 64)
+	f.Add(3, 1.0, 2, 2, 64, 0.5, 0, 2, 64)
+	f.Add(4, math.NaN(), 0, 1, 64, 1.0, 1, 2, 64)
+	f.Add(4, 0.0, 0, 1, 64, math.Inf(1), 1, 2, 64)
+	f.Fuzz(func(t *testing.T, n int, t0 float64, s0, d0, b0 int, t1 float64, s1, d1, b1 int) {
+		if n < 0 || n > 1024 {
+			return
+		}
+		tr := Trace{
+			{TimeSec: t0, Src: s0, Dst: d0, Bits: b0},
+			{TimeSec: t1, Src: s1, Dst: d1, Bits: b1},
+		}
+		if err := tr.Validate(n); err != nil {
+			return
+		}
+		// Accepted ⇒ invariants hold. The finiteness check is what keeps
+		// the ordering comparison meaningful (a NaN time satisfies neither
+		// side of <), and non-negativity is what the simulators' t = 0
+		// server anchor relies on.
+		for i, ev := range tr {
+			if math.IsNaN(ev.TimeSec) || math.IsInf(ev.TimeSec, 0) || ev.TimeSec < 0 {
+				t.Fatalf("accepted non-finite or negative time %g at event %d", ev.TimeSec, i)
+			}
+		}
+		if tr[1].TimeSec < tr[0].TimeSec {
+			t.Fatal("accepted an out-of-order trace")
+		}
+		for i, ev := range tr {
+			if ev.Src < 0 || ev.Src >= n || ev.Dst < 0 || ev.Dst >= n || ev.Src == ev.Dst || ev.Bits <= 0 {
+				t.Fatalf("accepted invalid event %d: %+v for %d tiles", i, ev, n)
+			}
+		}
+		m, err := tr.Matrix(n)
+		if err != nil {
+			t.Fatalf("accepted trace fails matrix extraction: %v", err)
+		}
+		if len(m) != n {
+			t.Fatalf("matrix has %d rows for %d tiles", len(m), n)
+		}
+	})
+}

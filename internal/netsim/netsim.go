@@ -5,6 +5,17 @@
 // deadline behaviour and energy — the "benchmark applications" evaluation
 // the paper defers to future work (Section VI), driven here by synthetic
 // workloads. It also implements the idle-laser-off extension of [9].
+//
+// Beyond the single calibrated link (Run/RunTrace), the package simulates
+// whole noc.Network topologies (RunNetwork/RunNetworkTrace): per-source
+// Poisson injection sampled from a traffic matrix, XY multi-hop forwarding
+// over the network's routing table, one MWSR server per link serializing
+// transfers at the link's decided capacity, bounded or unbounded per-link
+// queues, and the standing-vs-dynamic energy split. The network simulator
+// takes its per-link scheme/DAC decisions from noc.Decide (the engine
+// layer solves them through its shared LRU), which is what makes its
+// results directly comparable — decision for decision — with the analytic
+// noc.Aggregate it cross-validates.
 package netsim
 
 import (

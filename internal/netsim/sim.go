@@ -23,62 +23,19 @@ type arrivalEvent struct {
 	msg message
 }
 
-// eventHeap is a typed min-heap on arrival time. The sift algorithm mirrors
-// container/heap exactly (so pop order, including ties, is unchanged), but
-// push takes the concrete type: no per-event interface boxing allocation in
-// the trace-generation hot loop.
-type eventHeap []arrivalEvent
+// before orders arrivals by time alone; ties keep the heap's (stable,
+// deterministic) layout order, as the historical per-type heap did.
+func (e arrivalEvent) before(o arrivalEvent) bool { return e.at < o.at }
 
-func (h *eventHeap) push(ev arrivalEvent) {
-	*h = append(*h, ev)
-	h.up(len(*h) - 1)
-}
-
-func (h *eventHeap) pop() arrivalEvent {
-	old := *h
-	n := len(old) - 1
-	old[0], old[n] = old[n], old[0]
-	h.down(0, n)
-	ev := (*h)[n]
-	*h = (*h)[:n]
-	return ev
-}
-
-func (h eventHeap) up(j int) {
-	for {
-		i := (j - 1) / 2 // parent
-		if i == j || !(h[j].at < h[i].at) {
-			break
-		}
-		h[i], h[j] = h[j], h[i]
-		j = i
-	}
-}
-
-func (h eventHeap) down(i0, n int) {
-	i := i0
-	for {
-		j1 := 2*i + 1
-		if j1 >= n || j1 < 0 {
-			break
-		}
-		j := j1
-		if j2 := j1 + 1; j2 < n && h[j2].at < h[j1].at {
-			j = j2
-		}
-		if !(h[j].at < h[i].at) {
-			break
-		}
-		h[i], h[j] = h[j], h[i]
-		i = j
-	}
-}
+// eventHeap is the trace generator's min-heap on arrival time.
+type eventHeap = simHeap[arrivalEvent]
 
 // TokenOverheadSec is the fixed MWSR arbitration cost per transfer
 // (token grant + manager request/response round trip). The network-level
 // evaluator (internal/noc) charges the same cost per hop so analytic and
-// simulated latencies share the arbitration model.
-const TokenOverheadSec = 10e-9
+// simulated latencies share the arbitration model. The constant lives in
+// core so noc and netsim can both reference it without a package cycle.
+const TokenOverheadSec = core.TokenOverheadSec
 
 // Run generates the configured workload and executes the simulation. It is
 // exactly RecordTrace followed by RunTrace, which guarantees that recorded

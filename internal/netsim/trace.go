@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -38,11 +39,20 @@ func (tr Trace) Validate(n int) error {
 		if ev.Bits <= 0 {
 			return fmt.Errorf("netsim: trace event %d has %d bits", i, ev.Bits)
 		}
+		if math.IsNaN(ev.TimeSec) || math.IsInf(ev.TimeSec, 0) || ev.TimeSec < 0 {
+			// A NaN would slip through the ordering comparison below (every
+			// NaN comparison is false), and negative times would collide
+			// with the simulators' t = 0 server anchor (nextFree starts at
+			// zero), charging phantom queue wait — reject both instead of
+			// silently poisoning the statistics.
+			return fmt.Errorf("netsim: trace event %d time %g must be finite and non-negative", i, ev.TimeSec)
+		}
 		if i > 0 && ev.TimeSec < tr[i-1].TimeSec {
 			return fmt.Errorf("netsim: trace not time-ordered at event %d", i)
 		}
-		if ev.DeadlineSec != 0 && ev.DeadlineSec < ev.TimeSec {
-			return fmt.Errorf("netsim: trace event %d deadline precedes arrival", i)
+		if ev.DeadlineSec != 0 && !(ev.DeadlineSec >= ev.TimeSec) {
+			// !(≥) instead of (<) so a NaN deadline is rejected too.
+			return fmt.Errorf("netsim: trace event %d deadline precedes arrival (or is NaN)", i)
 		}
 	}
 	return nil

@@ -8,7 +8,6 @@ import (
 	"photonoc/internal/core"
 	"photonoc/internal/manager"
 	"photonoc/internal/mathx"
-	"photonoc/internal/netsim"
 )
 
 // Optical propagation constants for the latency model: silicon waveguide
@@ -273,7 +272,7 @@ func Aggregate(net *Network, decisions []LinkDecision, opts EvalOptions) (Result
 	for i := range net.links {
 		l := &net.links[i]
 		d := &decisions[i]
-		capacity[i] = float64(len(l.Lambdas)) * l.Config.FmodHz / d.Eval.CT
+		capacity[i] = l.CapacityBitsPerSec(d.Eval.CT)
 		if shares[i] > 0 {
 			if sat := capacity[i] / shares[i]; sat < minSat {
 				minSat = sat
@@ -380,8 +379,8 @@ func (res *Result) aggregateLatency(net *Network, opts EvalOptions) {
 			for _, id := range net.routes[s][d] {
 				load := &res.Loads[id]
 				serial := float64(opts.MessageBits) / load.CapacityBitsPerSec
-				prop := net.links[id].LengthCM * PropagationDelaySecPerCM
-				lat += netsim.TokenOverheadSec + load.QueueWaitSec + serial + prop
+				prop := net.links[id].PropagationDelaySec()
+				lat += core.TokenOverheadSec + load.QueueWaitSec + serial + prop
 			}
 			pairs = append(pairs, pairLat{lat: lat, w: w})
 			totalW += w

@@ -1,0 +1,119 @@
+package noc
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzParseKind: the CLI-facing parser never panics and round-trips with
+// String on every accepted spelling.
+func FuzzParseKind(f *testing.F) {
+	for _, seed := range []string{"bus", "crossbar", "ring", "mesh", "", "Bus", "mesh ", "torus", "\x00"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKind(s)
+		if err != nil {
+			return
+		}
+		if k.String() != s {
+			t.Fatalf("ParseKind(%q) = %v, but %v.String() = %q", s, k, k, k.String())
+		}
+		if back, err := ParseKind(k.String()); err != nil || back != k {
+			t.Fatalf("round trip %q → %v → %q broke: %v", s, k, k.String(), err)
+		}
+	})
+}
+
+// FuzzMatrixValidate throws arbitrary shapes and values at the traffic
+// matrix invariants: Validate must never panic, and a matrix it accepts
+// must genuinely be row-stochastic with a zero diagonal — the property
+// every consumer (Aggregate's share routing, the DES destination sampler)
+// relies on to not divide by zero or sample the diagonal.
+func FuzzMatrixValidate(f *testing.F) {
+	// Seeds: a valid uniform 3×3, a ragged shape, NaN, a negative weight,
+	// a self-loop, an overweight row.
+	f.Add(3, 3, []byte{})
+	f.Add(3, 2, []byte{0x01, 0x02})
+	f.Add(2, 2, []byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1})
+	f.Add(4, 4, []byte{0xbf, 0xf0, 0, 0, 0, 0, 0, 0})
+	f.Add(1, 1, []byte{0x3f, 0xf0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, tiles, rows int, raw []byte) {
+		if tiles < 0 || tiles > 16 || rows < 0 || rows > 16 {
+			return // keep the harness fast; shape mismatches are covered inside the range
+		}
+		// Build a rows × (variable) matrix from the raw float64 stream; the
+		// row widths intentionally drift so both ragged and square shapes
+		// are exercised.
+		next := func(i int) float64 {
+			if len(raw) < 8 {
+				return 0
+			}
+			off := (i * 8) % (len(raw) - 7)
+			return math.Float64frombits(binary.LittleEndian.Uint64(raw[off : off+8]))
+		}
+		m := make(Matrix, rows)
+		idx := 0
+		for r := range m {
+			width := tiles
+			if len(raw) > 0 && raw[idx%len(raw)]%5 == 0 {
+				width = tiles + int(raw[idx%len(raw)]%3) - 1 // ragged row
+			}
+			if width < 0 {
+				width = 0
+			}
+			m[r] = make([]float64, width)
+			for c := range m[r] {
+				m[r][c] = next(idx)
+				idx++
+			}
+		}
+
+		err := m.Validate(tiles)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ the invariants actually hold.
+		if len(m) != tiles {
+			t.Fatalf("accepted %d rows for %d tiles", len(m), tiles)
+		}
+		active := 0
+		for r, row := range m {
+			if len(row) != tiles {
+				t.Fatalf("accepted ragged row %d (%d columns for %d tiles)", r, len(row), tiles)
+			}
+			sum := 0.0
+			for c, w := range row {
+				if math.IsNaN(w) || w < 0 {
+					t.Fatalf("accepted weight %g at [%d][%d]", w, r, c)
+				}
+				if c == r && w != 0 {
+					t.Fatalf("accepted self-loop at row %d", r)
+				}
+				sum += w
+			}
+			if sum != 0 && math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("accepted row %d summing to %g", r, sum)
+			}
+			if sum > 0 {
+				active++
+			}
+		}
+		if active == 0 {
+			t.Fatal("accepted a matrix with no active source")
+		}
+		// And the accepted matrix survives the activeRows fold without
+		// disagreeing with the sums above.
+		flags := m.activeRows()
+		got := 0
+		for _, on := range flags {
+			if on {
+				got++
+			}
+		}
+		if got != active {
+			t.Fatalf("activeRows counts %d active sources, Validate saw %d", got, active)
+		}
+	})
+}

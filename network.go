@@ -41,6 +41,21 @@ type (
 	NetworkSweepResult = engine.NetworkResult
 	// SimPattern is a synthetic netsim workload (see ParsePattern).
 	SimPattern = netsim.Pattern
+	// NoCSimOptions parameterizes a network-scale discrete-event
+	// simulation (Engine.SimulateNetwork): target BER, objective, traffic
+	// matrix, injection rate, message count, seed and queue bound.
+	NoCSimOptions = engine.NetworkSimOptions
+	// NoCSimResults is the outcome of a network simulation: end-to-end
+	// latency percentiles, per-link utilization/queue/drops, and the
+	// standing-vs-dynamic energy split. The simulator's per-link
+	// scheme/DAC decisions are bit-identical to the analytic NoCResult's.
+	NoCSimResults = netsim.NetResults
+	// NoCLinkSimStats is the per-link view of a network simulation.
+	NoCLinkSimStats = netsim.NetLinkStats
+	// NoCSimConfig is the low-level simulator configuration (the Engine
+	// assembles one in SimulateNetwork; direct use is for replaying
+	// custom decision sets or traces through netsim.RunNetworkTrace).
+	NoCSimConfig = netsim.NetConfig
 )
 
 // Topology families for NoCConfig.Kind.

@@ -2,6 +2,7 @@ package photonoc
 
 import (
 	"context"
+	"reflect"
 	"testing"
 )
 
@@ -63,5 +64,52 @@ func TestNetworkFacade(t *testing.T) {
 	}
 	if stats := eng.CacheStats(); stats.HitRate() < 0.5 {
 		t.Errorf("network sweep hit rate %.2f — per-link plan sharing broken?", stats.HitRate())
+	}
+}
+
+// TestSimulateNetworkFacade exercises the network discrete-event simulator
+// through the public API and ties it back to the analytic result: same
+// decisions, bit for bit, and deterministic replays under a fixed seed.
+func TestSimulateNetworkFacade(t *testing.T) {
+	eng, err := New(WithSchemes(PaperSchemes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := NoCConfig{Kind: NoCMesh, Tiles: 16}
+	dac := PaperDAC()
+	var sim NoCSimResults
+	opts := NoCSimOptions{
+		TargetBER: 1e-11, Objective: MinEnergy, DAC: &dac,
+		Messages: 2000, Seed: 4,
+	}
+	if sim, err = eng.SimulateNetwork(context.Background(), topo, opts); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Messages != 2000 || sim.Dropped != 0 {
+		t.Fatalf("delivered %d / dropped %d of 2000", sim.Messages, sim.Dropped)
+	}
+	if sim.MeanLatencySec <= 0 || sim.EnergyPerBitJ <= 0 || sim.P99LatencySec < sim.P50LatencySec {
+		t.Fatalf("degenerate simulation statistics: %+v", sim)
+	}
+
+	ana, err := eng.Network(context.Background(), topo, NoCEvalOptions{
+		TargetBER: 1e-11, Objective: MinEnergy, DAC: &dac,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Decisions) != len(ana.Decisions) {
+		t.Fatalf("%d simulated decisions, %d analytic", len(sim.Decisions), len(ana.Decisions))
+	}
+	if !reflect.DeepEqual(sim.Decisions, ana.Decisions) {
+		t.Fatal("simulated decisions differ from the analytic ones")
+	}
+
+	again, err := eng.SimulateNetwork(context.Background(), topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SimTimeSec != sim.SimTimeSec || again.MeanLatencySec != sim.MeanLatencySec {
+		t.Fatal("same seed did not reproduce the run through the facade")
 	}
 }
