@@ -15,6 +15,7 @@ import (
 	"photonoc/internal/bits"
 	"photonoc/internal/ecc"
 	"photonoc/internal/mc"
+	"photonoc/internal/onocd"
 )
 
 // BenchReport is the machine-readable output of `onocbench -json`: the
@@ -52,6 +53,11 @@ type BenchMetric struct {
 	// SolvesPerSec is the per-link operating-point solve throughput of a
 	// network evaluation; set only on the noc_eval metric.
 	SolvesPerSec float64 `json:"solves_per_sec,omitempty"`
+	// QPS is the closed-loop request throughput against a selfhosted onocd
+	// daemon; set only on the service_warm_qps metric (whose ns_per_op /
+	// p99_ns_per_op carry the p50 / p99 request latency).
+	QPS        float64 `json:"qps,omitempty"`
+	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
 }
 
 // benchBERGrid is the tracked sweep grid: the 8 extended schemes × 6 target
@@ -211,6 +217,39 @@ func runBenchJSON(w io.Writer, cfg photonoc.LinkConfig, workers int) error {
 	if benchErr != nil {
 		return benchErr
 	}
+
+	// Service throughput: a selfhosted onocd daemon under the closed-loop
+	// load harness (cmd/onocload), warm phase — the working set (the tracked
+	// BER grid) is pre-solved, so the measurement is the serving stack itself:
+	// HTTP + JSON + the sharded LRU under concurrent clients.
+	_, hs, base, err := onocd.ListenLocal(onocd.Options{Config: cfg, Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer hs.Close()
+	client := onocd.NewClient(base)
+	makeReq := func(i int) onocd.SweepRequest {
+		return onocd.SweepRequest{TargetBERs: []float64{benchBERGrid[i%len(benchBERGrid)]}}
+	}
+	for i := range benchBERGrid { // warm-up: the cold solves, unmeasured
+		if _, err := client.Sweep(ctx, makeReq(i)); err != nil {
+			return err
+		}
+	}
+	stats, err := onocd.RunLoad(ctx, client, onocd.LoadOptions{Clients: 8, Requests: 2000, MakeRequest: makeReq})
+	if err != nil {
+		return err
+	}
+	if stats.Non2xx > 0 {
+		return fmt.Errorf("service_warm_qps: %d of %d requests failed (first: %s)", stats.Non2xx, stats.Requests, stats.FirstError)
+	}
+	report.Benchmarks = append(report.Benchmarks, BenchMetric{
+		Name:       "service_warm_qps",
+		NsPerOp:    float64(stats.P50.Nanoseconds()),
+		P99NsPerOp: float64(stats.P99.Nanoseconds()),
+		N:          stats.Requests,
+		QPS:        stats.QPS,
+	})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,145 @@
+// Command onocd serves the photonoc Engine as a long-running HTTP/JSON
+// daemon: batch and streaming sweeps, runtime-manager decisions, whole-NoC
+// evaluation and simulation, and Monte-Carlo validation, behind admission
+// control, per-request deadlines, a Prometheus /metrics endpoint and hot
+// configuration reload.
+//
+//	onocd -addr :9137
+//	onocd -addr 127.0.0.1:0 -workers 8 -cache 65536       # OS-picked port
+//	onocd -config link.json -timeout 10s -max-inflight 32
+//	kill -HUP $(pidof onocd)                              # re-read -config
+//
+// Routes: POST /v1/sweep[/stream], /v1/decide, /v1/noc/eval, /v1/noc/sweep
+// (NDJSON), /v1/noc/sim, /v1/validate; GET /v1/config, /healthz, /statusz,
+// /metrics. Errors arrive as {"error":{code,message,status}} envelopes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"photonoc"
+
+	"photonoc/internal/core"
+	"photonoc/internal/onocd"
+)
+
+// errFlagParse signals main that the FlagSet already printed the
+// diagnostic, so it must not be reported a second time.
+var errFlagParse = errors.New("onocd: flag parse error")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "onocd: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole daemon behind main, factored out so tests can drive a
+// full serve/drain cycle. It blocks until ctx is cancelled (SIGINT/SIGTERM
+// in production), then drains in-flight requests and returns.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("onocd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9137", "listen address (port 0 = OS-assigned)")
+	configPath := fs.String("config", "", "link configuration JSON (default: the paper's configuration); re-read on SIGHUP")
+	workers := fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "memo-cache entries (0 = engine default)")
+	shards := fs.Int("shards", 0, "LRU shard count (0 = scale with capacity)")
+	maxInFlight := fs.Int("max-inflight", 0, "admission-control concurrency limit (0 = default)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline ceiling (0 = default 30s)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse
+	}
+
+	loadConfig := func() (core.LinkConfig, error) {
+		if *configPath == "" {
+			return core.LinkConfig{}, nil // zero value = engine default
+		}
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return core.LinkConfig{}, err
+		}
+		defer f.Close()
+		return photonoc.LoadConfig(f)
+	}
+	cfg, err := loadConfig()
+	if err != nil {
+		return err
+	}
+
+	srv, err := onocd.NewServer(onocd.Options{
+		Config:         cfg,
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		CacheShards:    *shards,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is machine-readable on purpose: the CI
+	// smoke test and the load harness scrape the OS-assigned port from it.
+	fmt.Fprintf(out, "onocd: serving on http://%s (engine %s, %d workers)\n",
+		l.Addr(), srv.Engine().ConfigFingerprint()[:12], srv.Engine().Workers())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(l) }()
+
+	// SIGHUP hot reload: re-read -config and swap the engine generation.
+	// In-flight requests finish on the generation they started with.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	for {
+		select {
+		case <-hup:
+			cfg, err := loadConfig()
+			if err != nil {
+				fmt.Fprintf(out, "onocd: reload failed (keeping the serving engine): %v\n", err)
+				continue
+			}
+			if err := srv.Reload(cfg); err != nil {
+				fmt.Fprintf(out, "onocd: reload rejected (keeping the serving engine): %v\n", err)
+				continue
+			}
+			fmt.Fprintf(out, "onocd: reloaded engine %s\n", srv.Engine().ConfigFingerprint()[:12])
+		case err := <-serveErr:
+			return fmt.Errorf("serve: %w", err)
+		case <-ctx.Done():
+			srv.SetDraining(true)
+			fmt.Fprintf(out, "onocd: draining (budget %s)\n", *drainTimeout)
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			defer cancel()
+			if err := hs.Shutdown(shutdownCtx); err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			fmt.Fprintln(out, "onocd: drained, bye")
+			return nil
+		}
+	}
+}

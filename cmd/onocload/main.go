@@ -1,0 +1,164 @@
+// Command onocload is the closed-loop load harness for onocd: N client
+// goroutines each keep exactly one request in flight against the daemon's
+// /v1/sweep route and the harness reports throughput (QPS) and latency
+// percentiles (p50/p90/p99/max), plus the daemon-side cache hit rate over
+// the measured phase.
+//
+//	onocload -addr http://127.0.0.1:9137 -clients 8 -requests 5000
+//	onocload -selfhost -clients 16 -requests 2000
+//	onocload -selfhost -requests 1000 -assert-all-2xx -assert-warm-hitrate 0.9
+//
+// The working set is the cross product of -bers and the daemon roster; a
+// warm-up pass touches every point once (cold solves), then the measured
+// phase replays it round-robin — the steady serving state where the
+// sharded LRU and singleflight coalescing carry the load. The -assert-*
+// flags turn the run into the CI smoke test: non-zero exit when a request
+// fails or the warm hit rate falls short.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"photonoc/internal/onocd"
+)
+
+// errFlagParse signals main that the FlagSet already printed the
+// diagnostic, so it must not be reported a second time.
+var errFlagParse = errors.New("onocload: flag parse error")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "onocload: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole harness behind main, factored out for tests.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("onocload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "base URL of the daemon, e.g. http://127.0.0.1:9137")
+	selfhost := fs.Bool("selfhost", false, "spin up an in-process daemon on a loopback port instead of -addr")
+	clients := fs.Int("clients", 8, "concurrent closed-loop clients")
+	requests := fs.Int("requests", 1000, "measured requests (after warm-up)")
+	bers := fs.String("bers", "1e-11", "comma-separated target BERs forming the working set")
+	workers := fs.Int("workers", 0, "selfhosted engine workers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "selfhosted LRU shard count (0 = scale with capacity)")
+	assert2xx := fs.Bool("assert-all-2xx", false, "exit non-zero unless every measured request returned 2xx")
+	assertHit := fs.Float64("assert-warm-hitrate", 0, "exit non-zero unless the measured-phase cache hit rate reaches this fraction")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse
+	}
+	if (*addr == "") == !*selfhost {
+		return errors.New("pass exactly one of -addr or -selfhost")
+	}
+	if *clients < 1 || *requests < 1 {
+		return fmt.Errorf("-clients %d and -requests %d must be positive", *clients, *requests)
+	}
+	grid, err := parseBERs(*bers)
+	if err != nil {
+		return err
+	}
+
+	base := *addr
+	if *selfhost {
+		_, hs, url, err := onocd.ListenLocal(onocd.Options{Workers: *workers, CacheShards: *shards})
+		if err != nil {
+			return err
+		}
+		defer hs.Close()
+		base = url
+		fmt.Fprintf(out, "selfhosted daemon on %s\n", base)
+	}
+	c := onocd.NewClient(base)
+	c.HTTP = &http.Client{Timeout: 2 * time.Minute}
+	if err := c.Healthz(ctx); err != nil {
+		return fmt.Errorf("daemon not healthy: %w", err)
+	}
+
+	makeReq := func(i int) onocd.SweepRequest {
+		return onocd.SweepRequest{TargetBERs: []float64{grid[i%len(grid)]}}
+	}
+
+	// Warm-up: touch every working-set point once, sequentially — these are
+	// the cold solves, excluded from the measured phase.
+	warmStart := time.Now()
+	for i := range grid {
+		if _, err := c.Sweep(ctx, makeReq(i)); err != nil {
+			return fmt.Errorf("warm-up request %d: %w", i, err)
+		}
+	}
+	statsBefore, statszErr := c.Statusz(ctx)
+	fmt.Fprintf(out, "warm-up: %d points in %s\n", len(grid), time.Since(warmStart).Round(time.Millisecond))
+
+	stats, err := onocd.RunLoad(ctx, c, onocd.LoadOptions{
+		Clients:     *clients,
+		Requests:    *requests,
+		MakeRequest: makeReq,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "measured: %d clients, closed loop\n", *clients)
+	stats.WriteTable(out, "warm")
+	if stats.FirstError != "" {
+		fmt.Fprintf(out, "first error: %s\n", stats.FirstError)
+	}
+
+	hitRate := math.NaN()
+	if statszErr == nil {
+		if statsAfter, err := c.Statusz(ctx); err == nil {
+			hits := statsAfter.Cache.Hits - statsBefore.Cache.Hits
+			misses := statsAfter.Cache.Misses - statsBefore.Cache.Misses
+			if hits+misses > 0 {
+				hitRate = float64(hits) / float64(hits+misses)
+			}
+			fmt.Fprintf(out, "daemon cache: %.1f%% hit rate over the measured phase (%d shards, %d shared solves total)\n",
+				hitRate*100, statsAfter.Cache.Shards, statsAfter.Cache.SharedSolves)
+		}
+	}
+
+	if *assert2xx && stats.Non2xx > 0 {
+		return fmt.Errorf("assert-all-2xx: %d of %d requests failed (first: %s)", stats.Non2xx, stats.Requests, stats.FirstError)
+	}
+	if *assertHit > 0 {
+		if math.IsNaN(hitRate) {
+			return errors.New("assert-warm-hitrate: could not read cache stats from /statusz")
+		}
+		if hitRate < *assertHit {
+			return fmt.Errorf("assert-warm-hitrate: %.3f < %.3f", hitRate, *assertHit)
+		}
+	}
+	return nil
+}
+
+// parseBERs splits the comma-separated working set.
+func parseBERs(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	grid := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-bers %q: %v", p, err)
+		}
+		grid = append(grid, v)
+	}
+	return grid, nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSelfhostSmoke is the CI smoke in miniature: a selfhosted daemon, a
+// closed-loop run, both assertions armed. Failure of either assertion is a
+// run error, so a green test proves 0 non-2xx and a ≥90% warm hit rate.
+func TestSelfhostSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-selfhost", "-clients", "4", "-requests", "120",
+		"-bers", "1e-12,1e-11,1e-9",
+		"-assert-all-2xx", "-assert-warm-hitrate", "0.9",
+	}, &out)
+	if err != nil {
+		t.Fatalf("onocload: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"selfhosted daemon on http://", "warm-up: 3 points", "qps", "hit rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestAssertHitRateFails: an unreachable hit-rate bar must fail the run —
+// the CI assertion is real, not decorative.
+func TestAssertHitRateFails(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-selfhost", "-clients", "1", "-requests", "1",
+		"-assert-warm-hitrate", "1.1",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "assert-warm-hitrate") {
+		t.Fatalf("err = %v, want assert-warm-hitrate failure", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                 // neither -addr nor -selfhost
+		{"-addr", "http://x", "-selfhost"}, // both
+		{"-selfhost", "-clients", "0"},
+		{"-selfhost", "-requests", "-1"},
+		{"-selfhost", "-bers", "fast"},
+		{"-nosuchflag"},
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("onocload %s: no error", strings.Join(args, " "))
+		}
+	}
+}

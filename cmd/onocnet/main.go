@@ -9,6 +9,12 @@
 //	onocnet -topology ring -tiles 8 -sweep 1e-12,1e-9 -points 7
 //	onocnet -topology bus -tiles 12 -links        # per-link detail
 //	onocnet -topology mesh -tiles 16 -sim         # analytic vs DES
+//	onocnet -remote http://127.0.0.1:9137 -tiles 64   # solve on an onocd daemon
+//
+// With -remote, every evaluation runs on the daemon (sharing its memo
+// cache across invocations and clients); only the topology geometry and
+// the rendered tables are computed locally, from the daemon's own link
+// configuration.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"photonoc/internal/manager"
 	"photonoc/internal/mathx"
+	"photonoc/internal/onocd"
 	"photonoc/internal/report"
 )
 
@@ -65,7 +72,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	rate := fs.Float64("rate", 0, "injection rate per tile in bits/s (0 = half of saturation)")
 	useDAC := fs.Bool("dac", false, "quantize laser settings through the paper's 6-bit DAC")
 	perLink := fs.Bool("links", false, "print the per-link table")
-	workers := fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS; ignored with -remote)")
+	remote := fs.String("remote", "", "base URL of an onocd daemon to evaluate against instead of the in-process engine")
 	sim := fs.Bool("sim", false, "run the discrete-event simulator and print it against the analytic aggregates")
 	messages := fs.Int("messages", 0, "messages to simulate with -sim (0 = 20000)")
 	seed := fs.Int64("seed", 1, "simulation seed for -sim")
@@ -126,6 +134,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unknown objective %q", *objective)
 	}
 
+	traffic, err := pat.Matrix(*tiles, *hotspot, *hotFrac)
+	if err != nil {
+		return err
+	}
+
+	topo := photonoc.NoCConfig{Kind: kind, Tiles: *tiles, Columns: *columns, TilePitchCM: *pitch}
+	if *remote != "" {
+		return runRemote(ctx, out, *remote, remoteRun{
+			topo: topo, pat: pat, traffic: traffic,
+			ber: *ber, sweepBERs: sweepBERs, objective: *objective,
+			rate: *rate, useDAC: *useDAC, perLink: *perLink,
+			sim: *sim, messages: *messages, seed: *seed, qmax: *qmax,
+		})
+	}
+
 	opts := []photonoc.Option{}
 	if *workers != 0 {
 		opts = append(opts, photonoc.WithWorkers(*workers))
@@ -135,12 +158,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	topo := photonoc.NoCConfig{Kind: kind, Tiles: *tiles, Columns: *columns, TilePitchCM: *pitch}
 	net, err := eng.BuildNetwork(topo)
-	if err != nil {
-		return err
-	}
-	traffic, err := pat.Matrix(*tiles, *hotspot, *hotFrac)
 	if err != nil {
 		return err
 	}
@@ -203,25 +221,117 @@ func parseRange(s string) (lo, hi float64, err error) {
 	return lo, hi, nil
 }
 
+// remoteRun bundles the flag values a -remote invocation forwards to the
+// daemon.
+type remoteRun struct {
+	topo      photonoc.NoCConfig
+	pat       photonoc.SimPattern
+	traffic   photonoc.TrafficMatrix
+	ber       float64
+	sweepBERs []float64
+	objective string
+	rate      float64
+	useDAC    bool
+	perLink   bool
+	sim       bool
+	messages  int
+	seed      int64
+	qmax      int
+}
+
+// runRemote executes the invocation against an onocd daemon. The daemon
+// solves every operating point (through its sharded memo cache and
+// singleflight coalescing); the topology geometry is rebuilt locally from
+// the daemon's own link configuration so the header and per-link table
+// describe exactly the network the daemon evaluated, and the results render
+// through the same table code as the in-process path.
+func runRemote(ctx context.Context, out io.Writer, base string, rr remoteRun) error {
+	c := onocd.NewClient(base)
+	conf, err := c.Config(ctx)
+	if err != nil {
+		return fmt.Errorf("remote %s: %w", base, err)
+	}
+	eng, err := photonoc.New(photonoc.WithConfig(conf.Config))
+	if err != nil {
+		return fmt.Errorf("remote configuration: %w", err)
+	}
+	net, err := eng.BuildNetwork(rr.topo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "remote engine %s at %s\n", conf.Fingerprint[:12], c.Base)
+	fmt.Fprintf(out, "topology %s: %d tiles, %d links, %d waveguides (%s traffic)\n",
+		rr.topo.Kind, net.Tiles(), net.NumLinks(), len(net.Waveguides()), rr.pat)
+
+	req := onocd.NoCRequest{
+		Topology:       rr.topo.Kind.String(),
+		Tiles:          rr.topo.Tiles,
+		Columns:        rr.topo.Columns,
+		TilePitchCM:    rr.topo.TilePitchCM,
+		Objective:      rr.objective,
+		Traffic:        rr.traffic,
+		RateBitsPerSec: rr.rate,
+		UseDAC:         rr.useDAC,
+	}
+	if rr.sweepBERs != nil {
+		req.TargetBERs = rr.sweepBERs
+		t := newSweepTable()
+		if err := c.NetworkSweep(ctx, req, func(_ int, _ float64, res photonoc.NoCResult) error {
+			addSweepRow(t, res)
+			return nil
+		}); err != nil {
+			return err
+		}
+		return t.Render(out)
+	}
+
+	req.TargetBER = rr.ber
+	res, err := c.NetworkEval(ctx, req)
+	if err != nil {
+		return err
+	}
+	if err := printResult(out, net, res, rr.perLink); err != nil {
+		return err
+	}
+	if !rr.sim {
+		return nil
+	}
+	req.Messages, req.Seed, req.MaxQueueDepth = rr.messages, rr.seed, rr.qmax
+	simRes, err := c.NetworkSim(ctx, req)
+	if err != nil {
+		return err
+	}
+	return printSim(out, res, simRes)
+}
+
+// newSweepTable and addSweepRow render the BER sweep — shared by the
+// in-process stream and the remote NDJSON stream.
+func newSweepTable() *report.Table {
+	return report.NewTable("Network sweep",
+		"BER", "feasible", "schemes", "sat Gb/s/tile", "pJ/bit", "p50 µs", "p99 µs")
+}
+
+func addSweepRow(t *report.Table, res photonoc.NoCResult) {
+	if !res.Feasible {
+		t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "no", res.InfeasibleReason, "-", "-", "-", "-")
+		return
+	}
+	t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "yes", schemeMix(res.SchemeUse),
+		fmt.Sprintf("%.2f", res.SaturationInjectionBitsPerSec/1e9),
+		fmt.Sprintf("%.2f", res.EnergyPerBitJ*1e12),
+		fmt.Sprintf("%.3f", res.P50LatencySec*1e6),
+		fmt.Sprintf("%.3f", res.P99LatencySec*1e6))
+}
+
 // runSweep streams the BER sweep, rendering each aggregated point as it
 // completes.
 func runSweep(ctx context.Context, out io.Writer, eng *photonoc.Engine, topo photonoc.NoCConfig, opts photonoc.NoCEvalOptions, bers []float64) error {
-	t := report.NewTable("Network sweep",
-		"BER", "feasible", "schemes", "sat Gb/s/tile", "pJ/bit", "p50 µs", "p99 µs")
+	t := newSweepTable()
 	for r := range eng.NetworkSweepStream(ctx, topo, bers, opts) {
 		if r.Err != nil {
 			return r.Err
 		}
-		res := r.Result
-		if !res.Feasible {
-			t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "no", res.InfeasibleReason, "-", "-", "-", "-")
-			continue
-		}
-		t.AddRowf(fmt.Sprintf("%.1e", res.TargetBER), "yes", schemeMix(res.SchemeUse),
-			fmt.Sprintf("%.2f", res.SaturationInjectionBitsPerSec/1e9),
-			fmt.Sprintf("%.2f", res.EnergyPerBitJ*1e12),
-			fmt.Sprintf("%.3f", res.P50LatencySec*1e6),
-			fmt.Sprintf("%.3f", res.P99LatencySec*1e6))
+		addSweepRow(t, r.Result)
 	}
 	return t.Render(out)
 }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"photonoc/internal/onocd"
 )
 
 // update regenerates the golden fixtures:
@@ -57,6 +59,50 @@ func TestGolden(t *testing.T) {
 					path, out.String(), want)
 			}
 		})
+	}
+}
+
+// TestRemoteMatchesLocal: every golden case run against a selfhosted onocd
+// daemon renders byte-identically to the in-process run (after the extra
+// "remote engine …" banner) — the -remote flag changes where the solves
+// happen, never what is reported. Covers the single-point + per-link,
+// streaming-sweep and simulation paths.
+func TestRemoteMatchesLocal(t *testing.T) {
+	_, hs, base, err := onocd.ListenLocal(onocd.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var local, remote bytes.Buffer
+			if err := run(context.Background(), tc.args, &local); err != nil {
+				t.Fatalf("local: %v", err)
+			}
+			args := append([]string{"-remote", base}, tc.args...)
+			if err := run(context.Background(), args, &remote); err != nil {
+				t.Fatalf("remote: %v", err)
+			}
+			banner, rest, ok := strings.Cut(remote.String(), "\n")
+			if !ok || !strings.HasPrefix(banner, "remote engine ") {
+				t.Fatalf("remote output missing the engine banner:\n%s", remote.String())
+			}
+			if rest != local.String() {
+				t.Errorf("remote output differs from local\n--- remote ---\n%s\n--- local ---\n%s", rest, local.String())
+			}
+		})
+	}
+}
+
+// TestRemoteUnreachable: a dead daemon is an error before any output.
+func TestRemoteUnreachable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-remote", "http://127.0.0.1:1", "-tiles", "4"}, &out); err == nil {
+		t.Fatal("no error against an unreachable daemon")
+	}
+	if out.Len() != 0 {
+		t.Errorf("wrote %d bytes before failing:\n%s", out.Len(), out.String())
 	}
 }
 

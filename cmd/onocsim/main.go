@@ -5,12 +5,20 @@
 //	onocsim -pattern uniform -load 0.4 -messages 20000
 //	onocsim -pattern hotspot -hotspot 3 -load 0.25
 //	onocsim -pattern streaming -deadline 2.0 -adaptive -idleoff
+//	onocsim -remote http://127.0.0.1:9137 -load 0.4
+//
+// With -remote, the simulator adopts the daemon's link configuration and
+// scheme roster and resolves every per-transfer manager decision over HTTP
+// against the daemon's shared memo cache; the event loop itself still runs
+// locally.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
@@ -18,27 +26,48 @@ import (
 
 	"photonoc/internal/manager"
 	"photonoc/internal/netsim"
+	"photonoc/internal/onocd"
 	"photonoc/internal/report"
 )
 
-func main() {
-	pattern := flag.String("pattern", "uniform", "uniform|hotspot|permutation|streaming")
-	hotspot := flag.Int("hotspot", 0, "hotspot destination node")
-	hotFrac := flag.Float64("hotfrac", 0.30, "hotspot traffic fraction in (0,1)")
-	load := flag.Float64("load", 0.4, "offered payload utilization per channel (0,1)")
-	messages := flag.Int("messages", 20000, "messages to simulate")
-	msgBytes := flag.Int("msgbytes", 4096, "payload per message in bytes")
-	ber := flag.Float64("ber", 1e-11, "target BER")
-	deadline := flag.Float64("deadline", 0, "deadline slack factor (0 = no deadlines)")
-	adaptive := flag.Bool("adaptive", false, "deadline-aware scheme adaptation")
-	idleOff := flag.Bool("idleoff", false, "turn lasers off on idle channels [9]")
-	objective := flag.String("objective", "min-energy", "min-power|min-energy|min-latency")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+// errFlagParse signals main that the FlagSet already printed the
+// diagnostic, so it must not be reported a second time.
+var errFlagParse = errors.New("onocsim: flag parse error")
 
+func main() {
 	// Ctrl-C aborts the event loop between transfers.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI behind main, factored out for tests.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("onocsim", flag.ContinueOnError)
+	pattern := fs.String("pattern", "uniform", "uniform|hotspot|permutation|streaming")
+	hotspot := fs.Int("hotspot", 0, "hotspot destination node")
+	hotFrac := fs.Float64("hotfrac", 0.30, "hotspot traffic fraction in (0,1)")
+	load := fs.Float64("load", 0.4, "offered payload utilization per channel (0,1)")
+	messages := fs.Int("messages", 20000, "messages to simulate")
+	msgBytes := fs.Int("msgbytes", 4096, "payload per message in bytes")
+	ber := fs.Float64("ber", 1e-11, "target BER")
+	deadline := fs.Float64("deadline", 0, "deadline slack factor (0 = no deadlines)")
+	adaptive := fs.Bool("adaptive", false, "deadline-aware scheme adaptation")
+	idleOff := fs.Bool("idleoff", false, "turn lasers off on idle channels [9]")
+	objective := fs.String("objective", "min-energy", "min-power|min-energy|min-latency")
+	seed := fs.Int64("seed", 1, "random seed")
+	remote := fs.String("remote", "", "base URL of an onocd daemon to resolve manager decisions against")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errFlagParse
+	}
 
 	cfg := netsim.DefaultConfig()
 	cfg.Load = *load
@@ -54,8 +83,7 @@ func main() {
 
 	var err error
 	if cfg.Pattern, err = netsim.ParsePattern(*pattern); err != nil {
-		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
-		os.Exit(2)
+		return err
 	}
 	switch *objective {
 	case "min-power":
@@ -65,21 +93,38 @@ func main() {
 	case "min-latency":
 		cfg.Objective = manager.MinLatency
 	default:
-		fmt.Fprintf(os.Stderr, "onocsim: unknown objective %q\n", *objective)
-		os.Exit(2)
+		return fmt.Errorf("unknown objective %q", *objective)
 	}
 
-	// The engine owns the link configuration; every per-transfer manager
-	// decision inside the simulator resolves against its memo cache.
-	eng, err := photonoc.New(photonoc.WithConfig(cfg.Link), photonoc.WithSchemes(cfg.Schemes...))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
-		os.Exit(1)
-	}
-	res, err := eng.Simulate(ctx, cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
-		os.Exit(1)
+	var res netsim.Results
+	if *remote != "" {
+		// Remote mode: the daemon owns the link configuration and scheme
+		// roster; the Client is the simulator's core.Evaluator, so every
+		// cache-missing decision becomes one /v1/sweep round trip and every
+		// repeat hits the daemon's sharded LRU.
+		c := onocd.NewClient(*remote)
+		conf, err := c.Config(ctx)
+		if err != nil {
+			return fmt.Errorf("remote %s: %w", *remote, err)
+		}
+		cfg.Link = conf.Config
+		if cfg.Schemes, err = onocd.ResolveSchemes(conf.Schemes); err != nil {
+			return fmt.Errorf("remote roster: %w", err)
+		}
+		fmt.Fprintf(out, "remote engine %s at %s\n", conf.Fingerprint[:12], c.Base)
+		if res, err = netsim.RunCtx(ctx, cfg, c); err != nil {
+			return err
+		}
+	} else {
+		// The engine owns the link configuration; every per-transfer manager
+		// decision inside the simulator resolves against its memo cache.
+		eng, err := photonoc.New(photonoc.WithConfig(cfg.Link), photonoc.WithSchemes(cfg.Schemes...))
+		if err != nil {
+			return err
+		}
+		if res, err = eng.Simulate(ctx, cfg); err != nil {
+			return err
+		}
 	}
 
 	t := report.NewTable(
@@ -101,8 +146,5 @@ func main() {
 	t.AddRowf("idle energy", fmt.Sprintf("%.3f mJ", res.IdleEnergyJ*1e3))
 	t.AddRowf("energy per payload bit", fmt.Sprintf("%.2f pJ", res.EnergyPerBitJ*1e12))
 	t.AddRowf("scheme mix", fmt.Sprintf("%v", res.SchemeUse))
-	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "onocsim: %v\n", err)
-		os.Exit(1)
-	}
+	return t.Render(out)
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"photonoc/internal/onocd"
+)
+
+// TestRemoteMatchesLocal: the seeded simulation renders byte-identically
+// whether the manager's evaluations resolve in process or over HTTP against
+// a selfhosted onocd daemon (after the extra "remote engine …" banner) —
+// the Client really is a drop-in core.Evaluator.
+func TestRemoteMatchesLocal(t *testing.T) {
+	_, hs, base, err := onocd.ListenLocal(onocd.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+
+	args := []string{"-pattern", "hotspot", "-hotspot", "3", "-load", "0.3", "-messages", "300", "-seed", "11"}
+	var local, remote bytes.Buffer
+	if err := run(context.Background(), args, &local); err != nil {
+		t.Fatalf("local: %v", err)
+	}
+	if err := run(context.Background(), append([]string{"-remote", base}, args...), &remote); err != nil {
+		t.Fatalf("remote: %v", err)
+	}
+	banner, rest, ok := strings.Cut(remote.String(), "\n")
+	if !ok || !strings.HasPrefix(banner, "remote engine ") {
+		t.Fatalf("remote output missing the engine banner:\n%s", remote.String())
+	}
+	if rest != local.String() {
+		t.Errorf("remote output differs from local\n--- remote ---\n%s\n--- local ---\n%s", rest, local.String())
+	}
+}
+
+// TestRunRejectsBadFlags: flag and domain errors surface as errors before
+// any output, including an unreachable -remote daemon.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-pattern", "blast"},
+		{"-objective", "min-everything"},
+		{"-remote", "http://127.0.0.1:1"},
+		{"-nosuchflag"},
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("onocsim %s: no error", strings.Join(args, " "))
+		}
+		if out.Len() != 0 {
+			t.Errorf("onocsim %s: wrote %d bytes before failing:\n%s",
+				strings.Join(args, " "), out.Len(), out.String())
+		}
+	}
+}

@@ -182,6 +182,14 @@
 //   - internal/noc        — network-scale topologies (bus, crossbar, ring,
 //     mesh): wavelength allocation, routing, traffic-matrix aggregation
 //     (the machinery behind Engine.Network / NetworkSweep)
+//   - internal/onocd      — the HTTP/JSON serving layer (cmd/onocd): wire
+//     DTOs over the Engine, a Go client that is itself a core.Evaluator,
+//     and the closed-loop load generator (cmd/onocload); the daemon adds
+//     admission control, per-request deadlines, singleflight-coalesced cold
+//     solves over the sharded LRU, Prometheus-text metrics and SIGHUP hot
+//     reload
+//   - internal/apierr     — typed-error ↔ stable JSON error envelope and
+//     HTTP status mapping, shared by the daemon and the client
 //
 // The benchmark harness in bench_test.go regenerates every table and figure
 // of the paper; engine_bench_test.go compares the sequential and concurrent

@@ -99,6 +99,13 @@ func WithWorkers(n int) Option { return engine.WithWorkers(n) }
 // memoization (default: engine.DefaultCacheEntries).
 func WithCache(entries int) Option { return engine.WithCache(entries) }
 
+// WithCacheShards fixes the number of independently locked LRU shards the
+// cache capacity is split across (0, the default, scales the count with the
+// capacity). Shard count 1 reproduces the single-mutex LRU exactly; the
+// sharded default spreads lock contention across shards under concurrent
+// serving load. See CacheStats.Shards and CacheStats.SharedSolves.
+func WithCacheShards(n int) Option { return engine.WithCacheShards(n) }
+
 // Manager builds a runtime link manager whose per-request link solves go
 // through this Engine — every Configure decision hits the Engine's memo
 // cache. The manager shares the Engine's configuration and scheme roster.

@@ -20,4 +20,9 @@ var (
 	// requested operating point; the manager wraps its
 	// ErrNoFeasibleScheme with it at the API boundary.
 	ErrInfeasible = errors.New("photonoc: no feasible configuration")
+
+	// ErrOverloaded reports that the serving layer refused admission: the
+	// configured concurrency limit is reached and the caller should retry
+	// after backing off (HTTP 429 with Retry-After).
+	ErrOverloaded = errors.New("photonoc: service overloaded")
 )

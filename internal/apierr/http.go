@@ -1,0 +1,122 @@
+package apierr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Envelope is the stable JSON error body every onocd route returns on
+// failure:
+//
+//	{"error": {"code": "invalid_input", "message": "...", "status": 400}}
+//
+// Code is one of the stable strings below — clients switch on it, never on
+// the free-form message — and Status repeats the HTTP status code so the
+// envelope is self-describing when it is logged away from its response.
+type Envelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the payload of an Envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+// Stable wire codes. These are API surface: renaming one breaks clients.
+const (
+	CodeInvalidConfig = "invalid_config"
+	CodeInvalidInput  = "invalid_input"
+	CodeInfeasible    = "infeasible"
+	CodeOverloaded    = "overloaded"
+	CodeDeadline      = "deadline_exceeded"
+	CodeCanceled      = "canceled"
+	CodeInternal      = "internal"
+)
+
+// HTTPStatus maps a typed API error to its HTTP status code:
+//
+//	ErrInvalidConfig, ErrInvalidInput → 400 (the request itself is wrong)
+//	ErrInfeasible                    → 422 (well-formed, but no scheme closes it)
+//	ErrOverloaded                    → 429 (admission control; retry later)
+//	context.DeadlineExceeded         → 504 (the per-request deadline expired)
+//	context.Canceled                 → 499 (client went away, nginx convention)
+//	anything else                    → 500
+//
+// ErrInfeasible is checked before ErrInvalidInput so wrappers carrying both
+// sentinels (the manager's no-feasible-scheme path) report the more
+// specific 422.
+func HTTPStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrInvalidConfig), errors.Is(err, ErrInvalidInput):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (no net/http constant)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Code maps a typed API error to its stable wire code, mirroring
+// HTTPStatus's precedence.
+func Code(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, ErrInfeasible):
+		return CodeInfeasible
+	case errors.Is(err, ErrInvalidConfig):
+		return CodeInvalidConfig
+	case errors.Is(err, ErrInvalidInput):
+		return CodeInvalidInput
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	default:
+		return CodeInternal
+	}
+}
+
+// EnvelopeFor wraps an error into its wire envelope and HTTP status.
+func EnvelopeFor(err error) (int, Envelope) {
+	status := HTTPStatus(err)
+	return status, Envelope{Error: ErrorBody{
+		Code:    Code(err),
+		Message: err.Error(),
+		Status:  status,
+	}}
+}
+
+// FromEnvelope reconstructs a typed error from a received envelope, so
+// errors.Is works across the wire: a client that gets an "infeasible"
+// envelope can match ErrInfeasible exactly as an in-process caller would.
+func FromEnvelope(e Envelope) error {
+	var sentinel error
+	switch e.Error.Code {
+	case CodeInvalidConfig:
+		sentinel = ErrInvalidConfig
+	case CodeInvalidInput:
+		sentinel = ErrInvalidInput
+	case CodeInfeasible:
+		sentinel = ErrInfeasible
+	case CodeOverloaded:
+		sentinel = ErrOverloaded
+	case CodeDeadline:
+		sentinel = context.DeadlineExceeded
+	case CodeCanceled:
+		sentinel = context.Canceled
+	default:
+		return fmt.Errorf("photonoc: remote error (HTTP %d): %s", e.Error.Status, e.Error.Message)
+	}
+	return fmt.Errorf("%w: remote (HTTP %d): %s", sentinel, e.Error.Status, e.Error.Message)
+}

@@ -1,0 +1,74 @@
+package apierr
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestHTTPStatusAndCode(t *testing.T) {
+	for _, tc := range []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{ErrInvalidConfig, 400, CodeInvalidConfig},
+		{ErrInvalidInput, 400, CodeInvalidInput},
+		{ErrInfeasible, 422, CodeInfeasible},
+		{ErrOverloaded, 429, CodeOverloaded},
+		{context.DeadlineExceeded, 504, CodeDeadline},
+		{context.Canceled, 499, CodeCanceled},
+		{errors.New("surprise"), 500, CodeInternal},
+		// Wrapped errors map through errors.Is, as every layer wraps.
+		{fmt.Errorf("%w: target BER 7", ErrInvalidInput), 400, CodeInvalidInput},
+		{fmt.Errorf("%w: %w: no scheme", ErrInfeasible, ErrInvalidInput), 422, CodeInfeasible},
+	} {
+		if got := HTTPStatus(tc.err); got != tc.status {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.status)
+		}
+		if got := Code(tc.err); got != tc.code {
+			t.Errorf("Code(%v) = %q, want %q", tc.err, got, tc.code)
+		}
+	}
+}
+
+// TestEnvelopeStableShape pins the wire format byte for byte: clients and
+// the golden handler tests both depend on it.
+func TestEnvelopeStableShape(t *testing.T) {
+	status, env := EnvelopeFor(fmt.Errorf("%w: bad grid", ErrInvalidInput))
+	if status != 400 {
+		t.Fatalf("status = %d", status)
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"invalid_input","message":"photonoc: invalid input: bad grid","status":400}}`
+	if string(raw) != want {
+		t.Errorf("envelope = %s\nwant       %s", raw, want)
+	}
+}
+
+// TestEnvelopeRoundTrip: every sentinel survives the wire — a client
+// decoding the envelope can errors.Is-match exactly what an in-process
+// caller would.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{
+		ErrInvalidConfig, ErrInvalidInput, ErrInfeasible, ErrOverloaded,
+		context.DeadlineExceeded, context.Canceled,
+	} {
+		_, env := EnvelopeFor(fmt.Errorf("%w: details", sentinel))
+		back := FromEnvelope(env)
+		if !errors.Is(back, sentinel) {
+			t.Errorf("round-tripped %v no longer matches its sentinel: %v", sentinel, back)
+		}
+	}
+	// Unknown codes degrade to an untyped error that still carries the
+	// message and status.
+	err := FromEnvelope(Envelope{Error: ErrorBody{Code: "martian", Message: "m", Status: 500}})
+	if err == nil || errors.Is(err, ErrInvalidInput) {
+		t.Errorf("unknown code: %v", err)
+	}
+}

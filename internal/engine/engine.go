@@ -32,10 +32,17 @@ type Engine struct {
 	cache       *lruCache // nil when disabled via WithCache(0)
 	fingerprint string
 
+	// flights coalesces concurrent cold solves of one cache key: a
+	// stampede of identical queries costs exactly one compiled solve.
+	flights flightGroup
+
 	// Cold-solve accounting: every solve that actually runs the compiled
 	// pipeline (a cache miss, or any solve with the cache disabled).
-	coldSolves  atomic.Uint64
-	coldSolveNS atomic.Int64
+	// sharedSolves counts evaluations served by joining another
+	// goroutine's in-flight solve instead.
+	coldSolves   atomic.Uint64
+	coldSolveNS  atomic.Int64
+	sharedSolves atomic.Uint64
 
 	// Network-evaluation registries: per-link configurations compiled once
 	// per distinct fingerprint (the engine's own configuration is served
@@ -52,6 +59,7 @@ type settings struct {
 	schemes      []ecc.Code
 	workers      int
 	cacheEntries int
+	cacheShards  int // 0 = automatic (scales with capacity)
 }
 
 // Option configures an Engine under construction.
@@ -101,6 +109,26 @@ func WithCache(entries int) Option {
 			return fmt.Errorf("%w: cache capacity %d must be non-negative", ErrInvalidConfig, entries)
 		}
 		s.cacheEntries = entries
+		return nil
+	}
+}
+
+// WithCacheShards fixes the number of independently locked LRU shards the
+// cache capacity is split across. The default (0) scales the shard count
+// with the capacity — one shard per 64 entries, at most 16 — so small
+// caches keep the exact single-LRU eviction behavior while the production
+// default spreads lock contention across shards. Shard count 1 reproduces
+// the single-mutex LRU byte for byte, eviction accounting included. The
+// count is clamped so every shard holds at least one entry.
+func WithCacheShards(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("%w: cache shard count %d must be non-negative", ErrInvalidConfig, n)
+		}
+		if n > maxCacheShards {
+			return fmt.Errorf("%w: cache shard count %d exceeds the maximum %d", ErrInvalidConfig, n, maxCacheShards)
+		}
+		s.cacheShards = n
 		return nil
 	}
 }
@@ -158,7 +186,14 @@ func New(opts ...Option) (*Engine, error) {
 		fingerprint: fingerprintBytes(raw),
 	}
 	if s.cacheEntries > 0 {
-		e.cache = newLRUCache(s.cacheEntries)
+		shards := s.cacheShards
+		if shards == 0 {
+			shards = autoShards(s.cacheEntries)
+		}
+		if shards > s.cacheEntries {
+			shards = s.cacheEntries
+		}
+		e.cache = newLRUCache(s.cacheEntries, shards)
 	}
 	return e, nil
 }
@@ -213,6 +248,7 @@ func (e *Engine) CacheStats() CacheStats {
 	}
 	s.ColdSolves = e.coldSolves.Load()
 	s.ColdSolveTime = time.Duration(e.coldSolveNS.Load())
+	s.SharedSolves = e.sharedSolves.Load()
 	return s
 }
 
@@ -257,7 +293,11 @@ func (e *Engine) Evaluate(ctx context.Context, code ecc.Code, targetBER float64)
 // evaluateCompiled solves one operating point of one compiled configuration
 // through the memo cache, keyed by that configuration's fingerprint. The
 // engine's own configuration and every per-link network configuration share
-// this path — and therefore the LRU — without aliasing.
+// this path — and therefore the LRU — without aliasing. Cache misses run
+// under the singleflight group: concurrent identical queries coalesce onto
+// one compiled solve, the rest sharing its result (CacheStats.SharedSolves).
+// With the cache disabled every solve is cold and uncoalesced — that is the
+// benchmark configuration, where each call must really run the pipeline.
 func (e *Engine) evaluateCompiled(fp string, compiled *core.Compiled, code ecc.Code, targetBER float64) (core.Evaluation, error) {
 	if e.cache == nil {
 		return e.solveCold(compiled, code, targetBER)
@@ -266,11 +306,27 @@ func (e *Engine) evaluateCompiled(fp string, compiled *core.Compiled, code ecc.C
 	if ev, ok := e.cache.get(key); ok {
 		return ev, nil
 	}
-	ev, err := e.solveCold(compiled, code, targetBER)
+	ev, shared, err := e.flights.do(key, func() (core.Evaluation, error) {
+		// A flight that closed between our miss and this one's start may
+		// already have populated the cache; serve that instead of
+		// re-solving. peek leaves the hit/miss accounting untouched — the
+		// user-visible lookup was the miss above.
+		if ev, ok := e.cache.peek(key); ok {
+			return ev, nil
+		}
+		ev, err := e.solveCold(compiled, code, targetBER)
+		if err != nil {
+			return core.Evaluation{}, err
+		}
+		e.cache.put(key, ev)
+		return ev, nil
+	})
+	if shared {
+		e.sharedSolves.Add(1)
+	}
 	if err != nil {
 		return core.Evaluation{}, err
 	}
-	e.cache.put(key, ev)
 	return ev, nil
 }
 

@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+)
+
+// TestFlightGroupCoalesces pins the singleflight contract deterministically:
+// a leader whose fn blocks until every follower has joined serves all of
+// them from one execution, and followers report shared == true.
+func TestFlightGroupCoalesces(t *testing.T) {
+	const followers = 16
+	var g flightGroup
+	key := cacheKey{fingerprint: "fp", scheme: "s", targetBER: 1e-11}
+
+	leaderEntered := make(chan struct{})
+	release := make(chan struct{})
+	var calls int
+	want := core.Evaluation{TargetBER: 1e-11, CT: 1.5, Feasible: true}
+
+	var wg sync.WaitGroup
+	results := make([]core.Evaluation, followers)
+	shareds := make([]bool, followers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ev, shared, err := g.do(key, func() (core.Evaluation, error) {
+			calls++
+			close(leaderEntered)
+			<-release
+			return want, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: shared=%v err=%v", shared, err)
+		}
+		if !reflect.DeepEqual(ev, want) {
+			t.Errorf("leader result = %+v", ev)
+		}
+	}()
+	<-leaderEntered
+
+	// Every follower joins while the leader's fn is blocked, so each MUST
+	// attach to the open flight rather than start its own.
+	joined := make(chan struct{}, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			joined <- struct{}{}
+			ev, shared, err := g.do(key, func() (core.Evaluation, error) {
+				t.Error("follower executed fn")
+				return core.Evaluation{}, nil
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+			}
+			results[i] = ev
+			shareds[i] = shared
+		}(i)
+	}
+	for i := 0; i < followers; i++ {
+		<-joined
+	}
+	close(release)
+	wg.Wait()
+
+	if calls != 1 {
+		t.Errorf("leader fn ran %d times, want 1", calls)
+	}
+	for i := range results {
+		if !shareds[i] {
+			// A follower that enqueued before release can only have been
+			// served by the leader's flight — but the goroutine may not
+			// have reached g.do before the flight closed; those start a
+			// fresh flight whose fn would have failed the test above.
+			t.Errorf("follower %d did not share the leader's solve", i)
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("follower %d result = %+v, want %+v", i, results[i], want)
+		}
+	}
+}
+
+// TestFlightGroupPropagatesError: a failing leader fails every follower
+// with the same error, and nothing is retried implicitly.
+func TestFlightGroupPropagatesError(t *testing.T) {
+	var g flightGroup
+	key := cacheKey{fingerprint: "fp", scheme: "s", targetBER: 1e-9}
+	boom := errors.New("boom")
+	if _, shared, err := g.do(key, func() (core.Evaluation, error) {
+		return core.Evaluation{}, boom
+	}); !errors.Is(err, boom) || shared {
+		t.Errorf("shared=%v err=%v", shared, err)
+	}
+	// The flight closed: a new call runs fn again.
+	ran := false
+	if _, _, err := g.do(key, func() (core.Evaluation, error) {
+		ran = true
+		return core.Evaluation{}, nil
+	}); err != nil || !ran {
+		t.Errorf("second flight: ran=%v err=%v", ran, err)
+	}
+}
+
+// TestColdStampedeCoalesces is the ISSUE's acceptance proof: 64 concurrent
+// identical cold queries cost exactly one compiled solve, and every
+// participant observes the byte-identical evaluation. The flight group
+// guarantees ≤1 cold solve among goroutines that miss the cache; goroutines
+// arriving after the put are plain cache hits.
+func TestColdStampedeCoalesces(t *testing.T) {
+	const goroutines = 64
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := ecc.MustHamming7164()
+	start := make(chan struct{})
+	results := make([]core.Evaluation, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			ev, err := e.Evaluate(context.Background(), code, 1e-11)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			results[i] = ev
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	s := e.CacheStats()
+	if s.ColdSolves != 1 {
+		t.Errorf("cold solves = %d, want exactly 1 for a stampede of identical queries", s.ColdSolves)
+	}
+	for i := 1; i < goroutines; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("goroutine %d saw a different evaluation", i)
+		}
+	}
+	// Every goroutine performed exactly one cache lookup; of the misses,
+	// one led the flight and the rest were served without solving (shared,
+	// or the leader's peek re-check after a just-closed flight).
+	if s.Hits+s.Misses != goroutines {
+		t.Errorf("hits (%d) + misses (%d) != %d lookups", s.Hits, s.Misses, goroutines)
+	}
+	if s.SharedSolves > s.Misses-1 {
+		t.Errorf("shared solves %d exceed the %d non-leader misses", s.SharedSolves, s.Misses-1)
+	}
+}
+
+// TestColdSweepStampedeCoalesces runs whole identical sweeps concurrently:
+// the grid costs exactly one cold solve per point no matter how many
+// clients ask for it at once.
+func TestColdSweepStampedeCoalesces(t *testing.T) {
+	const clients = 8
+	e, err := New(WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bers := []float64{1e-12, 1e-11, 1e-9}
+	points := len(e.Schemes()) * len(bers)
+	start := make(chan struct{})
+	results := make([][]core.Evaluation, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			evs, err := e.Sweep(context.Background(), nil, bers)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			results[i] = evs
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if s := e.CacheStats(); s.ColdSolves != uint64(points) {
+		t.Errorf("cold solves = %d, want %d (one per grid point)", s.ColdSolves, points)
+	}
+	for i := 1; i < clients; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("client %d saw a different sweep", i)
+		}
+	}
+}
+
+// TestShardOneReproducesSingleLRU: with WithCacheShards(1) the sharded
+// cache is the single-mutex LRU, eviction accounting included — the exact
+// sequence the pre-shard TestCacheEviction pinned.
+func TestShardOneReproducesSingleLRU(t *testing.T) {
+	e, err := New(WithCache(2), WithCacheShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	h74, h7164, unc := ecc.MustHamming74(), ecc.MustHamming7164(), ecc.MustUncoded64()
+	for _, c := range []ecc.Code{h74, h7164, unc} { // fills, then evicts h74
+		if _, err := e.Evaluate(ctx, c, 1e-11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.CacheStats(); s.Entries != 2 || s.Misses != 3 || s.Shards != 1 {
+		t.Errorf("after fill: %+v", s)
+	}
+	// h74 was evicted (LRU), so it misses and evicts h7164 in turn.
+	if _, err := e.Evaluate(ctx, h74, 1e-11); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Misses != 4 {
+		t.Errorf("evicted entry should miss: %+v", s)
+	}
+	// unc stayed resident.
+	if _, err := e.Evaluate(ctx, unc, 1e-11); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.CacheStats(); s.Hits != 1 {
+		t.Errorf("resident entry should hit: %+v", s)
+	}
+}
+
+// TestAutoShardScaling pins the automatic shard policy: small caches
+// collapse to one shard (legacy behavior), the production default spreads
+// across 16, and explicit shard counts are clamped to the capacity.
+func TestAutoShardScaling(t *testing.T) {
+	for _, tc := range []struct {
+		opts   []Option
+		shards int
+	}{
+		{[]Option{WithCache(2)}, 1},
+		{[]Option{WithCache(64)}, 1},
+		{[]Option{WithCache(128)}, 2},
+		{[]Option{}, 16}, // DefaultCacheEntries = 4096
+		{[]Option{WithCache(8), WithCacheShards(32)}, 8},
+		{[]Option{WithCacheShards(4)}, 4},
+	} {
+		e, err := New(tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := e.CacheStats(); s.Shards != tc.shards || s.Capacity != e.cache.capacity {
+			t.Errorf("%v: shards = %d (want %d), capacity %d vs %d",
+				tc.opts, s.Shards, tc.shards, s.Capacity, e.cache.capacity)
+		}
+	}
+	if _, err := New(WithCacheShards(-1)); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("negative shard count: want ErrInvalidConfig, got %v", err)
+	}
+	if _, err := New(WithCacheShards(maxCacheShards + 1)); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("oversized shard count: want ErrInvalidConfig, got %v", err)
+	}
+}
+
+// TestShardedSweepDeterminism: the sharded cache never changes results —
+// sweeps through 1-shard and 16-shard engines are element-identical, warm
+// or cold, and the capacity splits exactly across shards.
+func TestShardedSweepDeterminism(t *testing.T) {
+	bers := []float64{1e-12, 1e-10, 1e-8}
+	single, err := New(WithCacheShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := New(WithCacheShards(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a, err := single.Sweep(ctx, nil, bers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ { // cold then warm
+		b, err := sharded.Sweep(ctx, nil, bers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("pass %d: sharded sweep differs from single-shard", pass)
+		}
+	}
+	s := sharded.CacheStats()
+	if s.Shards != 16 || s.Capacity != DefaultCacheEntries {
+		t.Errorf("sharded stats: %+v", s)
+	}
+	if want := uint64(len(a)); s.Hits != want || s.Misses != want {
+		t.Errorf("hits %d misses %d, want %d each (cold pass misses, warm pass hits)", s.Hits, s.Misses, want)
+	}
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"container/list"
+	"hash/maphash"
+	"math"
 	"sync"
 	"time"
 
@@ -27,11 +29,19 @@ type CacheStats struct {
 	Entries int
 	// Capacity is the configured maximum; 0 means the cache is disabled.
 	Capacity int
+	// Shards is the number of independently locked LRU shards the capacity
+	// is split across; 0 when the cache is disabled.
+	Shards int
 	// ColdSolves counts solves that ran the compiled pipeline — cache
 	// misses, plus every solve when the cache is disabled.
 	ColdSolves uint64
 	// ColdSolveTime is the cumulative wall time spent in cold solves.
 	ColdSolveTime time.Duration
+	// SharedSolves counts evaluations that were served by joining another
+	// goroutine's in-flight cold solve (the singleflight layer): a stampede
+	// of identical cold queries costs exactly one compiled solve, and every
+	// other participant increments this counter instead of ColdSolves.
+	SharedSolves uint64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -52,8 +62,43 @@ func (s CacheStats) AvgColdSolve() time.Duration {
 	return s.ColdSolveTime / time.Duration(s.ColdSolves)
 }
 
-// lruCache is a mutex-guarded LRU of solved operating points.
+// Shard sizing: a sharded cache only pays off when each shard still holds a
+// useful working set, so the automatic shard count grows with capacity
+// (one shard per minShardEntries entries) up to defaultCacheShards. Small
+// caches — including every eviction-accounting test — collapse to one
+// shard, which reproduces the single-mutex LRU exactly.
+const (
+	defaultCacheShards = 16
+	minShardEntries    = 64
+	maxCacheShards     = 256
+)
+
+// autoShards picks the shard count for a capacity when WithCacheShards is
+// not given.
+func autoShards(capacity int) int {
+	n := capacity / minShardEntries
+	if n < 1 {
+		n = 1
+	}
+	if n > defaultCacheShards {
+		n = defaultCacheShards
+	}
+	return n
+}
+
+// lruCache is a sharded LRU of solved operating points: the key space is
+// hash-partitioned across independently locked shards, so concurrent
+// lookups from many request goroutines contend only when they land on the
+// same shard instead of serializing on one global mutex.
 type lruCache struct {
+	shards []lruShard
+	seed   maphash.Seed
+	// capacity is the total entry budget, summed over shards.
+	capacity int
+}
+
+// lruShard is one mutex-guarded LRU partition.
+type lruShard struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used
@@ -67,56 +112,109 @@ type lruEntry struct {
 	val core.Evaluation
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
+// newLRUCache builds a cache of the given total capacity split over shards
+// independently locked LRU partitions (shards ≤ capacity is enforced by the
+// caller; shard 0..rem−1 take the remainder so the capacities sum exactly).
+func newLRUCache(capacity, shards int) *lruCache {
+	c := &lruCache{
+		shards:   make([]lruShard, shards),
+		seed:     maphash.MakeSeed(),
 		capacity: capacity,
-		order:    list.New(),
-		items:    make(map[cacheKey]*list.Element, capacity),
 	}
+	base, rem := capacity/shards, capacity%shards
+	for i := range c.shards {
+		shardCap := base
+		if i < rem {
+			shardCap++
+		}
+		c.shards[i] = lruShard{
+			capacity: shardCap,
+			order:    list.New(),
+			items:    make(map[cacheKey]*list.Element, shardCap),
+		}
+	}
+	return c
+}
+
+// shardFor hashes a key onto its shard.
+func (c *lruCache) shardFor(k cacheKey) *lruShard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(k.fingerprint)
+	h.WriteString(k.scheme)
+	var b [8]byte
+	bits := math.Float64bits(k.targetBER)
+	for i := range b {
+		b[i] = byte(bits >> (8 * i))
+	}
+	h.Write(b[:])
+	return &c.shards[h.Sum64()%uint64(len(c.shards))]
 }
 
 // get returns the memoized evaluation and whether it was present.
 func (c *lruCache) get(k cacheKey) (core.Evaluation, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[k]
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
 	if !ok {
-		c.misses++
+		s.misses++
 		return core.Evaluation{}, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
+	s.hits++
+	s.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }
 
-// put memoizes an evaluation, evicting the least recently used entry when
-// full.
-func (c *lruCache) put(k cacheKey, v core.Evaluation) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		el.Value.(*lruEntry).val = v
-		c.order.MoveToFront(el)
-		return
+// peek reports whether the key is memoized without touching the hit/miss
+// accounting or the recency order — the singleflight leader's re-check,
+// which is not a user-visible lookup.
+func (c *lruCache) peek(k cacheKey) (core.Evaluation, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
+	if !ok {
+		return core.Evaluation{}, false
 	}
-	if c.order.Len() >= c.capacity {
-		oldest := c.order.Back()
-		if oldest != nil {
-			c.order.Remove(oldest)
-			delete(c.items, oldest.Value.(*lruEntry).key)
-		}
-	}
-	c.items[k] = c.order.PushFront(&lruEntry{key: k, val: v})
+	return el.Value.(*lruEntry).val, true
 }
 
-// stats snapshots the accounting.
-func (c *lruCache) stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits:     c.hits,
-		Misses:   c.misses,
-		Entries:  c.order.Len(),
-		Capacity: c.capacity,
+// put memoizes an evaluation, evicting the shard's least recently used
+// entry when the shard is full.
+func (c *lruCache) put(k cacheKey, v core.Evaluation) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		el.Value.(*lruEntry).val = v
+		s.order.MoveToFront(el)
+		return
 	}
+	if s.order.Len() >= s.capacity {
+		oldest := s.order.Back()
+		if oldest != nil {
+			s.order.Remove(oldest)
+			delete(s.items, oldest.Value.(*lruEntry).key)
+		}
+	}
+	s.items[k] = s.order.PushFront(&lruEntry{key: k, val: v})
+}
+
+// stats snapshots the accounting, summed across shards.
+func (c *lruCache) stats() CacheStats {
+	out := CacheStats{Shards: len(c.shards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Entries += s.order.Len()
+		out.Capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return out
 }

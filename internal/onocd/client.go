@@ -1,0 +1,211 @@
+package onocd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"photonoc/internal/apierr"
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/mc"
+	"photonoc/internal/netsim"
+	"photonoc/internal/noc"
+)
+
+// Client is a typed onocd client. Errors decoded from the daemon's JSON
+// envelope round-trip the package's typed sentinels, so errors.Is works on
+// a remote failure exactly as it would in process. Client implements
+// core.Evaluator, which is what lets onocsim push per-transfer manager
+// decisions through a remote daemon.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:9137".
+	Base string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for a daemon base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// roundTrip issues one request and decodes either the response body or the
+// error envelope into a typed error.
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("onocd: encode %s request: %w", path, err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("onocd: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("onocd: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into a typed error via the stable
+// envelope; a body that is not an envelope degrades to a plain error.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env apierr.Envelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		return apierr.FromEnvelope(env)
+	}
+	return fmt.Errorf("onocd: remote error (HTTP %d): %s", resp.StatusCode, bytes.TrimSpace(raw))
+}
+
+// Config fetches the daemon's engine configuration and roster.
+func (c *Client) Config(ctx context.Context) (ConfigResponse, error) {
+	var out ConfigResponse
+	err := c.roundTrip(ctx, http.MethodGet, "/v1/config", nil, &out)
+	return out, err
+}
+
+// Statusz fetches the daemon status page.
+func (c *Client) Statusz(ctx context.Context) (StatusResponse, error) {
+	var out StatusResponse
+	err := c.roundTrip(ctx, http.MethodGet, "/statusz", nil, &out)
+	return out, err
+}
+
+// Healthz reports whether the daemon answers its health probe.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Sweep runs a batch sweep on the daemon.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, error) {
+	var out SweepResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/sweep", req, &out)
+	return out, err
+}
+
+// Decide runs one manager configuration decision on the daemon.
+func (c *Client) Decide(ctx context.Context, req DecideRequest) (DecideResponse, error) {
+	var out DecideResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/decide", req, &out)
+	return out, err
+}
+
+// NetworkEval evaluates a topology on the daemon and rebuilds the
+// in-process result.
+func (c *Client) NetworkEval(ctx context.Context, req NoCRequest) (noc.Result, error) {
+	var out NoCResult
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/noc/eval", req, &out); err != nil {
+		return noc.Result{}, err
+	}
+	return out.Core()
+}
+
+// NetworkSweep streams a network sweep from the daemon, invoking fn per
+// NDJSON line in batch (BER) order. A terminal stream error is returned as
+// the typed error it carried.
+func (c *Client) NetworkSweep(ctx context.Context, req NoCRequest, fn func(int, float64, noc.Result) error) error {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("onocd: encode sweep request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/noc/sweep", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return fmt.Errorf("onocd: POST /v1/noc/sweep: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var item NoCStreamItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("onocd: decode stream line: %w", err)
+		}
+		if item.Error != nil {
+			return apierr.FromEnvelope(apierr.Envelope{Error: *item.Error})
+		}
+		res, err := item.Result.Core()
+		if err != nil {
+			return err
+		}
+		if err := fn(item.Index, item.TargetBER, res); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// NetworkSim runs the network discrete-event simulator on the daemon.
+func (c *Client) NetworkSim(ctx context.Context, req NoCRequest) (netsim.NetResults, error) {
+	var out NoCSimResult
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/noc/sim", req, &out); err != nil {
+		return netsim.NetResults{}, err
+	}
+	return out.Core()
+}
+
+// Validate runs a Monte-Carlo validation on the daemon. mc.Result is
+// JSON-safe as-is, so it crosses the wire unchanged.
+func (c *Client) Validate(ctx context.Context, req ValidateRequest) (mc.Result, error) {
+	var out mc.Result
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/validate", req, &out)
+	return out, err
+}
+
+// Evaluate implements core.Evaluator against the daemon: one (scheme,
+// target BER) point via a single-cell sweep. The daemon's singleflight and
+// sharded LRU make the repeated per-transfer calls of a simulation loop
+// cheap.
+func (c *Client) Evaluate(ctx context.Context, code ecc.Code, targetBER float64) (core.Evaluation, error) {
+	resp, err := c.Sweep(ctx, SweepRequest{Schemes: []string{code.Name()}, TargetBERs: []float64{targetBER}})
+	if err != nil {
+		return core.Evaluation{}, err
+	}
+	if len(resp.Evaluations) != 1 {
+		return core.Evaluation{}, fmt.Errorf("onocd: %d evaluations for a single-point sweep", len(resp.Evaluations))
+	}
+	return resp.Evaluations[0].Core()
+}

@@ -1,0 +1,69 @@
+package onocd
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest drives arbitrary bytes through the strict JSON request
+// decoder against every request shape the daemon accepts: it must never
+// panic, and whatever decodes successfully must re-encode (no WFloat or
+// wire-type landmines on hostile input).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(`{"target_bers": [1e-9, 1e-11]}`)
+	f.Add(`{"schemes": ["H(7,4)"], "target_bers": [1e-9]}`)
+	f.Add(`{"topology": "mesh", "tiles": 16, "target_ber": 1e-11, "use_dac": true}`)
+	f.Add(`{"topology": "bus", "tiles": 4, "traffic": [[0,1],[1,0]], "messages": 10}`)
+	f.Add(`{"target_ber": 1e-9, "max_ct": 1.5, "objective": "min-energy"}`)
+	f.Add(`{"scheme": "H(7,4)", "raw_ber": 0.01, "frames": 1000, "seed": 7}`)
+	f.Add(`{"target_bers": [null]}`)
+	f.Add(`{"target_bers": "Inf"}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"target_bers": [1e-9]} trailing`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, dst := range []func() any{
+			func() any { return new(SweepRequest) },
+			func() any { return new(DecideRequest) },
+			func() any { return new(NoCRequest) },
+			func() any { return new(ValidateRequest) },
+		} {
+			v := dst()
+			r := httptest.NewRequest("POST", "/v1/x", strings.NewReader(body))
+			if err := decodeJSON(r, v); err != nil {
+				continue
+			}
+			if _, err := json.Marshal(v); err != nil {
+				t.Fatalf("decoded request does not re-encode: %v\nbody: %q", err, body)
+			}
+		}
+	})
+}
+
+// FuzzWFloat: the non-finite float codec must never panic and must
+// round-trip everything it accepts.
+func FuzzWFloat(f *testing.F) {
+	f.Add(`1.5`)
+	f.Add(`"Inf"`)
+	f.Add(`"-Inf"`)
+	f.Add(`"NaN"`)
+	f.Add(`"+Inf"`)
+	f.Add(`1e309`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var v WFloat
+		if err := json.Unmarshal([]byte(raw), &v); err != nil {
+			return
+		}
+		out, err := v.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted %q but cannot marshal: %v", raw, err)
+		}
+		var back WFloat
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("own output %s does not decode: %v", out, err)
+		}
+	})
+}

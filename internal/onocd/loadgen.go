@@ -1,0 +1,123 @@
+package onocd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions parameterizes one closed-loop load phase: Clients goroutines
+// each issue the next request as soon as the previous one returns, until
+// Requests have been issued in total.
+type LoadOptions struct {
+	// Clients is the number of concurrent closed-loop clients (default 8).
+	Clients int
+	// Requests is the total request count across all clients (default 1000).
+	Requests int
+	// MakeRequest builds the i-th request body (nil = a fixed
+	// paper-roster sweep at BER 1e-11, the warm-cache steady state).
+	MakeRequest func(i int) SweepRequest
+}
+
+// LoadStats is the outcome of one load phase.
+type LoadStats struct {
+	Requests int           `json:"requests"`
+	Non2xx   int           `json:"non_2xx"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	QPS      float64       `json:"qps"`
+	P50      time.Duration `json:"p50_ns"`
+	P90      time.Duration `json:"p90_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	Max      time.Duration `json:"max_ns"`
+	// FirstError samples one failure for diagnostics.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// RunLoad drives a daemon with a closed loop of identical-shaped sweep
+// requests and aggregates throughput and latency percentiles. It is the
+// engine behind cmd/onocload and the service benchmark in onocbench.
+func RunLoad(ctx context.Context, c *Client, opts LoadOptions) (LoadStats, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 8
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 1000
+	}
+	makeReq := opts.MakeRequest
+	if makeReq == nil {
+		makeReq = func(int) SweepRequest {
+			return SweepRequest{TargetBERs: []float64{1e-11}}
+		}
+	}
+
+	var (
+		next      atomic.Int64
+		non2xx    atomic.Int64
+		firstErr  atomic.Value
+		wg        sync.WaitGroup
+		latencies = make([][]time.Duration, opts.Clients)
+	)
+	start := time.Now()
+	for cl := 0; cl < opts.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, opts.Requests/opts.Clients+1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests || ctx.Err() != nil {
+					break
+				}
+				t0 := time.Now()
+				_, err := c.Sweep(ctx, makeReq(i))
+				lats = append(lats, time.Since(t0))
+				if err != nil {
+					non2xx.Add(1)
+					firstErr.CompareAndSwap(nil, err.Error())
+				}
+			}
+			latencies[cl] = lats
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return LoadStats{}, err
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	stats := LoadStats{
+		Requests: len(all),
+		Non2xx:   int(non2xx.Load()),
+		Elapsed:  elapsed,
+		QPS:      float64(len(all)) / elapsed.Seconds(),
+	}
+	if msg, ok := firstErr.Load().(string); ok {
+		stats.FirstError = msg
+	}
+	if len(all) > 0 {
+		pct := func(q float64) time.Duration {
+			idx := int(q * float64(len(all)-1))
+			return all[idx]
+		}
+		stats.P50 = pct(0.50)
+		stats.P90 = pct(0.90)
+		stats.P99 = pct(0.99)
+		stats.Max = all[len(all)-1]
+	}
+	return stats, nil
+}
+
+// WriteTable renders the stats as the aligned row cmd/onocload prints.
+func (s LoadStats) WriteTable(w io.Writer, label string) {
+	fmt.Fprintf(w, "%-8s %8d req %4d non-2xx %10.1f qps   p50 %10s  p90 %10s  p99 %10s  max %10s\n",
+		label, s.Requests, s.Non2xx, s.QPS, s.P50, s.P90, s.P99, s.Max)
+}

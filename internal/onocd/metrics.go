@@ -1,0 +1,117 @@
+package onocd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram, spanning cache hits (~µs) to cold network sweeps (~s).
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics is the daemon's hand-rolled Prometheus registry: per-route
+// request counters keyed by status code, per-route latency histograms, an
+// in-flight gauge and the admission-rejection counter. The module stays
+// dependency-free, so the text exposition format is written by hand; only
+// the handful of series the daemon actually emits are supported.
+type metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+
+	inFlight          atomic.Int64
+	admissionRejected atomic.Uint64
+}
+
+// routeMetrics aggregates one route's counters under the parent mutex.
+type routeMetrics struct {
+	codes   map[int]uint64
+	buckets []uint64 // per-bucket counts; cumulated at render time
+	sum     float64
+	count   uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: make(map[string]*routeMetrics)}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, code int, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := m.routes[route]
+	if rm == nil {
+		rm = &routeMetrics{codes: make(map[int]uint64), buckets: make([]uint64, len(latencyBuckets))}
+		m.routes[route] = rm
+	}
+	rm.codes[code]++
+	rm.sum += sec
+	rm.count++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			rm.buckets[i]++
+			break
+		}
+	}
+}
+
+// gauge emits one untyped-free gauge line with HELP/TYPE headers.
+func gauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// counter emits one counter line with HELP/TYPE headers.
+func counter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// writeTo renders the registry in the Prometheus text exposition format,
+// deterministically ordered (routes and codes sorted) so the output is
+// testable byte for byte.
+func (m *metrics) writeTo(w io.Writer) {
+	counter(w, "onocd_admission_rejected_total",
+		"Requests refused by admission control (HTTP 429).", m.admissionRejected.Load())
+	gauge(w, "onocd_in_flight_requests",
+		"Requests currently being served.", float64(m.inFlight.Load()))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	routes := make([]string, 0, len(m.routes))
+	for r := range m.routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintf(w, "# HELP onocd_requests_total Finished requests by route and status code.\n# TYPE onocd_requests_total counter\n")
+	for _, r := range routes {
+		rm := m.routes[r]
+		codes := make([]int, 0, len(rm.codes))
+		for c := range rm.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "onocd_requests_total{route=%q,code=\"%d\"} %d\n", r, c, rm.codes[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP onocd_request_duration_seconds Request latency by route.\n# TYPE onocd_request_duration_seconds histogram\n")
+	for _, r := range routes {
+		rm := m.routes[r]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += rm.buckets[i]
+			fmt.Fprintf(w, "onocd_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
+		}
+		fmt.Fprintf(w, "onocd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, rm.count)
+		fmt.Fprintf(w, "onocd_request_duration_seconds_sum{route=%q} %g\n", r, rm.sum)
+		fmt.Fprintf(w, "onocd_request_duration_seconds_count{route=%q} %d\n", r, rm.count)
+	}
+}

@@ -1,0 +1,615 @@
+package onocd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"photonoc/internal/apierr"
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/engine"
+	"photonoc/internal/manager"
+	"photonoc/internal/mc"
+)
+
+// Service defaults.
+const (
+	// DefaultMaxInFlight is the admission-control concurrency limit: the
+	// evaluation routes admit at most this many requests at once and refuse
+	// the rest with 429 + Retry-After.
+	DefaultMaxInFlight = 64
+	// DefaultRequestTimeout bounds one request's work; a request may lower
+	// (never raise) it with ?timeout_ms=N.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultMaxBodyBytes bounds a request body.
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// Options configures a Server. The zero value serves the paper's
+// configuration with production defaults.
+type Options struct {
+	// Config is the link configuration; the zero value means the paper's
+	// defaults (exactly engine.New without WithConfig).
+	Config core.LinkConfig
+	// Schemes is the roster; nil means the paper's three schemes.
+	Schemes []ecc.Code
+	// Workers is the engine worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries is the memo-cache capacity; 0 means the engine default.
+	// A service without a cache makes no sense, so there is no disable knob.
+	CacheEntries int
+	// CacheShards fixes the LRU shard count; 0 scales with capacity.
+	CacheShards int
+
+	// MaxInFlight is the admission limit (0 = DefaultMaxInFlight).
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline ceiling
+	// (0 = DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+}
+
+// engineState is one immutable generation of the serving engine. Hot
+// reload swaps the whole generation atomically; requests in flight keep
+// the generation they started with, so a reload never mixes two
+// configurations inside one response.
+type engineState struct {
+	eng      *engine.Engine
+	mgr      *manager.Manager
+	loadedAt time.Time
+}
+
+// newEngineState builds one engine generation.
+func newEngineState(opts Options, cfg core.LinkConfig) (*engineState, error) {
+	eopts := []engine.Option{}
+	if !reflect.ValueOf(cfg).IsZero() {
+		eopts = append(eopts, engine.WithConfig(cfg))
+	}
+	if opts.Schemes != nil {
+		eopts = append(eopts, engine.WithSchemes(opts.Schemes...))
+	}
+	if opts.Workers != 0 {
+		eopts = append(eopts, engine.WithWorkers(opts.Workers))
+	}
+	if opts.CacheEntries != 0 {
+		eopts = append(eopts, engine.WithCache(opts.CacheEntries))
+	}
+	if opts.CacheShards != 0 {
+		eopts = append(eopts, engine.WithCacheShards(opts.CacheShards))
+	}
+	eng, err := engine.New(eopts...)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := eng.Config()
+	mgr, err := manager.NewWithEvaluator(&ecfg, eng.Schemes(), manager.PaperDAC(), eng)
+	if err != nil {
+		return nil, err
+	}
+	return &engineState{eng: eng, mgr: mgr, loadedAt: time.Now()}, nil
+}
+
+// Server is the onocd HTTP service: the Engine behind JSON routes, with
+// admission control, per-request deadlines, metrics and hot reload. Build
+// one with NewServer and mount Handler on an http.Server.
+type Server struct {
+	opts  Options
+	state atomic.Pointer[engineState]
+	mux   *http.ServeMux
+	sem   chan struct{}
+	met   *metrics
+
+	started  time.Time
+	reloads  atomic.Uint64
+	draining atomic.Bool
+}
+
+// NewServer builds the service around a fresh Engine.
+func NewServer(opts Options) (*Server, error) {
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	if opts.MaxInFlight < 1 {
+		return nil, fmt.Errorf("%w: max in-flight %d must be positive", apierr.ErrInvalidConfig, opts.MaxInFlight)
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	if opts.RequestTimeout < 0 {
+		return nil, fmt.Errorf("%w: request timeout %v must be positive", apierr.ErrInvalidConfig, opts.RequestTimeout)
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	st, err := newEngineState(opts, opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		met:     newMetrics(),
+		started: time.Now(),
+	}
+	s.state.Store(st)
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the current engine generation (tests and the self-hosted
+// load harness use it to read cache statistics).
+func (s *Server) Engine() *engine.Engine { return s.state.Load().eng }
+
+// Reload atomically swaps in a new engine generation built from cfg (the
+// zero value reloads the original Options.Config — a roster/limits-only
+// restart). In-flight requests finish on the generation they started
+// with; the memo cache starts cold because the fingerprint may have
+// changed. This is the SIGHUP path of cmd/onocd.
+func (s *Server) Reload(cfg core.LinkConfig) error {
+	if reflect.ValueOf(cfg).IsZero() {
+		cfg = s.opts.Config
+	}
+	st, err := newEngineState(s.opts, cfg)
+	if err != nil {
+		return err
+	}
+	s.state.Store(st)
+	s.reloads.Add(1)
+	return nil
+}
+
+// SetDraining flips the health signal: a draining server answers
+// /healthz with 503 so load balancers stop routing to it, while in-flight
+// and even newly arriving requests still complete (http.Server.Shutdown
+// does the actual connection draining).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// ListenLocal starts the server on an OS-assigned loopback port and
+// returns the base URL. Tests, the self-hosted load harness and the
+// benchmark runner share it.
+func ListenLocal(opts Options) (*Server, *http.Server, string, error) {
+	s, err := NewServer(opts)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(l)
+	return s, hs, "http://" + l.Addr().String(), nil
+}
+
+// routes mounts every endpoint. The /v1 evaluation routes pass through
+// admission control and the deadline middleware; the observability routes
+// are exempt so a saturated server can still be inspected.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /v1/config", s.instrument("/v1/config", false, s.handleConfig))
+
+	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", true, s.handleSweep))
+	s.mux.Handle("POST /v1/sweep/stream", s.instrument("/v1/sweep/stream", true, s.handleSweepStream))
+	s.mux.Handle("POST /v1/decide", s.instrument("/v1/decide", true, s.handleDecide))
+	s.mux.Handle("POST /v1/noc/eval", s.instrument("/v1/noc/eval", true, s.handleNoCEval))
+	s.mux.Handle("POST /v1/noc/sweep", s.instrument("/v1/noc/sweep", true, s.handleNoCSweep))
+	s.mux.Handle("POST /v1/noc/sim", s.instrument("/v1/noc/sim", true, s.handleNoCSim))
+	s.mux.Handle("POST /v1/validate", s.instrument("/v1/validate", true, s.handleValidate))
+}
+
+// statusWriter records the status code actually sent, for metrics and so
+// the error path knows whether headers are already gone (streaming).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying flusher (NDJSON streaming).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handlerFunc is a route body: it runs under the request deadline against
+// one engine generation and either writes its own (streaming) response or
+// returns an error to be enveloped.
+type handlerFunc func(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error
+
+// instrument wraps a route body with the service middleware: in-flight
+// gauge, admission control, the per-request deadline, error enveloping
+// and request accounting.
+func (s *Server) instrument(route string, admission bool, fn handlerFunc) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		w := &statusWriter{ResponseWriter: rw}
+		s.met.inFlight.Add(1)
+		defer func() {
+			s.met.inFlight.Add(-1)
+			s.met.observe(route, w.code, time.Since(start))
+		}()
+
+		if admission {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.met.admissionRejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, fmt.Errorf("%w: %d requests already in flight", apierr.ErrOverloaded, s.opts.MaxInFlight))
+				return
+			}
+		}
+
+		ctx, cancel, err := s.requestContext(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer cancel()
+
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		if err := fn(ctx, s.state.Load(), w, r.WithContext(ctx)); err != nil {
+			// Map context errors through the request deadline: the engine
+			// returns ctx.Err() verbatim, and a deadline the server imposed
+			// must surface as 504 even when the client also went away.
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			if w.code != 0 {
+				return // headers sent (mid-stream failure); terminal NDJSON line already carries the error
+			}
+			writeError(w, err)
+		}
+	})
+}
+
+// requestContext derives the request deadline: the server ceiling, lowered
+// (never raised) by an explicit ?timeout_ms=N.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.opts.RequestTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("%w: timeout_ms %q must be a positive integer", apierr.ErrInvalidInput, v)
+		}
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// writeError writes the stable JSON error envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status, env := apierr.EnvelopeFor(err)
+	writeJSON(w, status, env)
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// decodeJSON strictly decodes a request body: unknown fields, trailing
+// garbage and oversized bodies are all invalid input.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return fmt.Errorf("%w: request body exceeds %d bytes", apierr.ErrInvalidInput, maxErr.Limit)
+		}
+		return fmt.Errorf("%w: malformed request body: %v", apierr.ErrInvalidInput, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after request body", apierr.ErrInvalidInput)
+	}
+	return nil
+}
+
+// --- observability routes ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+// StatusResponse is the body of GET /statusz.
+type StatusResponse struct {
+	Service          string            `json:"service"`
+	UptimeSec        float64           `json:"uptime_sec"`
+	Fingerprint      string            `json:"fingerprint"`
+	EngineLoadedAt   time.Time         `json:"engine_loaded_at"`
+	Reloads          uint64            `json:"reloads"`
+	Schemes          []string          `json:"schemes"`
+	Workers          int               `json:"workers"`
+	MaxInFlight      int               `json:"max_in_flight"`
+	InFlight         int64             `json:"in_flight"`
+	RequestTimeoutMS int64             `json:"request_timeout_ms"`
+	Draining         bool              `json:"draining"`
+	Cache            engine.CacheStats `json:"cache"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Service:          "onocd",
+		UptimeSec:        time.Since(s.started).Seconds(),
+		Fingerprint:      st.eng.ConfigFingerprint(),
+		EngineLoadedAt:   st.loadedAt,
+		Reloads:          s.reloads.Load(),
+		Schemes:          schemeNames(st.eng.Schemes()),
+		Workers:          st.eng.Workers(),
+		MaxInFlight:      s.opts.MaxInFlight,
+		InFlight:         s.met.inFlight.Load(),
+		RequestTimeoutMS: s.opts.RequestTimeout.Milliseconds(),
+		Draining:         s.draining.Load(),
+		Cache:            st.eng.CacheStats(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writeTo(w)
+	st := s.state.Load()
+	cs := st.eng.CacheStats()
+	counter(w, "onocd_engine_reloads_total", "Hot configuration reloads.", s.reloads.Load())
+	counter(w, "onocd_cache_hits_total", "Memo-cache hits.", cs.Hits)
+	counter(w, "onocd_cache_misses_total", "Memo-cache misses.", cs.Misses)
+	counter(w, "onocd_cache_cold_solves_total", "Solves that ran the compiled pipeline.", cs.ColdSolves)
+	counter(w, "onocd_cache_shared_solves_total", "Evaluations served by joining an in-flight solve (singleflight).", cs.SharedSolves)
+	gauge(w, "onocd_cache_entries", "Memoized operating points.", float64(cs.Entries))
+	gauge(w, "onocd_cache_capacity", "Memo-cache capacity.", float64(cs.Capacity))
+	gauge(w, "onocd_cache_shards", "Independently locked LRU shards.", float64(cs.Shards))
+	gauge(w, "onocd_cache_cold_solve_seconds_total", "Cumulative wall time in cold solves.", cs.ColdSolveTime.Seconds())
+}
+
+func schemeNames(codes []ecc.Code) []string {
+	names := make([]string, len(codes))
+	for i, c := range codes {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// --- evaluation routes ---
+
+func (s *Server) handleConfig(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, ConfigResponse{
+		Fingerprint: st.eng.ConfigFingerprint(),
+		Schemes:     schemeNames(st.eng.Schemes()),
+		Workers:     st.eng.Workers(),
+		Config:      st.eng.Config(),
+	})
+	return nil
+}
+
+func (s *Server) handleSweep(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	codes, err := ResolveSchemes(req.Schemes)
+	if err != nil {
+		return err
+	}
+	evs, err := st.eng.Sweep(ctx, codes, req.TargetBERs)
+	if err != nil {
+		return err
+	}
+	resp := SweepResponse{Evaluations: make([]Evaluation, len(evs))}
+	for i, ev := range evs {
+		resp.Evaluations[i] = toWireEval(ev)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// handleSweepStream streams one NDJSON StreamItem per grid point, in the
+// deterministic batch order, flushing per line. A mid-stream failure
+// arrives as a terminal line with Error set (the HTTP status is already
+// 200 by then — NDJSON semantics).
+func (s *Server) handleSweepStream(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	codes, err := ResolveSchemes(req.Schemes)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for res := range st.eng.SweepStream(ctx, codes, req.TargetBERs) {
+		item := StreamItem{Index: res.Index}
+		if res.Err != nil {
+			_, body := apierr.EnvelopeFor(res.Err)
+			item.Error = &body.Error
+		} else {
+			ev := toWireEval(res.Evaluation)
+			item.Evaluation = &ev
+		}
+		if err := enc.Encode(item); err != nil {
+			return nil // client went away mid-stream
+		}
+		w.Flush()
+	}
+	return nil
+}
+
+func (s *Server) handleDecide(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	var req DecideRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	obj, err := parseObjective(req.Objective)
+	if err != nil {
+		return err
+	}
+	dec, err := st.mgr.ConfigureCtx(ctx, manager.Requirements{
+		TargetBER: req.TargetBER,
+		MaxCT:     req.MaxCT,
+		Objective: obj,
+	})
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, DecideResponse{
+		Eval:                 toWireEval(dec.Eval),
+		DACCode:              dec.DACCode,
+		QuantizedOpticalW:    dec.QuantizedOpticalW,
+		QuantizedLaserPowerW: dec.QuantizedLaserPowerW,
+		QuantizationWasteW:   dec.QuantizationWasteW,
+	})
+	return nil
+}
+
+func (s *Server) handleNoCEval(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	var req NoCRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	cfg, err := req.topology()
+	if err != nil {
+		return err
+	}
+	opts, err := req.evalOptions()
+	if err != nil {
+		return err
+	}
+	res, err := st.eng.Network(ctx, cfg, opts)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, toWireNoC(res))
+	return nil
+}
+
+// handleNoCSweep streams one NDJSON NoCStreamItem per target BER, reusing
+// the engine's streaming network sweep.
+func (s *Server) handleNoCSweep(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	var req NoCRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	cfg, err := req.topology()
+	if err != nil {
+		return err
+	}
+	opts, err := req.evalOptions()
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for res := range st.eng.NetworkSweepStream(ctx, cfg, req.TargetBERs, opts) {
+		item := NoCStreamItem{Index: res.Index, TargetBER: res.TargetBER}
+		if res.Err != nil {
+			_, body := apierr.EnvelopeFor(res.Err)
+			item.Error = &body.Error
+		} else {
+			wr := toWireNoC(res.Result)
+			item.Result = &wr
+		}
+		if err := enc.Encode(item); err != nil {
+			return nil
+		}
+		w.Flush()
+	}
+	return nil
+}
+
+func (s *Server) handleNoCSim(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	var req NoCRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	cfg, err := req.topology()
+	if err != nil {
+		return err
+	}
+	evalOpts, err := req.evalOptions()
+	if err != nil {
+		return err
+	}
+	simOpts := engine.NetworkSimOptions{
+		TargetBER:               req.TargetBER,
+		Objective:               evalOpts.Objective,
+		DAC:                     evalOpts.DAC,
+		Traffic:                 evalOpts.Traffic,
+		InjectionRateBitsPerSec: req.RateBitsPerSec,
+		MessageBits:             req.MessageBits,
+		Messages:                req.Messages,
+		Seed:                    req.Seed,
+		MaxQueueDepth:           req.MaxQueueDepth,
+	}
+	res, err := st.eng.SimulateNetwork(ctx, cfg, simOpts)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, toWireSim(res))
+	return nil
+}
+
+func (s *Server) handleValidate(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	var req ValidateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	code, ok := ecc.SchemeByName(req.Scheme)
+	if !ok {
+		return fmt.Errorf("%w: unknown scheme %q", apierr.ErrInvalidInput, req.Scheme)
+	}
+	res, err := st.eng.ValidateMC(ctx, code, req.RawBER, mc.Options{
+		Frames:       req.Frames,
+		TargetRelErr: req.TargetRelErr,
+		Shards:       req.Shards,
+		Seed:         req.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, res)
+	return nil
+}

@@ -1,0 +1,522 @@
+package onocd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"photonoc/internal/apierr"
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/engine"
+)
+
+// Client drives netsim, so it must satisfy the evaluator seam.
+var _ core.Evaluator = (*Client)(nil)
+
+// newTestServer spins up the daemon on httptest with small limits.
+func newTestServer(t *testing.T, opts Options) (*Server, *Client) {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	s, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, NewClient(hs.URL)
+}
+
+func TestSweepMatchesInProcess(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	bers := []float64{1e-12, 1e-9}
+
+	resp, err := c.Sweep(ctx, SweepRequest{TargetBERs: bers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Engine().Sweep(ctx, nil, bers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Evaluations) != len(want) {
+		t.Fatalf("%d evaluations, want %d", len(resp.Evaluations), len(want))
+	}
+	for i, w := range resp.Evaluations {
+		back, err := w.Core()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, want[i]) {
+			t.Errorf("evaluation %d: remote %+v != local %+v", i, back, want[i])
+		}
+	}
+}
+
+func TestSweepStreamMatchesBatch(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	bers := []float64{1e-11, 1e-9}
+	want, err := s.Engine().Sweep(ctx, nil, bers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(SweepRequest{TargetBERs: bers})
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/sweep/stream", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var items []StreamItem
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var it StreamItem
+		if err := json.Unmarshal(sc.Bytes(), &it); err != nil {
+			t.Fatalf("line %d: %v", len(items), err)
+		}
+		items = append(items, it)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(want) {
+		t.Fatalf("%d stream items, want %d", len(items), len(want))
+	}
+	for i, it := range items {
+		if it.Index != i || it.Error != nil || it.Evaluation == nil {
+			t.Fatalf("item %d malformed: %+v", i, it)
+		}
+		back, err := it.Evaluation.Core()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back, want[i]) {
+			t.Errorf("stream item %d differs from batch", i)
+		}
+	}
+}
+
+func TestDecideRoutes(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+
+	dec, err := c.Decide(ctx, DecideRequest{TargetBER: 1e-11, Objective: "min-power"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Eval.Feasible || dec.Eval.Scheme == "" {
+		t.Errorf("decision not feasible: %+v", dec)
+	}
+	// The remote decision must be the in-process manager's, field for field.
+	ev, err := s.Engine().Evaluate(ctx, mustScheme(t, dec.Eval.Scheme), 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dec.Eval.Core()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ev) {
+		t.Errorf("remote decision eval differs from engine solve")
+	}
+
+	// Infeasible requirements surface as a typed 422 the client can match.
+	_, err = c.Decide(ctx, DecideRequest{TargetBER: 1e-12, MaxCT: 1})
+	if !errors.Is(err, apierr.ErrInfeasible) {
+		t.Errorf("want ErrInfeasible across the wire, got %v", err)
+	}
+}
+
+func TestNoCEvalMatchesInProcess(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	req := NoCRequest{Topology: "mesh", Tiles: 4, TargetBER: 1e-11, UseDAC: true}
+
+	remote, err := c.NetworkEval(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := req.topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := req.evalOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := s.Engine().Network(ctx, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstructed result loses the full per-link Evaluation (only the
+	// scheme survives the wire), so compare the wire projections.
+	rw, lw := toWireNoC(remote), toWireNoC(local)
+	rj, _ := json.Marshal(rw)
+	lj, _ := json.Marshal(lw)
+	if !bytes.Equal(rj, lj) {
+		t.Errorf("remote NoC eval differs:\nremote %s\nlocal  %s", rj, lj)
+	}
+	if remote.EnergyPerBitJ <= 0 || !remote.Feasible {
+		t.Errorf("implausible result: %+v", remote)
+	}
+}
+
+func TestNoCSimDeterministicAcrossWire(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	req := NoCRequest{Topology: "bus", Tiles: 4, TargetBER: 1e-11, Messages: 500, Seed: 42}
+
+	remote, err := c.NetworkSim(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := req.topology()
+	obj, err := parseObjective("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := s.Engine().SimulateNetwork(ctx, cfg, engine.NetworkSimOptions{
+		TargetBER: 1e-11, Messages: 500, Seed: 42, Objective: obj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, _ := json.Marshal(toWireSim(remote))
+	lj, _ := json.Marshal(toWireSim(local))
+	if !bytes.Equal(rj, lj) {
+		t.Errorf("remote sim differs from local seeded run:\nremote %s\nlocal  %s", rj, lj)
+	}
+}
+
+func TestValidateRoute(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	res, err := c.Validate(context.Background(), ValidateRequest{
+		Scheme: "H(7,4)", RawBER: 1e-2, Frames: 2000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bit-sliced engine rounds the frame budget up to a word boundary.
+	if res.Frames < 2000 || res.Code != "H(7,4)" {
+		t.Errorf("result: %+v", res)
+	}
+}
+
+func TestErrorEnvelopesPerRoute(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	post := func(path, body string) (int, apierr.Envelope) {
+		t.Helper()
+		resp, err := http.Post(c.Base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env apierr.Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("%s: decoding envelope: %v", path, err)
+		}
+		return resp.StatusCode, env
+	}
+
+	for _, tc := range []struct {
+		path, body string
+		status     int
+		code       string
+	}{
+		{"/v1/sweep", "{not json", 400, apierr.CodeInvalidInput},
+		{"/v1/sweep", `{"surprise_field": 1}`, 400, apierr.CodeInvalidInput},
+		{"/v1/sweep", `{"target_bers": []}`, 400, apierr.CodeInvalidInput},
+		{"/v1/sweep", `{"schemes": ["nope"], "target_bers": [1e-9]}`, 400, apierr.CodeInvalidInput},
+		{"/v1/decide", `{"target_ber": 1e-12, "max_ct": 1}`, 422, apierr.CodeInfeasible},
+		{"/v1/decide", `{"target_ber": 1e-9, "objective": "fastest"}`, 400, apierr.CodeInvalidInput},
+		{"/v1/noc/eval", `{"topology": "torus", "tiles": 4, "target_ber": 1e-9}`, 400, apierr.CodeInvalidInput},
+		{"/v1/noc/eval", `{"topology": "mesh", "tiles": 1, "target_ber": 1e-9}`, 400, apierr.CodeInvalidConfig},
+		{"/v1/validate", `{"scheme": "H(7,4)", "raw_ber": 2.0, "frames": 10}`, 400, apierr.CodeInvalidInput},
+	} {
+		status, env := post(tc.path, tc.body)
+		if status != tc.status || env.Error.Code != tc.code {
+			t.Errorf("%s %s: got %d/%q, want %d/%q (message %q)",
+				tc.path, tc.body, status, env.Error.Code, tc.status, tc.code, env.Error.Message)
+		}
+		if env.Error.Status != status {
+			t.Errorf("%s: envelope status %d != HTTP status %d", tc.path, env.Error.Status, status)
+		}
+	}
+}
+
+func TestDeadlineExpiryMapsTo504(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	// A Monte-Carlo run big enough to outlive a 1 ms budget by orders of
+	// magnitude; the engine aborts at a round barrier and returns the
+	// context error, which must surface as the 504 envelope.
+	body := `{"scheme": "H(7,4)", "raw_ber": 1e-3, "frames": 1073741824}`
+	resp, err := http.Post(c.Base+"/v1/validate?timeout_ms=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env apierr.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 504 || env.Error.Code != apierr.CodeDeadline {
+		t.Errorf("got %d/%q, want 504/deadline_exceeded", resp.StatusCode, env.Error.Code)
+	}
+	// And the typed client surfaces it as the context sentinel.
+	_, err = c.Validate(context.Background(), ValidateRequest{Scheme: "H(7,4)", RawBER: 1e-3, Frames: 1 << 30})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Logf("note: full-budget validate finished: %v", err)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s, c := newTestServer(t, Options{MaxInFlight: 2})
+	// Fill the admission semaphore so the next request must be refused.
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	defer func() { <-s.sem; <-s.sem }()
+
+	resp, err := http.Post(c.Base+"/v1/sweep", "application/json",
+		strings.NewReader(`{"target_bers": [1e-9]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q", ra)
+	}
+	var env apierr.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != apierr.CodeOverloaded {
+		t.Errorf("code = %q", env.Error.Code)
+	}
+	// The typed client round-trips the sentinel.
+	_, err = c.Sweep(context.Background(), SweepRequest{TargetBERs: []float64{1e-9}})
+	if !errors.Is(err, apierr.ErrOverloaded) {
+		t.Errorf("client error = %v, want ErrOverloaded", err)
+	}
+	// Observability routes stay reachable while the service is saturated.
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Errorf("healthz under saturation: %v", err)
+	}
+}
+
+func TestHotReloadSwapsEngine(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	before, err := c.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := s.Engine().Config()
+	cfg.FmodHz *= 2
+	if err := s.Reload(cfg); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Fingerprint == before.Fingerprint {
+		t.Error("fingerprint unchanged after reload with a different config")
+	}
+	if after.Config.FmodHz != cfg.FmodHz {
+		t.Errorf("reloaded FmodHz = %g, want %g", after.Config.FmodHz, cfg.FmodHz)
+	}
+	st, err := c.Statusz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reloads != 1 {
+		t.Errorf("reloads = %d, want 1", st.Reloads)
+	}
+	// Reload with the zero config restores the original generation.
+	if err := s.Reload(core.LinkConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := c.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Fingerprint != before.Fingerprint {
+		t.Error("zero-config reload did not restore the original fingerprint")
+	}
+	// A bad config must not tear down the serving generation.
+	bad := s.Engine().Config()
+	bad.FmodHz = -1
+	if err := s.Reload(bad); !errors.Is(err, apierr.ErrInvalidConfig) {
+		t.Errorf("bad reload: %v", err)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		t.Errorf("service down after rejected reload: %v", err)
+	}
+}
+
+func TestDrainingHealthz(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	s.SetDraining(true)
+	resp, err := http.Get(c.Base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	// Requests still complete while draining.
+	if _, err := c.Sweep(context.Background(), SweepRequest{TargetBERs: []float64{1e-9}}); err != nil {
+		t.Errorf("sweep while draining: %v", err)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	if _, err := c.Sweep(context.Background(), SweepRequest{TargetBERs: []float64{1e-9}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`onocd_requests_total{route="/v1/sweep",code="200"} 1`,
+		`onocd_request_duration_seconds_count{route="/v1/sweep"} 1`,
+		`onocd_request_duration_seconds_bucket{route="/v1/sweep",le="+Inf"} 1`,
+		"onocd_cache_misses_total",
+		"onocd_cache_shards",
+		"onocd_in_flight_requests 0",
+		"onocd_admission_rejected_total 0",
+		"onocd_engine_reloads_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestServiceStampedeCoalesces(t *testing.T) {
+	// The ISSUE's acceptance proof at the service layer: concurrent
+	// identical cold requests through the full HTTP stack still cost
+	// exactly one compiled solve per grid point.
+	s, c := newTestServer(t, Options{MaxInFlight: 64})
+	const clients = 16
+	ctx := context.Background()
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			_, err := c.Sweep(ctx, SweepRequest{Schemes: []string{"H(7,4)"}, TargetBERs: []float64{1e-10}})
+			errs <- err
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs := s.Engine().CacheStats(); cs.ColdSolves != 1 {
+		t.Errorf("cold solves = %d, want exactly 1 across %d concurrent HTTP requests", cs.ColdSolves, clients)
+	}
+}
+
+func TestRunLoadWarmHitRate(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	// Warm the single-point working set, then drive the closed loop.
+	if _, err := c.Sweep(ctx, SweepRequest{TargetBERs: []float64{1e-11}}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Engine().CacheStats()
+	stats, err := RunLoad(ctx, c, LoadOptions{Clients: 4, Requests: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 60 || stats.Non2xx != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.QPS <= 0 || stats.P50 <= 0 || stats.P99 < stats.P50 {
+		t.Errorf("implausible latency stats: %+v", stats)
+	}
+	after := s.Engine().CacheStats()
+	hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+	if rate := float64(hits) / float64(hits+misses); rate < 0.99 {
+		t.Errorf("warm phase hit rate %.3f, want ~1 (hits %d, misses %d)", rate, hits, misses)
+	}
+	var tbl strings.Builder
+	stats.WriteTable(&tbl, "warm")
+	if !strings.Contains(tbl.String(), "qps") {
+		t.Errorf("table: %q", tbl.String())
+	}
+}
+
+func TestWFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25e-9, math.Inf(1), math.Inf(-1)} {
+		raw, err := json.Marshal(WFloat(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back WFloat
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if float64(back) != v {
+			t.Errorf("%g → %s → %g", v, raw, float64(back))
+		}
+	}
+	raw, _ := json.Marshal(WFloat(math.NaN()))
+	if string(raw) != `"NaN"` {
+		t.Errorf("NaN marshals as %s", raw)
+	}
+	var back WFloat
+	if err := json.Unmarshal([]byte(`"NaN"`), &back); err != nil || !math.IsNaN(float64(back)) {
+		t.Errorf("NaN unmarshal: %v %v", back, err)
+	}
+	if err := json.Unmarshal([]byte(`"pizza"`), &back); err == nil {
+		t.Error("garbage WFloat accepted")
+	}
+	// A saturated NoC result (Inf queue wait) must cross the wire.
+	res := NoCResult{MeanLatencySec: WFloat(math.Inf(1))}
+	if _, err := json.Marshal(res); err != nil {
+		t.Errorf("saturated result does not marshal: %v", err)
+	}
+}
+
+func mustScheme(t *testing.T, name string) ecc.Code {
+	t.Helper()
+	c, ok := ecc.SchemeByName(name)
+	if !ok {
+		t.Fatalf("unknown scheme %q", name)
+	}
+	return c
+}

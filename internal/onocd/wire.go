@@ -1,0 +1,582 @@
+// Package onocd is the production evaluation service over the photonoc
+// Engine: an HTTP/JSON daemon (stdlib net/http only) serving sweep, decide,
+// network-evaluate, network-simulate and Monte-Carlo-validate queries at
+// high concurrency, with request coalescing and the sharded LRU underneath,
+// per-request deadlines, semaphore admission control (429 + Retry-After),
+// Prometheus-text metrics, hot config reload and graceful drain. cmd/onocd
+// wraps it in a daemon; cmd/onocload drives it with a closed-loop load
+// harness; onocnet/onocsim reach it through Client via their -remote flag.
+package onocd
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"photonoc/internal/apierr"
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/manager"
+	"photonoc/internal/netsim"
+	"photonoc/internal/noc"
+	"photonoc/internal/onoc"
+)
+
+// WFloat is a float64 whose JSON form survives non-finite values: finite
+// numbers marshal as plain JSON numbers, while ±Inf and NaN marshal as the
+// strings "Inf", "-Inf" and "NaN" (encoding/json rejects them as numbers).
+// Saturated operating points carry +Inf queue waits and latency
+// percentiles, and the wire must not lose that.
+type WFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f WFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	default:
+		return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *WFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"Inf"`, `"+Inf"`:
+		*f = WFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = WFloat(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = WFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("onocd: WFloat %q: %w", b, err)
+	}
+	*f = WFloat(v)
+	return nil
+}
+
+// parseObjective maps the CLI/wire spelling to the manager objective; the
+// empty string defaults to min-energy, matching the onocnet CLI default.
+func parseObjective(s string) (manager.Objective, error) {
+	switch s {
+	case "", "min-energy":
+		return manager.MinEnergy, nil
+	case "min-power":
+		return manager.MinPower, nil
+	case "min-latency":
+		return manager.MinLatency, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown objective %q (want min-power|min-energy|min-latency)", apierr.ErrInvalidInput, s)
+	}
+}
+
+// ResolveSchemes maps wire scheme names onto codes from the extended
+// registry; nil/empty means the engine roster (returned as nil).
+func ResolveSchemes(names []string) ([]ecc.Code, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	codes := make([]ecc.Code, len(names))
+	for i, n := range names {
+		c, ok := ecc.SchemeByName(n)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown scheme %q", apierr.ErrInvalidInput, n)
+		}
+		codes[i] = c
+	}
+	return codes, nil
+}
+
+// SweepRequest is the body of POST /v1/sweep and /v1/sweep/stream.
+type SweepRequest struct {
+	// Schemes are display names from the extended registry (e.g. "H(7,4)");
+	// empty means the daemon's roster.
+	Schemes []string `json:"schemes,omitempty"`
+	// TargetBERs is the post-decoding BER grid, each in (0, 0.5).
+	TargetBERs []float64 `json:"target_bers"`
+}
+
+// DecideRequest is the body of POST /v1/decide: one runtime-manager
+// configuration request.
+type DecideRequest struct {
+	TargetBER float64 `json:"target_ber"`
+	// MaxCT caps the tolerable communication-time expansion (0 = none).
+	MaxCT float64 `json:"max_ct,omitempty"`
+	// Objective is min-power|min-energy|min-latency (default min-energy).
+	Objective string `json:"objective,omitempty"`
+}
+
+// ValidateRequest is the body of POST /v1/validate: one Monte-Carlo
+// validation run (see internal/mc for the determinism contract).
+type ValidateRequest struct {
+	Scheme       string  `json:"scheme"`
+	RawBER       float64 `json:"raw_ber"`
+	Frames       int64   `json:"frames"`
+	TargetRelErr float64 `json:"target_rel_err,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+}
+
+// NoCRequest is the body of POST /v1/noc/eval, /v1/noc/sweep and
+// /v1/noc/sim. TargetBER drives eval and sim; TargetBERs drives the sweep;
+// the Messages/Seed/MaxQueueDepth tail applies to sim only.
+type NoCRequest struct {
+	Topology    string  `json:"topology"` // bus|crossbar|ring|mesh
+	Tiles       int     `json:"tiles"`
+	Columns     int     `json:"columns,omitempty"`
+	TilePitchCM float64 `json:"tile_pitch_cm,omitempty"`
+
+	TargetBER  float64   `json:"target_ber,omitempty"`
+	TargetBERs []float64 `json:"target_bers,omitempty"`
+	Objective  string    `json:"objective,omitempty"`
+	// Traffic is a row-normalized (src, dst) matrix; empty means uniform.
+	Traffic        [][]float64 `json:"traffic,omitempty"`
+	RateBitsPerSec float64     `json:"rate_bits_per_sec,omitempty"`
+	MessageBits    int         `json:"message_bits,omitempty"`
+	// UseDAC quantizes laser settings through the paper's 6-bit DAC.
+	UseDAC bool `json:"use_dac,omitempty"`
+
+	Messages      int   `json:"messages,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	MaxQueueDepth int   `json:"max_queue_depth,omitempty"`
+}
+
+// topology converts the wire request into a noc.Config (Base is left zero,
+// so the daemon's engine configuration is adopted).
+func (r *NoCRequest) topology() (noc.Config, error) {
+	kind, err := noc.ParseKind(r.Topology)
+	if err != nil {
+		return noc.Config{}, fmt.Errorf("%w: %v", apierr.ErrInvalidInput, err)
+	}
+	return noc.Config{Kind: kind, Tiles: r.Tiles, Columns: r.Columns, TilePitchCM: r.TilePitchCM}, nil
+}
+
+// evalOptions converts the wire request into noc evaluation options.
+func (r *NoCRequest) evalOptions() (noc.EvalOptions, error) {
+	obj, err := parseObjective(r.Objective)
+	if err != nil {
+		return noc.EvalOptions{}, err
+	}
+	opts := noc.EvalOptions{
+		TargetBER:               r.TargetBER,
+		Objective:               obj,
+		Traffic:                 noc.Matrix(r.Traffic),
+		InjectionRateBitsPerSec: r.RateBitsPerSec,
+		MessageBits:             r.MessageBits,
+	}
+	if len(r.Traffic) == 0 {
+		opts.Traffic = nil
+	}
+	if r.UseDAC {
+		dac := manager.PaperDAC()
+		opts.DAC = &dac
+	}
+	return opts, nil
+}
+
+// Evaluation is one solved (scheme, target BER) operating point on the
+// wire: core.Evaluation with the scheme flattened to its registry name (an
+// ecc.Code cannot round-trip JSON).
+type Evaluation struct {
+	Scheme           string              `json:"scheme"`
+	TargetBER        float64             `json:"target_ber"`
+	RawBER           float64             `json:"raw_ber"`
+	SNR              float64             `json:"snr"`
+	CT               float64             `json:"ct"`
+	Op               onoc.OperatingPoint `json:"op"`
+	LaserPowerW      float64             `json:"laser_power_w"`
+	ModulatorPowerW  float64             `json:"modulator_power_w"`
+	InterfacePowerW  float64             `json:"interface_power_w"`
+	ChannelPowerW    float64             `json:"channel_power_w"`
+	EnergyPerBitJ    float64             `json:"energy_per_bit_j"`
+	Feasible         bool                `json:"feasible"`
+	InfeasibleReason string              `json:"infeasible_reason,omitempty"`
+}
+
+// toWireEval flattens a solved evaluation for the wire.
+func toWireEval(ev core.Evaluation) Evaluation {
+	return Evaluation{
+		Scheme:           ev.Code.Name(),
+		TargetBER:        ev.TargetBER,
+		RawBER:           ev.RawBER,
+		SNR:              ev.SNR,
+		CT:               ev.CT,
+		Op:               ev.Op,
+		LaserPowerW:      ev.LaserPowerW,
+		ModulatorPowerW:  ev.ModulatorPowerW,
+		InterfacePowerW:  ev.InterfacePowerW,
+		ChannelPowerW:    ev.ChannelPowerW,
+		EnergyPerBitJ:    ev.EnergyPerBitJ,
+		Feasible:         ev.Feasible,
+		InfeasibleReason: ev.InfeasibleReason,
+	}
+}
+
+// Core rebuilds the in-process evaluation, resolving the scheme name
+// against the extended registry.
+func (w Evaluation) Core() (core.Evaluation, error) {
+	code, ok := ecc.SchemeByName(w.Scheme)
+	if !ok {
+		return core.Evaluation{}, fmt.Errorf("%w: remote evaluation names unknown scheme %q", apierr.ErrInvalidInput, w.Scheme)
+	}
+	return core.Evaluation{
+		Code:             code,
+		TargetBER:        w.TargetBER,
+		RawBER:           w.RawBER,
+		SNR:              w.SNR,
+		CT:               w.CT,
+		Op:               w.Op,
+		LaserPowerW:      w.LaserPowerW,
+		ModulatorPowerW:  w.ModulatorPowerW,
+		InterfacePowerW:  w.InterfacePowerW,
+		ChannelPowerW:    w.ChannelPowerW,
+		EnergyPerBitJ:    w.EnergyPerBitJ,
+		Feasible:         w.Feasible,
+		InfeasibleReason: w.InfeasibleReason,
+	}, nil
+}
+
+// SweepResponse is the body of a batch sweep: evaluations in the engine's
+// deterministic BER-major, then scheme order.
+type SweepResponse struct {
+	Evaluations []Evaluation `json:"evaluations"`
+}
+
+// StreamItem is one NDJSON line of /v1/sweep/stream: either an indexed
+// evaluation or a terminal error.
+type StreamItem struct {
+	Index      int               `json:"index"`
+	Evaluation *Evaluation       `json:"evaluation,omitempty"`
+	Error      *apierr.ErrorBody `json:"error,omitempty"`
+}
+
+// DecideResponse is the body of /v1/decide: the manager's scheme choice
+// and quantized laser programming.
+type DecideResponse struct {
+	Eval                 Evaluation `json:"eval"`
+	DACCode              int        `json:"dac_code"`
+	QuantizedOpticalW    float64    `json:"quantized_optical_w"`
+	QuantizedLaserPowerW float64    `json:"quantized_laser_power_w"`
+	QuantizationWasteW   float64    `json:"quantization_waste_w"`
+}
+
+// NoCLinkDecision is one link's chosen operating point on the wire.
+type NoCLinkDecision struct {
+	Link             int     `json:"link"`
+	Scheme           string  `json:"scheme,omitempty"`
+	CT               float64 `json:"ct,omitempty"`
+	LaserPowerW      float64 `json:"laser_power_w"`
+	DACCode          int     `json:"dac_code"`
+	EnergyPerBitJ    float64 `json:"energy_per_bit_j"`
+	Feasible         bool    `json:"feasible"`
+	InfeasibleReason string  `json:"infeasible_reason,omitempty"`
+}
+
+// NoCLinkLoad is one link's traffic view on the wire.
+type NoCLinkLoad struct {
+	Link               int     `json:"link"`
+	CapacityBitsPerSec float64 `json:"capacity_bits_per_sec"`
+	OfferedBitsPerSec  float64 `json:"offered_bits_per_sec"`
+	Utilization        float64 `json:"utilization"`
+	QueueWaitSec       WFloat  `json:"queue_wait_sec"`
+}
+
+// NoCResult is one solved network operating point on the wire.
+type NoCResult struct {
+	Kind             string  `json:"kind"`
+	Tiles            int     `json:"tiles"`
+	Links            int     `json:"links"`
+	TargetBER        float64 `json:"target_ber"`
+	Feasible         bool    `json:"feasible"`
+	InfeasibleReason string  `json:"infeasible_reason,omitempty"`
+
+	SchemeUse map[string]int    `json:"scheme_use,omitempty"`
+	Decisions []NoCLinkDecision `json:"decisions,omitempty"`
+	Loads     []NoCLinkLoad     `json:"loads,omitempty"`
+
+	SaturationInjectionBitsPerSec float64 `json:"saturation_injection_bits_per_sec"`
+	InjectionRateBitsPerSec       float64 `json:"injection_rate_bits_per_sec"`
+	Saturated                     bool    `json:"saturated"`
+	DeliveredBitsPerSec           float64 `json:"delivered_bits_per_sec"`
+
+	LaserPowerW         float64 `json:"laser_power_w"`
+	ModulatorPowerW     float64 `json:"modulator_power_w"`
+	InterfacePowerW     float64 `json:"interface_power_w"`
+	NetworkPowerW       float64 `json:"network_power_w"`
+	EnergyPerBitJ       float64 `json:"energy_per_bit_j"`
+	ActiveEnergyPerBitJ float64 `json:"active_energy_per_bit_j"`
+
+	MeanLatencySec WFloat `json:"mean_latency_sec"`
+	P50LatencySec  WFloat `json:"p50_latency_sec"`
+	P95LatencySec  WFloat `json:"p95_latency_sec"`
+	P99LatencySec  WFloat `json:"p99_latency_sec"`
+	MaxLatencySec  WFloat `json:"max_latency_sec"`
+}
+
+// toWireDecision flattens one link decision.
+func toWireDecision(d noc.LinkDecision) NoCLinkDecision {
+	w := NoCLinkDecision{
+		Link:             d.Link,
+		LaserPowerW:      d.LaserPowerW,
+		DACCode:          d.DACCode,
+		EnergyPerBitJ:    d.EnergyPerBitJ,
+		Feasible:         d.Feasible,
+		InfeasibleReason: d.InfeasibleReason,
+	}
+	if d.Eval.Code != nil {
+		w.Scheme = d.Eval.Code.Name()
+		w.CT = d.Eval.CT
+	}
+	return w
+}
+
+// coreDecision rebuilds an in-process link decision; infeasible links have
+// no scheme and keep a zero Eval, matching noc.Decide.
+func (w NoCLinkDecision) coreDecision() (noc.LinkDecision, error) {
+	d := noc.LinkDecision{
+		Link:             w.Link,
+		LaserPowerW:      w.LaserPowerW,
+		DACCode:          w.DACCode,
+		EnergyPerBitJ:    w.EnergyPerBitJ,
+		Feasible:         w.Feasible,
+		InfeasibleReason: w.InfeasibleReason,
+	}
+	if w.Scheme != "" {
+		code, ok := ecc.SchemeByName(w.Scheme)
+		if !ok {
+			return d, fmt.Errorf("%w: remote decision names unknown scheme %q", apierr.ErrInvalidInput, w.Scheme)
+		}
+		d.Eval.Code = code
+		d.Eval.CT = w.CT
+		d.Eval.Feasible = w.Feasible
+	}
+	return d, nil
+}
+
+// toWireNoC flattens a solved network result.
+func toWireNoC(res noc.Result) NoCResult {
+	w := NoCResult{
+		Kind:             res.Kind.String(),
+		Tiles:            res.Tiles,
+		Links:            res.Links,
+		TargetBER:        res.TargetBER,
+		Feasible:         res.Feasible,
+		InfeasibleReason: res.InfeasibleReason,
+		SchemeUse:        res.SchemeUse,
+
+		SaturationInjectionBitsPerSec: res.SaturationInjectionBitsPerSec,
+		InjectionRateBitsPerSec:       res.InjectionRateBitsPerSec,
+		Saturated:                     res.Saturated,
+		DeliveredBitsPerSec:           res.DeliveredBitsPerSec,
+
+		LaserPowerW:         res.LaserPowerW,
+		ModulatorPowerW:     res.ModulatorPowerW,
+		InterfacePowerW:     res.InterfacePowerW,
+		NetworkPowerW:       res.NetworkPowerW,
+		EnergyPerBitJ:       res.EnergyPerBitJ,
+		ActiveEnergyPerBitJ: res.ActiveEnergyPerBitJ,
+
+		MeanLatencySec: WFloat(res.MeanLatencySec),
+		P50LatencySec:  WFloat(res.P50LatencySec),
+		P95LatencySec:  WFloat(res.P95LatencySec),
+		P99LatencySec:  WFloat(res.P99LatencySec),
+		MaxLatencySec:  WFloat(res.MaxLatencySec),
+	}
+	for _, d := range res.Decisions {
+		w.Decisions = append(w.Decisions, toWireDecision(d))
+	}
+	for _, l := range res.Loads {
+		w.Loads = append(w.Loads, NoCLinkLoad{
+			Link:               l.Link,
+			CapacityBitsPerSec: l.CapacityBitsPerSec,
+			OfferedBitsPerSec:  l.OfferedBitsPerSec,
+			Utilization:        l.Utilization,
+			QueueWaitSec:       WFloat(l.QueueWaitSec),
+		})
+	}
+	return w
+}
+
+// Core rebuilds an in-process noc.Result (scheme names resolved against the
+// registry) so remote results render through the exact same table code as
+// local ones.
+func (w NoCResult) Core() (noc.Result, error) {
+	kind, err := noc.ParseKind(w.Kind)
+	if err != nil {
+		return noc.Result{}, fmt.Errorf("%w: %v", apierr.ErrInvalidInput, err)
+	}
+	res := noc.Result{
+		Kind:             kind,
+		Tiles:            w.Tiles,
+		Links:            w.Links,
+		TargetBER:        w.TargetBER,
+		Feasible:         w.Feasible,
+		InfeasibleReason: w.InfeasibleReason,
+		SchemeUse:        w.SchemeUse,
+
+		SaturationInjectionBitsPerSec: w.SaturationInjectionBitsPerSec,
+		InjectionRateBitsPerSec:       w.InjectionRateBitsPerSec,
+		Saturated:                     w.Saturated,
+		DeliveredBitsPerSec:           w.DeliveredBitsPerSec,
+
+		LaserPowerW:         w.LaserPowerW,
+		ModulatorPowerW:     w.ModulatorPowerW,
+		InterfacePowerW:     w.InterfacePowerW,
+		NetworkPowerW:       w.NetworkPowerW,
+		EnergyPerBitJ:       w.EnergyPerBitJ,
+		ActiveEnergyPerBitJ: w.ActiveEnergyPerBitJ,
+
+		MeanLatencySec: float64(w.MeanLatencySec),
+		P50LatencySec:  float64(w.P50LatencySec),
+		P95LatencySec:  float64(w.P95LatencySec),
+		P99LatencySec:  float64(w.P99LatencySec),
+		MaxLatencySec:  float64(w.MaxLatencySec),
+	}
+	for _, d := range w.Decisions {
+		cd, err := d.coreDecision()
+		if err != nil {
+			return noc.Result{}, err
+		}
+		res.Decisions = append(res.Decisions, cd)
+	}
+	for _, l := range w.Loads {
+		res.Loads = append(res.Loads, noc.LinkLoad{
+			Link:               l.Link,
+			CapacityBitsPerSec: l.CapacityBitsPerSec,
+			OfferedBitsPerSec:  l.OfferedBitsPerSec,
+			Utilization:        l.Utilization,
+			QueueWaitSec:       float64(l.QueueWaitSec),
+		})
+	}
+	return res, nil
+}
+
+// NoCStreamItem is one NDJSON line of /v1/noc/sweep: either an aggregated
+// per-BER result or a terminal error.
+type NoCStreamItem struct {
+	Index     int               `json:"index"`
+	TargetBER float64           `json:"target_ber"`
+	Result    *NoCResult        `json:"result,omitempty"`
+	Error     *apierr.ErrorBody `json:"error,omitempty"`
+}
+
+// NoCSimResult is a network discrete-event simulation on the wire.
+type NoCSimResult struct {
+	Injected      int64 `json:"injected"`
+	Messages      int64 `json:"messages"`
+	Dropped       int64 `json:"dropped"`
+	DeliveredBits int64 `json:"delivered_bits"`
+
+	SimTimeSec           float64 `json:"sim_time_sec"`
+	MeanLatencySec       float64 `json:"mean_latency_sec"`
+	P50LatencySec        float64 `json:"p50_latency_sec"`
+	P95LatencySec        float64 `json:"p95_latency_sec"`
+	P99LatencySec        float64 `json:"p99_latency_sec"`
+	MaxLatencySec        float64 `json:"max_latency_sec"`
+	MeanQueueWaitSec     float64 `json:"mean_queue_wait_sec"`
+	MeanHops             float64 `json:"mean_hops"`
+	LaserEnergyJ         float64 `json:"laser_energy_j"`
+	ModulatorEnergyJ     float64 `json:"modulator_energy_j"`
+	InterfaceEnergyJ     float64 `json:"interface_energy_j"`
+	TotalEnergyJ         float64 `json:"total_energy_j"`
+	EnergyPerBitJ        float64 `json:"energy_per_bit_j"`
+	ThroughputBitsPerSec float64 `json:"throughput_bits_per_sec"`
+	MeanUtilization      float64 `json:"mean_utilization"`
+	MaxUtilization       float64 `json:"max_utilization"`
+
+	SchemeUse map[string]int        `json:"scheme_use,omitempty"`
+	Decisions []NoCLinkDecision     `json:"decisions,omitempty"`
+	PerLink   []netsim.NetLinkStats `json:"per_link,omitempty"`
+}
+
+// toWireSim flattens a network simulation.
+func toWireSim(res netsim.NetResults) NoCSimResult {
+	w := NoCSimResult{
+		Injected:      res.Injected,
+		Messages:      res.Messages,
+		Dropped:       res.Dropped,
+		DeliveredBits: res.DeliveredBits,
+
+		SimTimeSec:           res.SimTimeSec,
+		MeanLatencySec:       res.MeanLatencySec,
+		P50LatencySec:        res.P50LatencySec,
+		P95LatencySec:        res.P95LatencySec,
+		P99LatencySec:        res.P99LatencySec,
+		MaxLatencySec:        res.MaxLatencySec,
+		MeanQueueWaitSec:     res.MeanQueueWaitSec,
+		MeanHops:             res.MeanHops,
+		LaserEnergyJ:         res.LaserEnergyJ,
+		ModulatorEnergyJ:     res.ModulatorEnergyJ,
+		InterfaceEnergyJ:     res.InterfaceEnergyJ,
+		TotalEnergyJ:         res.TotalEnergyJ,
+		EnergyPerBitJ:        res.EnergyPerBitJ,
+		ThroughputBitsPerSec: res.ThroughputBitsPerSec,
+		MeanUtilization:      res.MeanUtilization,
+		MaxUtilization:       res.MaxUtilization,
+
+		SchemeUse: res.SchemeUse,
+		PerLink:   res.PerLink,
+	}
+	for _, d := range res.Decisions {
+		w.Decisions = append(w.Decisions, toWireDecision(d))
+	}
+	return w
+}
+
+// Core rebuilds in-process simulation results for local rendering.
+func (w NoCSimResult) Core() (netsim.NetResults, error) {
+	res := netsim.NetResults{
+		Injected:      w.Injected,
+		Messages:      w.Messages,
+		Dropped:       w.Dropped,
+		DeliveredBits: w.DeliveredBits,
+
+		SimTimeSec:           w.SimTimeSec,
+		MeanLatencySec:       w.MeanLatencySec,
+		P50LatencySec:        w.P50LatencySec,
+		P95LatencySec:        w.P95LatencySec,
+		P99LatencySec:        w.P99LatencySec,
+		MaxLatencySec:        w.MaxLatencySec,
+		MeanQueueWaitSec:     w.MeanQueueWaitSec,
+		MeanHops:             w.MeanHops,
+		LaserEnergyJ:         w.LaserEnergyJ,
+		ModulatorEnergyJ:     w.ModulatorEnergyJ,
+		InterfaceEnergyJ:     w.InterfaceEnergyJ,
+		TotalEnergyJ:         w.TotalEnergyJ,
+		EnergyPerBitJ:        w.EnergyPerBitJ,
+		ThroughputBitsPerSec: w.ThroughputBitsPerSec,
+		MeanUtilization:      w.MeanUtilization,
+		MaxUtilization:       w.MaxUtilization,
+
+		SchemeUse: w.SchemeUse,
+		PerLink:   w.PerLink,
+	}
+	for _, d := range w.Decisions {
+		cd, err := d.coreDecision()
+		if err != nil {
+			return netsim.NetResults{}, err
+		}
+		res.Decisions = append(res.Decisions, cd)
+	}
+	return res, nil
+}
+
+// ConfigResponse is the body of GET /v1/config: the daemon engine's link
+// configuration (LinkConfig round-trips JSON losslessly — the SaveConfig
+// contract), its cache fingerprint and the scheme roster.
+type ConfigResponse struct {
+	Fingerprint string          `json:"fingerprint"`
+	Schemes     []string        `json:"schemes"`
+	Workers     int             `json:"workers"`
+	Config      core.LinkConfig `json:"config"`
+}
