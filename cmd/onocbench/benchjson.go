@@ -38,7 +38,8 @@ type BenchReport struct {
 // BenchMetric is one tracked benchmark measurement.
 type BenchMetric struct {
 	// Name identifies the metric: cold_sweep, warm_sweep, fer_inversion,
-	// monte_carlo_block, mc_throughput, mc_scalar_throughput, noc_eval.
+	// monte_carlo_block, mc_throughput, mc_scalar_throughput, noc_eval,
+	// noc_batch, noc_batch_cold, service_warm_qps.
 	Name string `json:"name"`
 	// NsPerOp is wall nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
@@ -53,6 +54,11 @@ type BenchMetric struct {
 	// SolvesPerSec is the per-link operating-point solve throughput of a
 	// network evaluation; set only on the noc_eval metric.
 	SolvesPerSec float64 `json:"solves_per_sec,omitempty"`
+	// CandidatesPerSec is the design-space candidate throughput of the
+	// autotuner workload; set only on the noc_batch* metrics (noc_batch is
+	// the incremental batch evaluator, noc_batch_cold the per-candidate
+	// cold baseline it is measured against).
+	CandidatesPerSec float64 `json:"candidates_per_sec,omitempty"`
 	// QPS is the closed-loop request throughput against a selfhosted onocd
 	// daemon; set only on the service_warm_qps metric (whose ns_per_op /
 	// p99_ns_per_op carry the p50 / p99 request latency).
@@ -63,6 +69,46 @@ type BenchMetric struct {
 // benchBERGrid is the tracked sweep grid: the 8 extended schemes × 6 target
 // BERs of engine_bench_test.go.
 var benchBERGrid = []float64{1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7}
+
+// autotunerChain builds the deterministic mutate-one-knob candidate walk of
+// the tracked noc_batch metric (mirrors BenchmarkNetworkBatch): each step
+// flips one knob — DAC, injection rate, target BER, tile count — so
+// neighboring candidates mostly share their per-link solve cells.
+func autotunerChain(n int) []photonoc.NoCCandidate {
+	dacv := photonoc.PaperDAC()
+	tiles, ber, rate, dac := 16, 1e-11, 0.0, false
+	chain := make([]photonoc.NoCCandidate, n)
+	for i := range chain {
+		switch i % 8 {
+		case 1, 5:
+			dac = !dac
+		case 2, 6:
+			if rate == 0 {
+				rate = 1e9
+			} else {
+				rate = 0
+			}
+		case 3:
+			if ber == 1e-11 {
+				ber = 1e-9
+			} else {
+				ber = 1e-11
+			}
+		case 7:
+			if tiles == 16 {
+				tiles = 12
+			} else {
+				tiles = 16
+			}
+		}
+		opts := photonoc.NoCEvalOptions{TargetBER: ber, Objective: photonoc.MinEnergy, InjectionRateBitsPerSec: rate}
+		if dac {
+			opts.DAC = &dacv
+		}
+		chain[i] = photonoc.NoCCandidate{Topology: photonoc.NoCConfig{Kind: photonoc.NoCCrossbar, Tiles: tiles}, Opts: opts}
+	}
+	return chain
+}
 
 // runBenchJSON measures the tracked metrics and writes the JSON report.
 func runBenchJSON(w io.Writer, cfg photonoc.LinkConfig, workers int) error {
@@ -214,6 +260,42 @@ func runBenchJSON(w io.Writer, cfg photonoc.LinkConfig, workers int) error {
 	})
 	m := &report.Benchmarks[len(report.Benchmarks)-1]
 	m.SolvesPerSec = float64(nocSolves) / m.NsPerOp * 1e9
+
+	// The autotuner workload: a 64-candidate mutate-one-knob chain. The
+	// tracked noc_batch metric is the incremental batch evaluator in steady
+	// state (sessions and memo cache warm); noc_batch_cold is the
+	// per-candidate cold evaluation the same chain would cost without it —
+	// the frozen baseline of the batch speedup claim.
+	chain := autotunerChain(64)
+	batchEng, err := photonoc.New(engineOpts(photonoc.DefaultCacheEntries)...)
+	if err != nil {
+		return err
+	}
+	if _, err := batchEng.NetworkBatch(ctx, chain); err != nil {
+		return err // warm the cache and the session pool unmeasured
+	}
+	measure("noc_batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := batchEng.NetworkBatch(ctx, chain); err != nil {
+				fail(b, err)
+			}
+		}
+	})
+	m = &report.Benchmarks[len(report.Benchmarks)-1]
+	m.CandidatesPerSec = float64(len(chain)) / m.NsPerOp * 1e9
+	measure("noc_batch_cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, cand := range chain {
+				if _, err := nocEng.Network(ctx, cand.Topology, cand.Opts); err != nil {
+					fail(b, err)
+				}
+			}
+		}
+	})
+	m = &report.Benchmarks[len(report.Benchmarks)-1]
+	m.CandidatesPerSec = float64(len(chain)) / m.NsPerOp * 1e9
 	if benchErr != nil {
 		return benchErr
 	}

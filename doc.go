@@ -136,6 +136,35 @@
 // exposes the contention tail the per-pair M/D/1 fold cannot see. See
 // examples/noccontention for the whole sweep.
 //
+// # The autotuner fast path
+//
+// Design-space search evaluates long chains of neighboring candidates —
+// each step mutates one knob and keeps the rest. Three layers make that
+// workload cheap. A NoCEvalSession owns every buffer the noc-layer
+// Decide/Aggregate pass needs, so a warmed session evaluation allocates
+// nothing (pinned by an allocation-regression test and a CI gate). A
+// NoCSession (Engine.NewNetworkSession) adds incremental re-evaluation: it
+// diffs each candidate's links against the previous candidate by
+// configuration fingerprint and re-solves only changed (link, scheme, BER)
+// cells, copying the rest forward without touching the cache
+// (CacheStats.SessionReuses counts them) — bit-identical to a cold
+// evaluation by construction, property-tested across topology kinds and
+// mutation sequences. Engine.NetworkBatch / NetworkBatchStream fan a
+// []NoCCandidate population over the worker pool in contiguous chunks so
+// each worker's session still sees neighbors, returning deep-copied
+// results in population order, deterministic across worker counts:
+//
+//	cands := []photonoc.NoCCandidate{
+//		{Topology: topo, Opts: photonoc.NoCEvalOptions{TargetBER: 1e-11}},
+//		{Topology: topo, Opts: photonoc.NoCEvalOptions{TargetBER: 1e-9}},
+//	}
+//	results, err := eng.NetworkBatch(ctx, cands)
+//
+// The tracked noc_batch metric in BENCH_cold_sweep.json pins the speedup
+// (~5.8x over per-candidate cold evaluation on a 64-candidate
+// mutate-one-knob chain); POST /v1/noc/batch serves the same path over
+// NDJSON through the daemon.
+//
 // # Performance model
 //
 // Solves come in two costs. A warm solve is an LRU cache hit (microseconds).

@@ -100,6 +100,88 @@ func BenchmarkNetworkEval(b *testing.B) {
 	}
 }
 
+// autotunerChain builds a deterministic mutate-one-knob candidate walk —
+// the autotuner workload: each step flips one knob (DAC, injection rate,
+// target BER, tile count) and keeps the rest, so neighboring candidates
+// mostly share their per-link solve cells.
+func autotunerChain(n int) []NoCCandidate {
+	dacv := PaperDAC()
+	tiles, ber, rate, dac := 16, 1e-11, 0.0, false
+	chain := make([]NoCCandidate, n)
+	for i := range chain {
+		switch i % 8 {
+		case 1, 5:
+			dac = !dac
+		case 2, 6:
+			if rate == 0 {
+				rate = 1e9
+			} else {
+				rate = 0
+			}
+		case 3:
+			if ber == 1e-11 {
+				ber = 1e-9
+			} else {
+				ber = 1e-11
+			}
+		case 7:
+			if tiles == 16 {
+				tiles = 12
+			} else {
+				tiles = 16
+			}
+		}
+		opts := NoCEvalOptions{TargetBER: ber, Objective: MinEnergy, InjectionRateBitsPerSec: rate}
+		if dac {
+			opts.DAC = &dacv
+		}
+		chain[i] = NoCCandidate{Topology: NoCConfig{Kind: NoCCrossbar, Tiles: tiles}, Opts: opts}
+	}
+	return chain
+}
+
+// BenchmarkNetworkBatch is the tracked noc_batch workload: a 64-candidate
+// mutate-one-knob population through the incremental batch evaluator
+// (sessions warm, memo cache on) against the per-candidate cold baseline
+// the autotuner would otherwise pay.
+func BenchmarkNetworkBatch(b *testing.B) {
+	chain := autotunerChain(64)
+	ctx := context.Background()
+	b.Run("incremental", func(b *testing.B) {
+		eng, err := New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.NetworkBatch(ctx, chain); err != nil {
+			b.Fatal(err) // warm the cache and the session pool untimed
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.NetworkBatch(ctx, chain); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(chain))*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+	})
+	b.Run("percand_cold", func(b *testing.B) {
+		eng, err := New(WithCache(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, cand := range chain {
+				if _, err := eng.Network(ctx, cand.Topology, cand.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(chain))*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+	})
+}
+
 // BenchmarkManagerDecision compares per-request manager latency: a
 // standalone manager (private cache) against an engine-backed manager
 // sharing the sweep-warmed LRU.

@@ -44,6 +44,16 @@ type Engine struct {
 	coldSolveNS  atomic.Int64
 	sharedSolves atomic.Uint64
 
+	// sessionReuses counts per-point solves served by a NetworkSession's
+	// incremental fingerprint diff from its previous candidate — cells
+	// that avoided both the pipeline and the memo cache entirely.
+	sessionReuses atomic.Uint64
+
+	// sessions pools NetworkSessions for NetworkBatch workers, keeping
+	// their grown buffers and previous-candidate lattices warm across
+	// batches.
+	sessions sync.Pool
+
 	// Network-evaluation registries: per-link configurations compiled once
 	// per distinct fingerprint (the engine's own configuration is served
 	// from e.compiled instead), and built topologies memoized so repeated
@@ -249,6 +259,7 @@ func (e *Engine) CacheStats() CacheStats {
 	s.ColdSolves = e.coldSolves.Load()
 	s.ColdSolveTime = time.Duration(e.coldSolveNS.Load())
 	s.SharedSolves = e.sharedSolves.Load()
+	s.SessionReuses = e.sessionReuses.Load()
 	return s
 }
 

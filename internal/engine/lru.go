@@ -42,6 +42,10 @@ type CacheStats struct {
 	// of identical cold queries costs exactly one compiled solve, and every
 	// other participant increments this counter instead of ColdSolves.
 	SharedSolves uint64
+	// SessionReuses counts per-point solves served by a NetworkSession's
+	// incremental fingerprint diff from its previous candidate: each reused
+	// cell avoided both the compiled pipeline and the memo cache.
+	SessionReuses uint64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.

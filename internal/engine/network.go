@@ -45,9 +45,8 @@ type netBuildKey struct {
 // wavelength blocks or routes.
 func (e *Engine) BuildNetwork(cfg noc.Config) (*noc.Network, error) {
 	baseFP := e.fingerprint
-	if reflect.ValueOf(cfg.Base).IsZero() {
-		cfg.Base = e.Config()
-	} else {
+	adoptBase := reflect.ValueOf(cfg.Base).IsZero()
+	if !adoptBase {
 		var err error
 		if baseFP, err = Fingerprint(cfg.Base); err != nil {
 			return nil, err
@@ -59,6 +58,12 @@ func (e *Engine) BuildNetwork(cfg noc.Config) (*noc.Network, error) {
 	e.netMu.Unlock()
 	if ok {
 		return net, nil
+	}
+	// Adopt the engine configuration only on a memo miss: the copy
+	// allocates, and the warm path — every steady-state session
+	// evaluation — must not.
+	if adoptBase {
+		cfg.Base = e.Config()
 	}
 	net, err := noc.Build(cfg)
 	if err != nil {

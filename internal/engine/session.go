@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/noc"
+)
+
+// NetworkCandidate is one point of a design-space population: a topology,
+// an optional scheme roster restriction (nil means the engine roster), and
+// the evaluation options — target BER, objective, traffic, rate, DAC.
+type NetworkCandidate struct {
+	Topology noc.Config
+	Schemes  []ecc.Code
+	Opts     noc.EvalOptions
+}
+
+// NetworkSession is the incremental, allocation-free network evaluator the
+// autotuner workload runs on. It wraps a noc.EvalSession with the solve
+// lattice of the previous candidate, and on each Evaluate diffs the new
+// candidate against it by per-link configuration fingerprint: a link whose
+// fingerprint appeared in the previous candidate (same roster, same target
+// BER) reuses that candidate's solved evaluations outright — no pipeline,
+// no memo-cache lookup — and only the changed (link, scheme, BER) cells
+// are solved, through the engine's sharded LRU and singleflight group.
+// Results are bit-identical to a cold full evaluation: reused cells carry
+// the exact values the same (fingerprint, scheme, BER) solve produces,
+// and Decide/Aggregate run the identical code either way.
+//
+// A session is NOT safe for concurrent use, and the Result returned by
+// Evaluate aliases session-owned storage — it is valid only until the next
+// Evaluate call (Clone it to keep it). Engine.NetworkBatch drives one
+// pooled session per worker and clones every result, which is the
+// concurrency-safe entry point.
+type NetworkSession struct {
+	e    *Engine
+	eval *noc.EvalSession
+
+	compiled []*core.Compiled
+	flat     []core.Evaluation   // current lattice, link-major: flat[l*S+s]
+	rows     [][]core.Evaluation // re-sliced views into flat, one per link
+
+	// Previous-candidate state for the fingerprint diff. prevNet is nil
+	// when there is nothing valid to diff against (fresh session, or the
+	// last Evaluate failed partway).
+	prevNet   *noc.Network
+	prevBER   float64
+	prevNames []string
+	prevIndex map[string]int // link fingerprint → link index in prevFlat
+	prevFlat  []core.Evaluation
+}
+
+// NewNetworkSession returns a fresh session bound to the engine. Buffers
+// grow to the largest candidate evaluated through it and are then reused.
+func (e *Engine) NewNetworkSession() *NetworkSession {
+	return &NetworkSession{
+		e:         e,
+		eval:      noc.NewEvalSession(),
+		prevIndex: make(map[string]int, 16),
+	}
+}
+
+// growSlice resizes buf to n elements, reusing its backing array when
+// large enough. Contents are unspecified; callers overwrite.
+func growSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// invalidate forgets the previous candidate after a failed or partial
+// evaluation, so the next Evaluate diffs against nothing.
+func (s *NetworkSession) invalidate() {
+	s.prevNet = nil
+}
+
+// sameRoster reports whether the roster matches the previous candidate's,
+// by scheme name (the identity the memo cache keys on).
+func (s *NetworkSession) sameRoster(schemes []ecc.Code) bool {
+	if len(schemes) != len(s.prevNames) {
+		return false
+	}
+	for i, c := range schemes {
+		if c.Name() != s.prevNames[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluate solves one candidate, reusing the previous candidate's solved
+// cells for every link fingerprint the two share. The returned Result
+// aliases session storage and is valid until the next call on this
+// session; use noc.Result.Clone to detach it.
+func (s *NetworkSession) Evaluate(ctx context.Context, cand NetworkCandidate) (*noc.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts := cand.Opts
+	if err := validateBER(opts.TargetBER); err != nil {
+		return nil, err
+	}
+	net, err := s.e.BuildNetwork(cand.Topology)
+	if err != nil {
+		return nil, err
+	}
+	schemes := cand.Schemes
+	if schemes == nil {
+		schemes = s.e.schemes
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("%w: empty scheme roster", ErrInvalidInput)
+	}
+	for i, c := range schemes {
+		if c == nil {
+			return nil, fmt.Errorf("%w: nil code at index %d", ErrInvalidInput, i)
+		}
+	}
+
+	nlinks, nschemes := net.NumLinks(), len(schemes)
+	s.compiled = growSlice(s.compiled, nlinks)
+	for l := 0; l < nlinks; l++ {
+		if s.compiled[l], err = s.e.compiledForLink(net.LinkRef(l)); err != nil {
+			s.invalidate()
+			return nil, err
+		}
+	}
+	s.flat = growSlice(s.flat, nlinks*nschemes)
+	s.rows = growSlice(s.rows, nlinks)
+	for l := 0; l < nlinks; l++ {
+		s.rows[l] = s.flat[l*nschemes : (l+1)*nschemes : (l+1)*nschemes]
+	}
+
+	// The diff is valid only against a lattice solved for the same roster
+	// and target BER; the traffic matrix, rate, objective and DAC do not
+	// enter the solve cells, so they may differ freely between neighbors.
+	diffOK := s.prevNet != nil && s.prevBER == opts.TargetBER && s.sameRoster(schemes)
+	reusedCells := 0
+	for l := 0; l < nlinks; l++ {
+		if err := ctx.Err(); err != nil {
+			s.invalidate()
+			return nil, err
+		}
+		fp := net.LinkRef(l).Fingerprint
+		if diffOK {
+			if pi, ok := s.prevIndex[fp]; ok {
+				copy(s.rows[l], s.prevFlat[pi*nschemes:(pi+1)*nschemes])
+				reusedCells += nschemes
+				continue
+			}
+		}
+		for si := 0; si < nschemes; si++ {
+			ev, err := s.e.evaluateCompiled(fp, s.compiled[l], schemes[si], opts.TargetBER)
+			if err != nil {
+				s.invalidate()
+				return nil, err
+			}
+			s.rows[l][si] = ev
+		}
+	}
+	if reusedCells > 0 {
+		s.e.sessionReuses.Add(uint64(reusedCells))
+	}
+
+	decisions, err := s.eval.Decide(net, s.rows, opts)
+	if err != nil {
+		s.invalidate()
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	res, err := s.eval.Aggregate(net, decisions, opts)
+	if err != nil {
+		s.invalidate()
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+
+	// Roll the lattice into the previous-candidate slot for the next diff.
+	s.prevNet = net
+	s.prevBER = opts.TargetBER
+	s.prevNames = s.prevNames[:0]
+	for _, c := range schemes {
+		s.prevNames = append(s.prevNames, c.Name())
+	}
+	clear(s.prevIndex)
+	for l := 0; l < nlinks; l++ {
+		s.prevIndex[net.LinkRef(l).Fingerprint] = l
+	}
+	s.flat, s.prevFlat = s.prevFlat, s.flat
+	return res, nil
+}
+
+// acquireSession takes a pooled session (sessions keep their grown buffers
+// and previous-candidate lattice across batches, so repeated batches over
+// similar populations stay warm).
+func (e *Engine) acquireSession() *NetworkSession {
+	if s, ok := e.sessions.Get().(*NetworkSession); ok {
+		return s
+	}
+	return e.NewNetworkSession()
+}
+
+func (e *Engine) releaseSession(s *NetworkSession) { e.sessions.Put(s) }
+
+// batchInto evaluates a candidate population and hands each result, with
+// its population index, to emit. Candidates are split into contiguous
+// per-worker chunks rather than interleaved, so neighboring candidates
+// land on the same session and the fingerprint diff sees the chain
+// locality autotuner populations have. emit may run concurrently from
+// different workers but is called exactly once per completed candidate;
+// the *noc.Result is only valid for the duration of the call.
+func (e *Engine) batchInto(ctx context.Context, cands []NetworkCandidate, emit func(int, *noc.Result)) error {
+	if len(cands) == 0 {
+		return fmt.Errorf("%w: empty candidate population", ErrInvalidInput)
+	}
+	workers := e.workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		sess := e.acquireSession()
+		defer e.releaseSession(sess)
+		for i := range cands {
+			res, err := sess.Evaluate(ctx, cands[i])
+			if err != nil {
+				return fmt.Errorf("candidate %d: %w", i, err)
+			}
+			emit(i, res)
+		}
+		return nil
+	}
+
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	chunk := (len(cands) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sess := e.acquireSession()
+			defer e.releaseSession(sess)
+			for i := lo; i < hi; i++ {
+				if poolCtx.Err() != nil {
+					return
+				}
+				res, err := sess.Evaluate(poolCtx, cands[i])
+				if err != nil {
+					fail(fmt.Errorf("candidate %d: %w", i, err))
+					return
+				}
+				emit(i, res)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// NetworkBatch evaluates a whole candidate population across the worker
+// pool and returns one Result per candidate, in population order,
+// regardless of the worker count. Each worker owns a pooled
+// NetworkSession, so within a worker's contiguous chunk every candidate is
+// solved incrementally against its predecessor; cells no session can reuse
+// go through the memo cache and singleflight group like any other solve
+// (CacheStats reports both, plus SessionReuses for the diffed cells). The
+// first candidate error — or context cancellation — aborts the batch. An
+// infeasible candidate is not an error: its Result has Feasible == false.
+// Returned results are deep copies, independent of the pooled sessions.
+func (e *Engine) NetworkBatch(ctx context.Context, cands []NetworkCandidate) ([]noc.Result, error) {
+	out := make([]noc.Result, len(cands))
+	if err := e.batchInto(ctx, cands, func(i int, res *noc.Result) {
+		out[i] = res.Clone()
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NetworkBatchStream is the streaming variant of NetworkBatch: it returns
+// immediately with a channel yielding one NetworkResult per candidate, in
+// population order, as soon as each candidate (and all its predecessors)
+// has been evaluated. The channel is buffered for the whole population, so
+// the producer never blocks and abandoning the stream leaks nothing. On
+// error or cancellation the stream ends early with a final NetworkResult
+// carrying Err; the channel is always closed.
+func (e *Engine) NetworkBatchStream(ctx context.Context, cands []NetworkCandidate) <-chan NetworkResult {
+	if len(cands) == 0 {
+		out := make(chan NetworkResult, 1)
+		out <- NetworkResult{Index: 0, Err: fmt.Errorf("%w: empty candidate population", ErrInvalidInput)}
+		close(out)
+		return out
+	}
+	out := make(chan NetworkResult, len(cands)+1)
+	go func() {
+		defer close(out)
+		// Workers publish out of order; the reorder buffer releases the
+		// longest contiguous prefix so consumers render incrementally in
+		// population order.
+		unordered := make(chan NetworkResult, len(cands))
+		var poolErr error
+		go func() {
+			defer close(unordered)
+			poolErr = e.batchInto(ctx, cands, func(i int, res *noc.Result) {
+				unordered <- NetworkResult{Index: i, TargetBER: res.TargetBER, Result: res.Clone()}
+			})
+		}()
+		pending := make(map[int]NetworkResult)
+		next := 0
+		for r := range unordered {
+			pending[r.Index] = r
+			for {
+				q, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- q
+				next++
+			}
+		}
+		if next < len(cands) {
+			err := poolErr
+			if err == nil {
+				err = ctx.Err()
+			}
+			if err == nil {
+				err = fmt.Errorf("photonoc: network batch aborted at candidate %d", next)
+			}
+			out <- NetworkResult{Index: next, TargetBER: cands[next].Opts.TargetBER, Err: err}
+		}
+	}()
+	return out
+}

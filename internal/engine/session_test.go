@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"photonoc/internal/core"
+	"photonoc/internal/ecc"
+	"photonoc/internal/manager"
+	"photonoc/internal/noc"
+)
+
+// hotspot builds a row-normalized matrix concentrating 60% of every
+// source's traffic on tile 0.
+func hotspot(tiles int) noc.Matrix {
+	m := make(noc.Matrix, tiles)
+	for s := range m {
+		m[s] = make([]float64, tiles)
+		if s == 0 {
+			w := 1 / float64(tiles-1)
+			for d := 1; d < tiles; d++ {
+				m[s][d] = w
+			}
+			continue
+		}
+		for d := 0; d < tiles; d++ {
+			switch {
+			case d == s:
+			case d == 0:
+				m[s][d] = 0.6
+			default:
+				m[s][d] = 0.4 / float64(tiles-2)
+			}
+		}
+	}
+	return m
+}
+
+// candidateChain builds a deterministic mutate-one-knob walk through the
+// design space: each step changes exactly one of topology kind, tile
+// count, scheme roster, DAC, traffic pattern or target BER — the
+// neighboring-candidate structure an autotuner produces.
+func candidateChain(codes []ecc.Code, n int, seed int64) []NetworkCandidate {
+	rng := rand.New(rand.NewSource(seed))
+	dac := manager.PaperDAC()
+	topos := []noc.Config{
+		{Kind: noc.Crossbar, Tiles: 16},
+		{Kind: noc.Crossbar, Tiles: 12},
+		{Kind: noc.Mesh, Tiles: 16},
+		{Kind: noc.Ring, Tiles: 8},
+	}
+	rosters := [][]ecc.Code{nil, codes[:2], codes[2:]}
+	bers := []float64{1e-9, 1e-11}
+
+	cur := NetworkCandidate{
+		Topology: topos[0],
+		Opts:     noc.EvalOptions{TargetBER: bers[0], Objective: manager.MinEnergy},
+	}
+	out := make([]NetworkCandidate, 0, n)
+	out = append(out, cur)
+	for len(out) < n {
+		switch rng.Intn(5) {
+		case 0:
+			cur.Topology = topos[rng.Intn(len(topos))]
+		case 1:
+			cur.Schemes = rosters[rng.Intn(len(rosters))]
+		case 2:
+			if cur.Opts.DAC == nil {
+				cur.Opts.DAC = &dac
+			} else {
+				cur.Opts.DAC = nil
+			}
+		case 3:
+			if cur.Opts.Traffic == nil {
+				cur.Opts.Traffic = hotspot(cur.Topology.Tiles)
+			} else {
+				cur.Opts.Traffic = nil
+			}
+		case 4:
+			cur.Opts.TargetBER = bers[rng.Intn(len(bers))]
+		}
+		// A hotspot matrix pinned to a previous tile count cannot follow a
+		// topology mutation; re-derive it like an autotuner would.
+		if cur.Opts.Traffic != nil && len(cur.Opts.Traffic) != cur.Topology.Tiles {
+			cur.Opts.Traffic = hotspot(cur.Topology.Tiles)
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// coldReference evaluates one candidate from scratch on a cache-disabled
+// single-worker engine: every link is re-solved through the full compiled
+// pipeline, with no memoization and no session. Engines are keyed by
+// roster since an Engine's roster is fixed at construction.
+type coldReference struct {
+	t       *testing.T
+	codes   []ecc.Code
+	engines map[string]*Engine
+}
+
+func newColdReference(t *testing.T, codes []ecc.Code) *coldReference {
+	return &coldReference{t: t, codes: codes, engines: make(map[string]*Engine)}
+}
+
+func (c *coldReference) engineFor(schemes []ecc.Code) *Engine {
+	if schemes == nil {
+		schemes = c.codes
+	}
+	key := ""
+	for _, code := range schemes {
+		key += code.Name() + "|"
+	}
+	if e, ok := c.engines[key]; ok {
+		return e
+	}
+	e, err := New(WithConfig(core.DefaultConfig()), WithSchemes(schemes...), WithWorkers(1), WithCache(0))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.engines[key] = e
+	return e
+}
+
+func (c *coldReference) evaluate(cand NetworkCandidate) noc.Result {
+	res, err := c.engineFor(cand.Schemes).Network(context.Background(), cand.Topology, cand.Opts)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return res
+}
+
+// TestNetworkSessionMatchesColdEvaluation is the incremental-vs-cold
+// property test: a session walking a random mutation sequence (topology
+// kind, tile count, roster, DAC, traffic, BER) must produce results
+// bit-identical to a from-scratch, cache-disabled full evaluation of each
+// candidate, for several seeds.
+func TestNetworkSessionMatchesColdEvaluation(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	ref := newColdReference(t, codes)
+	for _, seed := range []int64{1, 2, 3} {
+		cands := candidateChain(codes, 24, seed)
+		e := newNetEngine(t, codes, WithWorkers(1))
+		sess := e.NewNetworkSession()
+		for i, cand := range cands {
+			got, err := sess.Evaluate(context.Background(), cand)
+			if err != nil {
+				t.Fatalf("seed %d candidate %d: %v", seed, i, err)
+			}
+			want := ref.evaluate(cand)
+			if !reflect.DeepEqual(got.Clone(), want) {
+				t.Fatalf("seed %d candidate %d: incremental result differs from cold evaluation:\n%+v\nvs\n%+v", seed, i, *got, want)
+			}
+		}
+	}
+}
+
+// TestNetworkBatchMatchesColdAndIsDeterministic: NetworkBatch over the
+// mutation chain equals the cold per-candidate reference, identically at
+// Workers = 1, 2, 4 (the -race run of this test is the race-cleanliness
+// half of the property).
+func TestNetworkBatchMatchesColdAndIsDeterministic(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	cands := candidateChain(codes, 24, 42)
+	ref := newColdReference(t, codes)
+	want := make([]noc.Result, len(cands))
+	for i, cand := range cands {
+		want[i] = ref.evaluate(cand)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		e := newNetEngine(t, codes, WithWorkers(workers))
+		got, err := e.NetworkBatch(context.Background(), cands)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: batch results differ from cold reference", workers)
+		}
+	}
+}
+
+// TestNetworkBatchStreamOrderAndParity: the stream yields every candidate
+// in population order with results identical to the batch call.
+func TestNetworkBatchStreamOrderAndParity(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	cands := candidateChain(codes, 12, 7)
+	e := newNetEngine(t, codes, WithWorkers(4))
+	batch, err := e.NetworkBatch(context.Background(), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for r := range e.NetworkBatchStream(context.Background(), cands) {
+		if r.Err != nil {
+			t.Fatalf("stream item %d: %v", i, r.Err)
+		}
+		if r.Index != i {
+			t.Fatalf("stream item %d has index %d", i, r.Index)
+		}
+		if r.TargetBER != cands[i].Opts.TargetBER {
+			t.Fatalf("stream item %d has BER %g, want %g", i, r.TargetBER, cands[i].Opts.TargetBER)
+		}
+		if !reflect.DeepEqual(r.Result, batch[i]) {
+			t.Fatalf("stream item %d differs from batch", i)
+		}
+		i++
+	}
+	if i != len(cands) {
+		t.Fatalf("stream yielded %d results, want %d", i, len(cands))
+	}
+}
+
+// TestNetworkBatchErrors: invalid inputs and cancellation surface with the
+// typed errors, in both the batch call and the stream's terminal item.
+func TestNetworkBatchErrors(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes, WithWorkers(2))
+	good := NetworkCandidate{
+		Topology: noc.Config{Kind: noc.Crossbar, Tiles: 8},
+		Opts:     noc.EvalOptions{TargetBER: 1e-9, Objective: manager.MinEnergy},
+	}
+
+	if _, err := e.NetworkBatch(context.Background(), nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("empty population error = %v, want ErrInvalidInput", err)
+	}
+	bad := good
+	bad.Opts.TargetBER = 0.7
+	if _, err := e.NetworkBatch(context.Background(), []NetworkCandidate{good, bad}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("bad BER error = %v, want ErrInvalidInput", err)
+	}
+	badTopo := good
+	badTopo.Topology = noc.Config{Kind: noc.Ring, Tiles: 99}
+	if _, err := e.NetworkBatch(context.Background(), []NetworkCandidate{good, badTopo}); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("bad topology error = %v, want ErrInvalidConfig", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cands := []NetworkCandidate{good, good, good, good}
+	if _, err := e.NetworkBatch(ctx, cands); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled batch error = %v, want context.Canceled", err)
+	}
+	var last NetworkResult
+	for r := range e.NetworkBatchStream(ctx, cands) {
+		last = r
+	}
+	if !errors.Is(last.Err, context.Canceled) {
+		t.Errorf("stream terminal error = %v, want context.Canceled", last.Err)
+	}
+	var empty NetworkResult
+	for r := range e.NetworkBatchStream(context.Background(), nil) {
+		empty = r
+	}
+	if !errors.Is(empty.Err, ErrInvalidInput) {
+		t.Errorf("empty-population stream error = %v, want ErrInvalidInput", empty.Err)
+	}
+
+	// A failed evaluation invalidates the session diff; the next batch on
+	// the same (pooled) sessions must still match a cold evaluation.
+	res, err := e.NetworkBatch(context.Background(), []NetworkCandidate{good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := newColdReference(t, codes).evaluate(good)
+	if !reflect.DeepEqual(res[0], want) {
+		t.Fatal("post-error batch result differs from cold evaluation")
+	}
+}
+
+// TestNetworkSessionReuseAccounting: repeating one candidate serves every
+// solve cell from the session diff — no new cold solves, no cache lookups,
+// and SessionReuses advancing by links × schemes per repetition.
+func TestNetworkSessionReuseAccounting(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes, WithWorkers(1))
+	sess := e.NewNetworkSession()
+	cand := NetworkCandidate{
+		Topology: noc.Config{Kind: noc.Crossbar, Tiles: 16},
+		Opts:     noc.EvalOptions{TargetBER: 1e-11, Objective: manager.MinEnergy},
+	}
+	if _, err := sess.Evaluate(context.Background(), cand); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.CacheStats()
+	const reps = 5
+	for i := 0; i < reps; i++ {
+		if _, err := sess.Evaluate(context.Background(), cand); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := e.CacheStats()
+	if stats.ColdSolves != warm.ColdSolves {
+		t.Errorf("repeats ran %d cold solves, want 0", stats.ColdSolves-warm.ColdSolves)
+	}
+	if stats.Hits != warm.Hits || stats.Misses != warm.Misses {
+		t.Errorf("repeats touched the memo cache (hits %d→%d, misses %d→%d), want untouched",
+			warm.Hits, stats.Hits, warm.Misses, stats.Misses)
+	}
+	wantReuse := warm.SessionReuses + uint64(reps*16*len(codes))
+	if stats.SessionReuses != wantReuse {
+		t.Errorf("SessionReuses = %d, want %d", stats.SessionReuses, wantReuse)
+	}
+}
+
+// TestNetworkSessionZeroAlloc is the allocation-regression pin of the
+// autotuner fast path: steady-state session evaluation — alternating two
+// warmed candidates, one diff-reused and one re-filled from the memo
+// cache — allocates nothing per evaluation.
+func TestNetworkSessionZeroAlloc(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes, WithWorkers(1))
+	sess := e.NewNetworkSession()
+	ctx := context.Background()
+	a := NetworkCandidate{
+		Topology: noc.Config{Kind: noc.Crossbar, Tiles: 16},
+		Opts:     noc.EvalOptions{TargetBER: 1e-11, Objective: manager.MinEnergy},
+	}
+	b := a
+	b.Topology.Tiles = 12
+	run := func() {
+		for _, cand := range []NetworkCandidate{a, b} {
+			if _, err := sess.Evaluate(ctx, cand); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run() // warm: builds, compiles and caches both shapes
+	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
+		t.Errorf("steady-state session evaluation allocated %.1f times per run, want 0", allocs)
+	}
+}

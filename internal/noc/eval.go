@@ -3,11 +3,9 @@ package noc
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"photonoc/internal/core"
 	"photonoc/internal/manager"
-	"photonoc/internal/mathx"
 )
 
 // Optical propagation constants for the latency model: silicon waveguide
@@ -95,13 +93,15 @@ type LinkDecision struct {
 // by the engine's per-link fan-out. Selection mirrors the runtime manager:
 // feasible schemes compete under the objective with the manager's
 // tie-breaking, then the optional DAC programs the laser.
+//
+// Decide is the one-shot entry point; it runs on a fresh EvalSession and
+// the returned slice is owned by the caller. Hot loops reuse an
+// EvalSession instead, which performs the identical computation with zero
+// steady-state allocations.
 func Decide(net *Network, evals [][]core.Evaluation, opts EvalOptions) ([]LinkDecision, error) {
-	if len(evals) != net.NumLinks() {
-		return nil, fmt.Errorf("noc: %d evaluation rows for %d links", len(evals), net.NumLinks())
-	}
-	decisions := make([]LinkDecision, net.NumLinks())
-	for id := range evals {
-		decisions[id] = decideLink(&net.links[id], evals[id], opts)
+	decisions, err := NewEvalSession().Decide(net, evals, opts)
+	if err != nil {
+		return nil, err
 	}
 	return decisions, nil
 }
@@ -220,190 +220,15 @@ type Result struct {
 // Aggregate folds solved per-link decisions under the traffic matrix into
 // the network-level figures: per-link loads, saturation injection rate
 // (bisection), energy totals and traffic-weighted latency percentiles.
+//
+// Aggregate is the one-shot entry point; it runs on a fresh EvalSession
+// and the returned Result is owned by the caller. Hot loops reuse an
+// EvalSession instead, which performs the identical computation with zero
+// steady-state allocations.
 func Aggregate(net *Network, decisions []LinkDecision, opts EvalOptions) (Result, error) {
-	opts, err := opts.withDefaults(net)
+	res, err := NewEvalSession().Aggregate(net, decisions, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	if len(decisions) != net.NumLinks() {
-		return Result{}, fmt.Errorf("noc: %d decisions for %d links", len(decisions), net.NumLinks())
-	}
-	res := Result{
-		Kind:      net.Kind(),
-		Tiles:     net.Tiles(),
-		Links:     net.NumLinks(),
-		TargetBER: opts.TargetBER,
-		Decisions: decisions,
-		SchemeUse: make(map[string]int),
-		Feasible:  true,
-	}
-	for i := range decisions {
-		d := &decisions[i]
-		if !d.Feasible {
-			res.Feasible = false
-			res.InfeasibleReason = fmt.Sprintf("link %d: %s", d.Link, d.InfeasibleReason)
-			return res, nil
-		}
-		res.SchemeUse[d.Eval.Code.Name()]++
-	}
-
-	// Routed demand share per link, in per-tile-rate units.
-	shares := make([]float64, net.NumLinks())
-	active := opts.Traffic.activeRows()
-	activeTiles := 0
-	for s := 0; s < net.Tiles(); s++ {
-		if !active[s] {
-			continue
-		}
-		activeTiles++
-		for d := 0; d < net.Tiles(); d++ {
-			w := opts.Traffic[s][d]
-			if w == 0 || s == d {
-				continue
-			}
-			for _, id := range net.routes[s][d] {
-				shares[id] += w
-			}
-		}
-	}
-
-	capacity := make([]float64, net.NumLinks())
-	minSat := math.Inf(1)
-	for i := range net.links {
-		l := &net.links[i]
-		d := &decisions[i]
-		capacity[i] = l.CapacityBitsPerSec(d.Eval.CT)
-		if shares[i] > 0 {
-			if sat := capacity[i] / shares[i]; sat < minSat {
-				minSat = sat
-			}
-		}
-	}
-
-	// Saturation injection rate: bisect the rate at which the most loaded
-	// link hits unit utilization. The load curve is monotone in the rate,
-	// so the bisection brackets the closed-form min(capacity/share).
-	maxUtil := func(rate float64) float64 {
-		worst := 0.0
-		for i := range shares {
-			if shares[i] == 0 {
-				continue
-			}
-			if u := shares[i] * rate / capacity[i]; u > worst {
-				worst = u
-			}
-		}
-		return worst
-	}
-	sat, err := mathx.Bisect(func(r float64) float64 { return maxUtil(r) - 1 }, 0, 2*minSat, minSat*1e-12)
-	if err != nil {
-		// The bracket is valid by construction (f(0) = −1, f(2·minSat) ≈ 1),
-		// so a numeric edge here is not worth aborting the sweep: the load
-		// curve is linear and the closed form is exact.
-		sat = minSat
-	}
-	res.SaturationInjectionBitsPerSec = sat
-
-	rate := opts.InjectionRateBitsPerSec
-	if rate == 0 {
-		rate = sat / 2
-	}
-	res.InjectionRateBitsPerSec = rate
-	res.DeliveredBitsPerSec = float64(activeTiles) * rate
-
-	// Per-link loads and the M/D/1 queue waits of the latency model.
-	res.Loads = make([]LinkLoad, net.NumLinks())
-	var activeEnergyNum float64
-	for i := range net.links {
-		offered := shares[i] * rate
-		util := offered / capacity[i]
-		wait := math.Inf(1)
-		if util < 1 {
-			service := float64(opts.MessageBits) / capacity[i]
-			wait = util * service / (2 * (1 - util))
-		} else {
-			res.Saturated = true
-			util = 1
-		}
-		res.Loads[i] = LinkLoad{
-			Link:               i,
-			CapacityBitsPerSec: capacity[i],
-			OfferedBitsPerSec:  offered,
-			Utilization:        util,
-			QueueWaitSec:       wait,
-		}
-
-		// Energy accounting, netsim's model: lasers hold their standing
-		// power continuously, modulators and interfaces burn only while
-		// the link serves transfers.
-		l := &net.links[i]
-		d := &decisions[i]
-		nw := float64(len(l.Lambdas))
-		res.LaserPowerW += d.LaserPowerW * nw
-		res.ModulatorPowerW += l.Config.ModulatorPowerW * nw * util
-		res.InterfacePowerW += l.Config.InterfacePowerFor(d.Eval.Code).TotalW() * util
-		activeEnergyNum += util * capacity[i] * d.EnergyPerBitJ
-	}
-	res.NetworkPowerW = res.LaserPowerW + res.ModulatorPowerW + res.InterfacePowerW
-	if res.DeliveredBitsPerSec > 0 {
-		res.EnergyPerBitJ = res.NetworkPowerW / res.DeliveredBitsPerSec
-	}
-	var busyBits float64
-	for i := range res.Loads {
-		busyBits += res.Loads[i].Utilization * capacity[i]
-	}
-	if busyBits > 0 {
-		res.ActiveEnergyPerBitJ = activeEnergyNum / busyBits
-	}
-
-	res.aggregateLatency(net, opts)
-	return res, nil
-}
-
-// aggregateLatency folds per-pair path latencies, weighted by the traffic
-// matrix, into mean and percentile figures.
-func (res *Result) aggregateLatency(net *Network, opts EvalOptions) {
-	type pairLat struct {
-		lat float64
-		w   float64
-	}
-	pairs := make([]pairLat, 0, net.Tiles()*(net.Tiles()-1))
-	var totalW, meanNum float64
-	for s := 0; s < net.Tiles(); s++ {
-		for d := 0; d < net.Tiles(); d++ {
-			w := opts.Traffic[s][d]
-			if s == d || w == 0 {
-				continue
-			}
-			lat := 0.0
-			for _, id := range net.routes[s][d] {
-				load := &res.Loads[id]
-				serial := float64(opts.MessageBits) / load.CapacityBitsPerSec
-				prop := net.links[id].PropagationDelaySec()
-				lat += core.TokenOverheadSec + load.QueueWaitSec + serial + prop
-			}
-			pairs = append(pairs, pairLat{lat: lat, w: w})
-			totalW += w
-			meanNum += w * lat
-		}
-	}
-	if totalW == 0 {
-		return
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].lat < pairs[j].lat })
-	res.MeanLatencySec = meanNum / totalW
-	res.MaxLatencySec = pairs[len(pairs)-1].lat
-	quantile := func(q float64) float64 {
-		cum := 0.0
-		for _, p := range pairs {
-			cum += p.w
-			if cum >= q*totalW {
-				return p.lat
-			}
-		}
-		return pairs[len(pairs)-1].lat
-	}
-	res.P50LatencySec = quantile(0.50)
-	res.P95LatencySec = quantile(0.95)
-	res.P99LatencySec = quantile(0.99)
+	return *res, nil
 }

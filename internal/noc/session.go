@@ -1,0 +1,343 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"photonoc/internal/core"
+	"photonoc/internal/mathx"
+)
+
+// EvalSession is the reusable scratch space of the candidate-evaluation
+// fast path: link-count-sized share/capacity/load tables, the per-link
+// decision slice, the latency pair buffer and the scheme-use map, all
+// recycled across evaluations so a steady-state Decide + Aggregate over a
+// fixed topology shape allocates nothing. The design-space autotuner
+// workload — millions of neighboring candidates over a handful of topology
+// shapes — runs entirely through sessions (engine.NetworkSession wraps one
+// per worker).
+//
+// A session is NOT safe for concurrent use, and the Result returned by
+// Aggregate aliases session-owned storage (Decisions, Loads, SchemeUse):
+// it is valid only until the session's next call. Callers that need the
+// result to outlive the session copy it with Result.Clone. The package
+// level Decide and Aggregate remain the one-shot entry points; they run on
+// a fresh session per call and are bit-identical to the session path.
+type EvalSession struct {
+	decisions []LinkDecision
+	shares    []float64
+	capacity  []float64
+	loads     []LinkLoad
+	pairs     []pairLat
+	active    []bool
+	schemeUse map[string]int
+	// uniform memoizes UniformMatrix per tile count, so candidates with
+	// nil Traffic (the default) stay allocation-free even when the chain
+	// alternates between topology shapes.
+	uniform map[int]Matrix
+	result  Result
+}
+
+// pairLat is one traffic-weighted (src, dst) path latency sample of the
+// latency fold.
+type pairLat struct {
+	lat float64
+	w   float64
+}
+
+// NewEvalSession returns an empty session; buffers grow to the largest
+// topology shape evaluated through it and are then reused.
+func NewEvalSession() *EvalSession {
+	return &EvalSession{
+		schemeUse: make(map[string]int, 8),
+		uniform:   make(map[int]Matrix, 4),
+	}
+}
+
+// grow resizes buf to n elements, reusing its backing array when it is
+// already large enough. Contents are unspecified; callers overwrite.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// uniformFor returns the memoized uniform traffic matrix for a tile count.
+func (s *EvalSession) uniformFor(tiles int) Matrix {
+	if m, ok := s.uniform[tiles]; ok {
+		return m
+	}
+	m := UniformMatrix(tiles)
+	s.uniform[tiles] = m
+	return m
+}
+
+// withDefaults resolves the option defaults against a network with the
+// shared validation rules, serving the default uniform matrix from the
+// session memo instead of allocating one per call.
+func (s *EvalSession) withDefaults(o EvalOptions, net *Network) (EvalOptions, error) {
+	if o.Traffic == nil {
+		o.Traffic = s.uniformFor(net.Tiles())
+	}
+	return o.withDefaults(net)
+}
+
+// Decide picks each link's scheme from its solved roster evaluations,
+// exactly like the package-level Decide, writing into the session's
+// decision buffer. The returned slice is valid until the session's next
+// Decide call.
+func (s *EvalSession) Decide(net *Network, evals [][]core.Evaluation, opts EvalOptions) ([]LinkDecision, error) {
+	if len(evals) != net.NumLinks() {
+		return nil, fmt.Errorf("noc: %d evaluation rows for %d links", len(evals), net.NumLinks())
+	}
+	s.decisions = grow(s.decisions, net.NumLinks())
+	for id := range evals {
+		s.decisions[id] = decideLink(&net.links[id], evals[id], opts)
+	}
+	return s.decisions, nil
+}
+
+// Aggregate folds solved per-link decisions under the traffic matrix into
+// the network-level figures, exactly like the package-level Aggregate but
+// on session-owned storage. The returned Result aliases the session
+// (Decisions, Loads, SchemeUse) and is valid until the next session call;
+// use Result.Clone to detach it.
+func (s *EvalSession) Aggregate(net *Network, decisions []LinkDecision, opts EvalOptions) (*Result, error) {
+	opts, err := s.withDefaults(opts, net)
+	if err != nil {
+		return nil, err
+	}
+	if len(decisions) != net.NumLinks() {
+		return nil, fmt.Errorf("noc: %d decisions for %d links", len(decisions), net.NumLinks())
+	}
+	clear(s.schemeUse)
+	res := Result{
+		Kind:      net.Kind(),
+		Tiles:     net.Tiles(),
+		Links:     net.NumLinks(),
+		TargetBER: opts.TargetBER,
+		Decisions: decisions,
+		SchemeUse: s.schemeUse,
+		Feasible:  true,
+	}
+	for i := range decisions {
+		d := &decisions[i]
+		if !d.Feasible {
+			res.Feasible = false
+			res.InfeasibleReason = fmt.Sprintf("link %d: %s", d.Link, d.InfeasibleReason)
+			s.result = res
+			return &s.result, nil
+		}
+		res.SchemeUse[d.Eval.Code.Name()]++
+	}
+
+	// Routed demand share per link, in per-tile-rate units.
+	s.shares = grow(s.shares, net.NumLinks())
+	shares := s.shares
+	for i := range shares {
+		shares[i] = 0
+	}
+	active := s.activeRows(opts.Traffic)
+	activeTiles := 0
+	for src := 0; src < net.Tiles(); src++ {
+		if !active[src] {
+			continue
+		}
+		activeTiles++
+		for d := 0; d < net.Tiles(); d++ {
+			w := opts.Traffic[src][d]
+			if w == 0 || src == d {
+				continue
+			}
+			for _, id := range net.routes[src][d] {
+				shares[id] += w
+			}
+		}
+	}
+
+	s.capacity = grow(s.capacity, net.NumLinks())
+	capacity := s.capacity
+	minSat := math.Inf(1)
+	for i := range net.links {
+		l := &net.links[i]
+		d := &decisions[i]
+		capacity[i] = l.CapacityBitsPerSec(d.Eval.CT)
+		if shares[i] > 0 {
+			if sat := capacity[i] / shares[i]; sat < minSat {
+				minSat = sat
+			}
+		}
+	}
+
+	// Saturation injection rate: bisect the rate at which the most loaded
+	// link hits unit utilization. The load curve is monotone in the rate,
+	// so the bisection brackets the closed-form min(capacity/share).
+	maxUtil := func(rate float64) float64 {
+		worst := 0.0
+		for i := range shares {
+			if shares[i] == 0 {
+				continue
+			}
+			if u := shares[i] * rate / capacity[i]; u > worst {
+				worst = u
+			}
+		}
+		return worst
+	}
+	sat, err := mathx.Bisect(func(r float64) float64 { return maxUtil(r) - 1 }, 0, 2*minSat, minSat*1e-12)
+	if err != nil {
+		// The bracket is valid by construction (f(0) = −1, f(2·minSat) ≈ 1),
+		// so a numeric edge here is not worth aborting the sweep: the load
+		// curve is linear and the closed form is exact.
+		sat = minSat
+	}
+	res.SaturationInjectionBitsPerSec = sat
+
+	rate := opts.InjectionRateBitsPerSec
+	if rate == 0 {
+		rate = sat / 2
+	}
+	res.InjectionRateBitsPerSec = rate
+	res.DeliveredBitsPerSec = float64(activeTiles) * rate
+
+	// Per-link loads and the M/D/1 queue waits of the latency model.
+	s.loads = grow(s.loads, net.NumLinks())
+	res.Loads = s.loads
+	var activeEnergyNum float64
+	for i := range net.links {
+		offered := shares[i] * rate
+		util := offered / capacity[i]
+		wait := math.Inf(1)
+		if util < 1 {
+			service := float64(opts.MessageBits) / capacity[i]
+			wait = util * service / (2 * (1 - util))
+		} else {
+			res.Saturated = true
+			util = 1
+		}
+		res.Loads[i] = LinkLoad{
+			Link:               i,
+			CapacityBitsPerSec: capacity[i],
+			OfferedBitsPerSec:  offered,
+			Utilization:        util,
+			QueueWaitSec:       wait,
+		}
+
+		// Energy accounting, netsim's model: lasers hold their standing
+		// power continuously, modulators and interfaces burn only while
+		// the link serves transfers.
+		l := &net.links[i]
+		d := &decisions[i]
+		nw := float64(len(l.Lambdas))
+		res.LaserPowerW += d.LaserPowerW * nw
+		res.ModulatorPowerW += l.Config.ModulatorPowerW * nw * util
+		res.InterfacePowerW += l.Config.InterfacePowerFor(d.Eval.Code).TotalW() * util
+		activeEnergyNum += util * capacity[i] * d.EnergyPerBitJ
+	}
+	res.NetworkPowerW = res.LaserPowerW + res.ModulatorPowerW + res.InterfacePowerW
+	if res.DeliveredBitsPerSec > 0 {
+		res.EnergyPerBitJ = res.NetworkPowerW / res.DeliveredBitsPerSec
+	}
+	var busyBits float64
+	for i := range res.Loads {
+		busyBits += res.Loads[i].Utilization * capacity[i]
+	}
+	if busyBits > 0 {
+		res.ActiveEnergyPerBitJ = activeEnergyNum / busyBits
+	}
+
+	s.aggregateLatency(&res, net, opts)
+	s.result = res
+	return &s.result, nil
+}
+
+// activeRows fills the session's active-source buffer from the traffic
+// matrix.
+func (s *EvalSession) activeRows(m Matrix) []bool {
+	s.active = grow(s.active, len(m))
+	for src, row := range m {
+		sum := 0.0
+		for _, w := range row {
+			sum += w
+		}
+		s.active[src] = sum > 0
+	}
+	return s.active
+}
+
+// aggregateLatency folds per-pair path latencies, weighted by the traffic
+// matrix, into mean and percentile figures on the session's pair buffer.
+func (s *EvalSession) aggregateLatency(res *Result, net *Network, opts EvalOptions) {
+	pairs := s.pairs[:0]
+	var totalW, meanNum float64
+	for src := 0; src < net.Tiles(); src++ {
+		for d := 0; d < net.Tiles(); d++ {
+			w := opts.Traffic[src][d]
+			if src == d || w == 0 {
+				continue
+			}
+			lat := 0.0
+			for _, id := range net.routes[src][d] {
+				load := &res.Loads[id]
+				serial := float64(opts.MessageBits) / load.CapacityBitsPerSec
+				prop := net.links[id].PropagationDelaySec()
+				lat += core.TokenOverheadSec + load.QueueWaitSec + serial + prop
+			}
+			pairs = append(pairs, pairLat{lat: lat, w: w})
+			totalW += w
+			meanNum += w * lat
+		}
+	}
+	s.pairs = pairs
+	if totalW == 0 {
+		return
+	}
+	slices.SortFunc(pairs, func(a, b pairLat) int {
+		switch {
+		case a.lat < b.lat:
+			return -1
+		case a.lat > b.lat:
+			return 1
+		default:
+			return 0
+		}
+	})
+	res.MeanLatencySec = meanNum / totalW
+	res.MaxLatencySec = pairs[len(pairs)-1].lat
+	quantile := func(q float64) float64 {
+		cum := 0.0
+		for _, p := range pairs {
+			cum += p.w
+			if cum >= q*totalW {
+				return p.lat
+			}
+		}
+		return pairs[len(pairs)-1].lat
+	}
+	res.P50LatencySec = quantile(0.50)
+	res.P95LatencySec = quantile(0.95)
+	res.P99LatencySec = quantile(0.99)
+}
+
+// Clone deep-copies a Result, detaching it from any session-owned storage
+// (Decisions, Loads, SchemeUse). Engine.NetworkBatch clones every result
+// it hands out, so batch outputs are independent of the pooled sessions
+// that produced them.
+func (r *Result) Clone() Result {
+	out := *r
+	if r.Decisions != nil {
+		out.Decisions = append([]LinkDecision(nil), r.Decisions...)
+	}
+	if r.Loads != nil {
+		out.Loads = append([]LinkLoad(nil), r.Loads...)
+	}
+	if r.SchemeUse != nil {
+		out.SchemeUse = make(map[string]int, len(r.SchemeUse))
+		for k, v := range r.SchemeUse {
+			out.SchemeUse[k] = v
+		}
+	}
+	return out
+}

@@ -273,6 +273,17 @@ func (n *Network) Links() []Link {
 // NumLinks returns the link count.
 func (n *Network) NumLinks() int { return len(n.links) }
 
+// LinkRef returns a read-only pointer into the network's link table, the
+// allocation-free counterpart of Link for hot evaluation loops. The
+// pointee must not be mutated: links are shared by every evaluation of
+// this network. Returns nil for an out-of-range ID.
+func (n *Network) LinkRef(id int) *Link {
+	if id < 0 || id >= len(n.links) {
+		return nil
+	}
+	return &n.links[id]
+}
+
 // Link returns the link with the given ID (a deep copy, like Links).
 func (n *Network) Link(id int) (Link, error) {
 	if id < 0 || id >= len(n.links) {

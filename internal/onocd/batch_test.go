@@ -1,0 +1,232 @@
+package onocd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"photonoc/internal/apierr"
+	"photonoc/internal/engine"
+	"photonoc/internal/noc"
+)
+
+// TestNoCBatchMatchesPerCandidateEval round-trips a mutate-one-knob
+// population through POST /v1/noc/batch and requires every candidate to
+// match the in-process Engine.NetworkBatch result (wire projection — the
+// full per-link Evaluation does not survive the wire), in population order.
+func TestNoCBatchMatchesPerCandidateEval(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+	roster := schemeNames(s.Engine().Schemes())
+
+	items := []NoCBatchItem{
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 4, TargetBER: 1e-9}},
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 4, TargetBER: 1e-11}},
+		{NoCRequest: NoCRequest{Topology: "mesh", Tiles: 4, TargetBER: 1e-11}},
+		{NoCRequest: NoCRequest{Topology: "mesh", Tiles: 4, TargetBER: 1e-11, UseDAC: true}},
+		{NoCRequest: NoCRequest{Topology: "mesh", Tiles: 4, TargetBER: 1e-11, UseDAC: true}, Schemes: roster[:1]},
+		{NoCRequest: NoCRequest{Topology: "bus", Tiles: 4, TargetBER: 1e-9, RateBitsPerSec: 1e9}},
+	}
+
+	var got []noc.Result
+	var order []int
+	err := c.NetworkBatch(ctx, items, func(i int, ber float64, res noc.Result) error {
+		order = append(order, i)
+		got = append(got, res)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("%d results, want %d", len(got), len(items))
+	}
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("out-of-order stream: position %d carries index %d", i, o)
+		}
+	}
+
+	cands := make([]engine.NetworkCandidate, len(items))
+	for i := range items {
+		cand, err := items[i].candidate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands[i] = cand
+	}
+	want, err := s.Engine().NetworkBatch(ctx, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		rj, _ := json.Marshal(toWireNoC(got[i]))
+		lj, _ := json.Marshal(toWireNoC(want[i]))
+		if !bytes.Equal(rj, lj) {
+			t.Errorf("candidate %d: remote batch differs:\nremote %s\nlocal  %s", i, rj, lj)
+		}
+	}
+
+	// An unrestricted candidate must also match the single-candidate route.
+	single, err := c.NetworkEval(ctx, items[0].NoCRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, _ := json.Marshal(toWireNoC(got[0]))
+	sj, _ := json.Marshal(toWireNoC(single))
+	if !bytes.Equal(rj, sj) {
+		t.Errorf("batch candidate 0 differs from /v1/noc/eval:\nbatch %s\neval  %s", rj, sj)
+	}
+}
+
+// TestNoCBatchErrors covers the request-side failure modes: strict NDJSON
+// decoding with the candidate index in the message, pre-stream envelopes,
+// and a typed mid-population build failure through the client.
+func TestNoCBatchErrors(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	post := func(body string) (int, apierr.Envelope) {
+		t.Helper()
+		resp, err := http.Post(c.Base+"/v1/noc/batch", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env apierr.Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("decoding envelope: %v", err)
+		}
+		return resp.StatusCode, env
+	}
+
+	good := `{"topology": "mesh", "tiles": 4, "target_ber": 1e-9}`
+	for _, tc := range []struct {
+		name, body, fragment string
+		code                 string
+	}{
+		{"empty population", "", "empty candidate population", apierr.CodeInvalidInput},
+		{"malformed line", "{not json", "malformed candidate 0", apierr.CodeInvalidInput},
+		{"unknown field", `{"surprise_field": 1}`, "malformed candidate 0", apierr.CodeInvalidInput},
+		{"indexed error", good + "\n" + `{"topology": "torus", "tiles": 4, "target_ber": 1e-9}`, "candidate 1", apierr.CodeInvalidInput},
+		{"sweep grid rejected", `{"topology": "mesh", "tiles": 4, "target_bers": [1e-9]}`, "target_ber, not target_bers", apierr.CodeInvalidInput},
+		{"unknown scheme", `{"topology": "mesh", "tiles": 4, "target_ber": 1e-9, "schemes": ["nope"]}`, "unknown scheme", apierr.CodeInvalidInput},
+	} {
+		status, env := post(tc.body)
+		if status != 400 || env.Error.Code != tc.code {
+			t.Errorf("%s: got %d/%q, want 400/%q", tc.name, status, env.Error.Code, tc.code)
+		}
+		if !strings.Contains(env.Error.Message, tc.fragment) {
+			t.Errorf("%s: message %q missing %q", tc.name, env.Error.Message, tc.fragment)
+		}
+	}
+
+	// A candidate that parses but fails to build surfaces through the client
+	// as the typed sentinel it carried (terminal NDJSON line → errors.Is).
+	items := []NoCBatchItem{
+		{NoCRequest: NoCRequest{Topology: "mesh", Tiles: 4, TargetBER: 1e-9}},
+		{NoCRequest: NoCRequest{Topology: "mesh", Tiles: 1, TargetBER: 1e-9}},
+	}
+	err := c.NetworkBatch(context.Background(), items, func(int, float64, noc.Result) error { return nil })
+	if !errors.Is(err, apierr.ErrInvalidConfig) {
+		t.Errorf("mid-population build failure: %v, want ErrInvalidConfig", err)
+	}
+}
+
+// countingTransport records the status codes of /v1/config responses so the
+// test can see 304 revalidations that Client.Config hides behind its cache.
+type countingTransport struct {
+	codes []int
+}
+
+func (rt *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err == nil && req.URL.Path == "/v1/config" {
+		rt.codes = append(rt.codes, resp.StatusCode)
+	}
+	return resp, err
+}
+
+// TestConfigETagRevalidation pins the /v1/config caching contract: a
+// generation-keyed ETag with Cache-Control: no-cache, 304 on a matching
+// If-None-Match (strong or weak), the client serving 304s from its cache,
+// and a hot reload rotating the tag.
+func TestConfigETagRevalidation(t *testing.T) {
+	s, c := newTestServer(t, Options{})
+	ctx := context.Background()
+
+	resp, err := http.Get(c.Base + "/v1/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag != `"`+s.Engine().ConfigFingerprint()+`"` {
+		t.Fatalf("ETag = %q, want quoted engine fingerprint", etag)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("Cache-Control = %q, want no-cache", cc)
+	}
+
+	conditional := func(match string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/config", nil)
+		req.Header.Set("If-None-Match", match)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	for _, match := range []string{etag, "W/" + etag, `"stale", ` + etag, "*"} {
+		resp := conditional(match)
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+			t.Errorf("If-None-Match %q: got %d with %d body bytes, want bodyless 304", match, resp.StatusCode, len(body))
+		}
+	}
+	if resp := conditional(`"stale"`); resp.StatusCode != http.StatusOK {
+		t.Errorf("stale If-None-Match: got %d, want 200", resp.StatusCode)
+	}
+
+	// The typed client revalidates: first call 200, second a cached 304.
+	rt := &countingTransport{}
+	c.HTTP = &http.Client{Transport: rt}
+	first, err := c.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached config differs from the fetched one")
+	}
+	if want := []int{http.StatusOK, http.StatusNotModified}; !reflect.DeepEqual(rt.codes, want) {
+		t.Errorf("config status codes = %v, want %v", rt.codes, want)
+	}
+
+	// A hot reload rotates the fingerprint; the stale tag refetches.
+	cfg := s.Engine().Config()
+	cfg.FmodHz *= 2
+	if err := s.Reload(cfg); err != nil {
+		t.Fatal(err)
+	}
+	third, err := c.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Fingerprint == first.Fingerprint {
+		t.Error("fingerprint unchanged after reload")
+	}
+	if got := rt.codes[len(rt.codes)-1]; got != http.StatusOK {
+		t.Errorf("post-reload config status = %d, want a fresh 200", got)
+	}
+}

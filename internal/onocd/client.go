@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"photonoc/internal/apierr"
 	"photonoc/internal/core"
@@ -28,6 +29,12 @@ type Client struct {
 	Base string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+
+	// mu guards the revalidation cache below: the last /v1/config body and
+	// its ETag, served back on a 304 Not Modified.
+	mu        sync.Mutex
+	configTag string
+	config    ConfigResponse
 }
 
 // NewClient builds a client for a daemon base URL.
@@ -89,11 +96,43 @@ func decodeError(resp *http.Response) error {
 	return fmt.Errorf("onocd: remote error (HTTP %d): %s", resp.StatusCode, bytes.TrimSpace(raw))
 }
 
-// Config fetches the daemon's engine configuration and roster.
+// Config fetches the daemon's engine configuration and roster. The client
+// revalidates with If-None-Match against the daemon's generation-keyed
+// ETag, so steady-state polls cost a bodyless 304 and are served from the
+// cached copy; a hot reload changes the fingerprint and refetches.
 func (c *Client) Config(ctx context.Context) (ConfigResponse, error) {
+	c.mu.Lock()
+	tag, cached := c.configTag, c.config
+	c.mu.Unlock()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/config", nil)
+	if err != nil {
+		return ConfigResponse{}, err
+	}
+	if tag != "" {
+		req.Header.Set("If-None-Match", tag)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return ConfigResponse{}, fmt.Errorf("onocd: GET /v1/config: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified && tag != "" {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return cached, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		return ConfigResponse{}, decodeError(resp)
+	}
 	var out ConfigResponse
-	err := c.roundTrip(ctx, http.MethodGet, "/v1/config", nil, &out)
-	return out, err
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return ConfigResponse{}, fmt.Errorf("onocd: decode /v1/config response: %w", err)
+	}
+	if tag := resp.Header.Get("ETag"); tag != "" {
+		c.mu.Lock()
+		c.configTag, c.config = tag, out
+		c.mu.Unlock()
+	}
+	return out, nil
 }
 
 // Statusz fetches the daemon status page.
@@ -153,7 +192,14 @@ func (c *Client) NetworkSweep(ctx context.Context, req NoCRequest, fn func(int, 
 	if resp.StatusCode/100 != 2 {
 		return decodeError(resp)
 	}
-	sc := bufio.NewScanner(resp.Body)
+	return scanNoCStream(resp.Body, fn)
+}
+
+// scanNoCStream drains an NDJSON NoCStreamItem body, rebuilding each
+// in-process result and surfacing a terminal stream error as its typed
+// sentinel. Shared by NetworkSweep and NetworkBatch.
+func scanNoCStream(body io.Reader, fn func(int, float64, noc.Result) error) error {
+	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -176,6 +222,36 @@ func (c *Client) NetworkSweep(ctx context.Context, req NoCRequest, fn func(int, 
 		}
 	}
 	return sc.Err()
+}
+
+// NetworkBatch streams a candidate-population evaluation from the daemon:
+// the items go up as NDJSON lines of POST /v1/noc/batch, and fn is invoked
+// once per candidate in population order with the rebuilt result. One
+// request amortizes HTTP overhead over the whole population, and the
+// daemon's worker sessions diff neighboring candidates incrementally. A
+// terminal stream error is returned as the typed error it carried.
+func (c *Client) NetworkBatch(ctx context.Context, items []NoCBatchItem, fn func(int, float64, noc.Result) error) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, it := range items {
+		if err := enc.Encode(it); err != nil {
+			return fmt.Errorf("onocd: encode batch request: %w", err)
+		}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/noc/batch", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return fmt.Errorf("onocd: POST /v1/noc/batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	return scanNoCStream(resp.Body, fn)
 }
 
 // NetworkSim runs the network discrete-event simulator on the daemon.

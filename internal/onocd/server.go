@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"reflect"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -208,6 +209,7 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/sweep/stream", s.instrument("/v1/sweep/stream", true, s.handleSweepStream))
 	s.mux.Handle("POST /v1/decide", s.instrument("/v1/decide", true, s.handleDecide))
 	s.mux.Handle("POST /v1/noc/eval", s.instrument("/v1/noc/eval", true, s.handleNoCEval))
+	s.mux.Handle("POST /v1/noc/batch", s.instrument("/v1/noc/batch", true, s.handleNoCBatch))
 	s.mux.Handle("POST /v1/noc/sweep", s.instrument("/v1/noc/sweep", true, s.handleNoCSweep))
 	s.mux.Handle("POST /v1/noc/sim", s.instrument("/v1/noc/sim", true, s.handleNoCSim))
 	s.mux.Handle("POST /v1/validate", s.instrument("/v1/validate", true, s.handleValidate))
@@ -399,6 +401,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter(w, "onocd_cache_misses_total", "Memo-cache misses.", cs.Misses)
 	counter(w, "onocd_cache_cold_solves_total", "Solves that ran the compiled pipeline.", cs.ColdSolves)
 	counter(w, "onocd_cache_shared_solves_total", "Evaluations served by joining an in-flight solve (singleflight).", cs.SharedSolves)
+	counter(w, "onocd_cache_session_reuses_total", "Per-cell solves avoided by incremental session diffing.", cs.SessionReuses)
 	gauge(w, "onocd_cache_entries", "Memoized operating points.", float64(cs.Entries))
 	gauge(w, "onocd_cache_capacity", "Memo-cache capacity.", float64(cs.Capacity))
 	gauge(w, "onocd_cache_shards", "Independently locked LRU shards.", float64(cs.Shards))
@@ -415,7 +418,18 @@ func schemeNames(codes []ecc.Code) []string {
 
 // --- evaluation routes ---
 
+// handleConfig serves the engine configuration with an ETag keyed by the
+// generation fingerprint: the response only changes on hot reload, so
+// revalidation (Cache-Control: no-cache) lets clients hold a cached copy
+// and pay a bodyless 304 per poll.
 func (s *Server) handleConfig(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	etag := `"` + st.eng.ConfigFingerprint() + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return nil
+	}
 	writeJSON(w, http.StatusOK, ConfigResponse{
 		Fingerprint: st.eng.ConfigFingerprint(),
 		Schemes:     schemeNames(st.eng.Schemes()),
@@ -423,6 +437,19 @@ func (s *Server) handleConfig(ctx context.Context, st *engineState, w *statusWri
 		Config:      st.eng.Config(),
 	})
 	return nil
+}
+
+// etagMatches reports whether an If-None-Match header matches etag, using
+// the weak comparison of RFC 9110 §8.8.3.2: a W/ prefix is ignored and "*"
+// matches any current representation.
+func etagMatches(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimPrefix(strings.TrimSpace(c), "W/")
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleSweep(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
@@ -523,6 +550,56 @@ func (s *Server) handleNoCEval(ctx context.Context, st *engineState, w *statusWr
 		return err
 	}
 	writeJSON(w, http.StatusOK, toWireNoC(res))
+	return nil
+}
+
+// handleNoCBatch evaluates a candidate population: the request body is an
+// NDJSON (or concatenated-JSON) stream of NoCBatchItem lines, the response
+// one NDJSON NoCStreamItem per candidate in population order, backed by
+// Engine.NetworkBatchStream — neighboring candidates are diffed
+// incrementally inside the worker sessions, so a mutate-one-knob autotuner
+// population amortizes both HTTP overhead and per-cell solves.
+func (s *Server) handleNoCBatch(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var cands []engine.NetworkCandidate
+	for {
+		var it NoCBatchItem
+		if err := dec.Decode(&it); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var maxErr *http.MaxBytesError
+			if errors.As(err, &maxErr) {
+				return fmt.Errorf("%w: request body exceeds %d bytes", apierr.ErrInvalidInput, maxErr.Limit)
+			}
+			return fmt.Errorf("%w: malformed candidate %d: %v", apierr.ErrInvalidInput, len(cands), err)
+		}
+		cand, err := it.candidate()
+		if err != nil {
+			return fmt.Errorf("candidate %d: %w", len(cands), err)
+		}
+		cands = append(cands, cand)
+	}
+	if len(cands) == 0 {
+		return fmt.Errorf("%w: empty candidate population", apierr.ErrInvalidInput)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for res := range st.eng.NetworkBatchStream(ctx, cands) {
+		item := NoCStreamItem{Index: res.Index, TargetBER: res.TargetBER}
+		if res.Err != nil {
+			_, body := apierr.EnvelopeFor(res.Err)
+			item.Error = &body.Error
+		} else {
+			wr := toWireNoC(res.Result)
+			item.Result = &wr
+		}
+		if err := enc.Encode(item); err != nil {
+			return nil // client went away mid-stream
+		}
+		w.Flush()
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"photonoc/internal/apierr"
 	"photonoc/internal/core"
 	"photonoc/internal/ecc"
+	"photonoc/internal/engine"
 	"photonoc/internal/manager"
 	"photonoc/internal/netsim"
 	"photonoc/internal/noc"
@@ -149,6 +150,37 @@ type NoCRequest struct {
 	Messages      int   `json:"messages,omitempty"`
 	Seed          int64 `json:"seed,omitempty"`
 	MaxQueueDepth int   `json:"max_queue_depth,omitempty"`
+}
+
+// NoCBatchItem is one NDJSON input line of POST /v1/noc/batch: one
+// design-space candidate. It carries the NoCRequest topology and
+// evaluation fields (TargetBER, not TargetBERs — each candidate is one
+// operating point) plus an optional roster restriction by scheme name.
+type NoCBatchItem struct {
+	NoCRequest
+	// Schemes restricts this candidate to a subset of the registry; empty
+	// means the daemon's roster.
+	Schemes []string `json:"schemes,omitempty"`
+}
+
+// candidate converts one batch line into an engine candidate.
+func (it *NoCBatchItem) candidate() (engine.NetworkCandidate, error) {
+	if len(it.TargetBERs) != 0 {
+		return engine.NetworkCandidate{}, fmt.Errorf("%w: batch candidates take target_ber, not target_bers", apierr.ErrInvalidInput)
+	}
+	cfg, err := it.topology()
+	if err != nil {
+		return engine.NetworkCandidate{}, err
+	}
+	opts, err := it.evalOptions()
+	if err != nil {
+		return engine.NetworkCandidate{}, err
+	}
+	codes, err := ResolveSchemes(it.Schemes)
+	if err != nil {
+		return engine.NetworkCandidate{}, err
+	}
+	return engine.NetworkCandidate{Topology: cfg, Schemes: codes, Opts: opts}, nil
 }
 
 // topology converts the wire request into a noc.Config (Base is left zero,

@@ -39,6 +39,18 @@ type (
 	TrafficMatrix = noc.Matrix
 	// NetworkSweepResult is one streamed network-sweep outcome.
 	NetworkSweepResult = engine.NetworkResult
+	// NoCCandidate is one point of a design-space population: topology,
+	// optional roster restriction and evaluation options. Evaluate whole
+	// populations with the promoted Engine.NetworkBatch /
+	// Engine.NetworkBatchStream, or drive a single incremental
+	// NoCSession via the promoted Engine.NewNetworkSession.
+	NoCCandidate = engine.NetworkCandidate
+	// NoCSession is the incremental, zero-allocation network evaluator
+	// of the autotuner fast path: it diffs each candidate against the
+	// previous one by per-link fingerprint and re-solves only the changed
+	// cells. Not safe for concurrent use; results alias session storage
+	// until the next Evaluate (Clone them to keep them).
+	NoCSession = engine.NetworkSession
 	// SimPattern is a synthetic netsim workload (see ParsePattern).
 	SimPattern = netsim.Pattern
 	// NoCSimOptions parameterizes a network-scale discrete-event
@@ -75,6 +87,16 @@ func BuildNoC(cfg NoCConfig) (*NoC, error) { return noc.Build(cfg) }
 
 // UniformTraffic spreads every tile's traffic evenly over the other tiles.
 func UniformTraffic(tiles int) TrafficMatrix { return noc.UniformMatrix(tiles) }
+
+// NoCEvalSession is the reusable scratch space of the noc-layer fast path:
+// once warmed on a topology shape, Decide + Aggregate through a session
+// allocate nothing. Engine sessions (NoCSession) embed one; direct use
+// pairs with BuildNoC for callers that solve links themselves.
+type NoCEvalSession = noc.EvalSession
+
+// NewNoCEvalSession returns an empty evaluation session; buffers grow to
+// the largest topology evaluated through it and are then reused.
+func NewNoCEvalSession() *NoCEvalSession { return noc.NewEvalSession() }
 
 // ParsePattern maps "uniform|hotspot|permutation|streaming" to its
 // SimPattern; Pattern.Matrix then extracts the traffic matrix the network
