@@ -30,6 +30,7 @@ import (
 	"photonoc"
 
 	"photonoc/internal/core"
+	"photonoc/internal/faultinject"
 	"photonoc/internal/onocd"
 )
 
@@ -61,6 +62,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxInFlight := fs.Int("max-inflight", 0, "admission-control concurrency limit (0 = default)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline ceiling (0 = default 30s)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	faultRate := fs.Float64("fault-rate", 0, "chaos testing: inject faults (latency, 429/503, resets, stream truncation) into this fraction of requests (0 = off)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the deterministic fault injector (with -fault-rate)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -84,6 +87,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
+	if *faultRate < 0 || *faultRate >= 1 {
+		return fmt.Errorf("-fault-rate %v must be in [0, 1)", *faultRate)
+	}
+	var injector *faultinject.Injector
+	if *faultRate > 0 {
+		injector = faultinject.NewSpread(*faultSeed, *faultRate)
+	}
+
 	srv, err := onocd.NewServer(onocd.Options{
 		Config:         cfg,
 		Workers:        *workers,
@@ -91,9 +102,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheShards:    *shards,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *timeout,
+		FaultInjector:  injector,
 	})
 	if err != nil {
 		return err
+	}
+	if injector != nil {
+		fmt.Fprintf(out, "onocd: CHAOS MODE — injecting faults into %.0f%% of requests (seed %d); do not point production clients here\n",
+			*faultRate*100, *faultSeed)
 	}
 
 	l, err := net.Listen("tcp", *addr)

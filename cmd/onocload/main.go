@@ -7,6 +7,8 @@
 //	onocload -addr http://127.0.0.1:9137 -clients 8 -requests 5000
 //	onocload -selfhost -clients 16 -requests 2000
 //	onocload -selfhost -requests 1000 -assert-all-2xx -assert-warm-hitrate 0.9
+//	onocload -selfhost -fault-rate 0.1 -chaos-seed 7 -streams 24 -stream-truncate 0.5 \
+//	         -assert-all-2xx -assert-max-amplification 1.5 -assert-resumed 1 -json
 //
 // The working set is the cross product of -bers and the daemon roster; a
 // warm-up pass touches every point once (cold solves), then the measured
@@ -14,10 +16,21 @@
 // sharded LRU and singleflight coalescing carry the load. The -assert-*
 // flags turn the run into the CI smoke test: non-zero exit when a request
 // fails or the warm hit rate falls short.
+//
+// Chaos mode (-fault-rate, selfhost only) wires a deterministic seeded
+// fault injector into the daemon — latency spikes, 429/503 envelopes,
+// connection resets, mid-stream truncations — and the resilient client must
+// absorb every one of them: -assert-all-2xx demands zero client-visible
+// failures, -assert-max-amplification bounds retry amplification
+// (attempts/requests), and -assert-resumed demands that interrupted NDJSON
+// streams actually resumed via start_index. -streams adds a resumable
+// /v1/noc/batch phase, with -stream-truncate forcing a fraction of first
+// responses to be cut mid-line even against a healthy daemon.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"photonoc/internal/faultinject"
 	"photonoc/internal/onocd"
 )
 
@@ -58,8 +72,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	bers := fs.String("bers", "1e-11", "comma-separated target BERs forming the working set")
 	workers := fs.Int("workers", 0, "selfhosted engine workers (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "selfhosted LRU shard count (0 = scale with capacity)")
-	assert2xx := fs.Bool("assert-all-2xx", false, "exit non-zero unless every measured request returned 2xx")
+	faultRate := fs.Float64("fault-rate", 0, "selfhost chaos: fraction of requests receiving an injected fault (0 = off)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the deterministic fault injector (with -fault-rate)")
+	streams := fs.Int("streams", 0, "resumable /v1/noc/batch NDJSON streams to run after the load phase")
+	streamTrunc := fs.Float64("stream-truncate", 0, "fraction of -streams whose first response is forcibly cut mid-line (needs >= 2 -bers)")
+	jsonOut := fs.Bool("json", false, "append a machine-readable JSON summary line")
+	assert2xx := fs.Bool("assert-all-2xx", false, "exit non-zero unless every measured request and stream succeeded")
 	assertHit := fs.Float64("assert-warm-hitrate", 0, "exit non-zero unless the measured-phase cache hit rate reaches this fraction")
+	assertAmp := fs.Float64("assert-max-amplification", 0, "exit non-zero if retry amplification (attempts/requests) exceeds this ratio")
+	assertResumed := fs.Int("assert-resumed", 0, "exit non-zero unless at least this many interrupted streams resumed")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -72,20 +93,39 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *clients < 1 || *requests < 1 {
 		return fmt.Errorf("-clients %d and -requests %d must be positive", *clients, *requests)
 	}
+	if *faultRate < 0 || *faultRate >= 1 {
+		return fmt.Errorf("-fault-rate %v must be in [0, 1)", *faultRate)
+	}
+	if *faultRate > 0 && !*selfhost {
+		return errors.New("-fault-rate injects server-side faults and needs -selfhost (start onocd with -fault-rate for remote chaos)")
+	}
+	if *streamTrunc < 0 || *streamTrunc > 1 {
+		return fmt.Errorf("-stream-truncate %v must be in [0, 1]", *streamTrunc)
+	}
+	if *streams < 0 {
+		return fmt.Errorf("-streams %d must be non-negative", *streams)
+	}
 	grid, err := parseBERs(*bers)
 	if err != nil {
 		return err
 	}
 
+	var injector *faultinject.Injector
+	if *faultRate > 0 {
+		injector = faultinject.NewSpread(*chaosSeed, *faultRate)
+	}
 	base := *addr
 	if *selfhost {
-		_, hs, url, err := onocd.ListenLocal(onocd.Options{Workers: *workers, CacheShards: *shards})
+		_, hs, url, err := onocd.ListenLocal(onocd.Options{Workers: *workers, CacheShards: *shards, FaultInjector: injector})
 		if err != nil {
 			return err
 		}
 		defer hs.Close()
 		base = url
 		fmt.Fprintf(out, "selfhosted daemon on %s\n", base)
+		if injector != nil {
+			fmt.Fprintf(out, "chaos: injecting faults into %.0f%% of requests (seed %d)\n", *faultRate*100, *chaosSeed)
+		}
 	}
 	c := onocd.NewClient(base)
 	c.HTTP = &http.Client{Timeout: 2 * time.Minute}
@@ -135,8 +175,71 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
-	if *assert2xx && stats.Non2xx > 0 {
-		return fmt.Errorf("assert-all-2xx: %d of %d requests failed (first: %s)", stats.Non2xx, stats.Requests, stats.FirstError)
+	// Stream phase: resumable /v1/noc/batch calls over a crossbar candidate
+	// per working-set BER, optionally with forced first-response cuts.
+	var sstats onocd.StreamLoadStats
+	if *streams > 0 {
+		items := make([]onocd.NoCBatchItem, len(grid))
+		for i, ber := range grid {
+			items[i] = onocd.NoCBatchItem{NoCRequest: onocd.NoCRequest{Topology: "crossbar", Tiles: 16, TargetBER: ber}}
+		}
+		sstats, err = onocd.RunStreamLoad(ctx, base, c.HTTP, onocd.StreamLoadOptions{
+			Streams:          *streams,
+			TruncateFraction: *streamTrunc,
+			Items:            items,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "streams: %d runs (%d force-cut), %d items delivered, %d failures, %d truncations, %d resumed\n",
+			sstats.Streams, sstats.ForcedTruncations, sstats.Items, sstats.Failures, sstats.Truncated, sstats.Resumed)
+		if sstats.FirstError != "" {
+			fmt.Fprintf(out, "first stream error: %s\n", sstats.FirstError)
+		}
+	}
+
+	// Resilience summary across the load client and all stream clients.
+	cs := c.Stats()
+	totalRequests := cs.Requests + sstats.Requests
+	totalAttempts := cs.Attempts + sstats.Attempts
+	amplification := 1.0
+	if totalRequests > 0 {
+		amplification = float64(totalAttempts) / float64(totalRequests)
+	}
+	resumed := cs.ResumedStreams + sstats.Resumed
+	trips := cs.Breaker.Trips + sstats.BreakerTrips
+	fmt.Fprintf(out, "resilience: %d attempts / %d requests (%.2fx amplification), %d retries, %d breaker trips, %d resumed streams\n",
+		totalAttempts, totalRequests, amplification, cs.Retries+sstats.Retries, trips, resumed)
+
+	if *jsonOut {
+		summary := struct {
+			Load          onocd.LoadStats       `json:"load"`
+			HitRate       float64               `json:"hit_rate"`
+			Client        onocd.ClientStats     `json:"client"`
+			Streams       onocd.StreamLoadStats `json:"streams"`
+			Amplification float64               `json:"amplification"`
+			Faults        *faultinject.Counts   `json:"faults,omitempty"`
+		}{stats, hitRate, cs, sstats, amplification, nil}
+		if math.IsNaN(summary.HitRate) {
+			summary.HitRate = -1
+		}
+		if injector != nil {
+			fc := injector.Counts()
+			summary.Faults = &fc
+		}
+		enc := json.NewEncoder(out)
+		if err := enc.Encode(summary); err != nil {
+			return err
+		}
+	}
+
+	if *assert2xx && (stats.Non2xx > 0 || sstats.Failures > 0) {
+		first := stats.FirstError
+		if first == "" {
+			first = sstats.FirstError
+		}
+		return fmt.Errorf("assert-all-2xx: %d of %d requests and %d of %d streams failed (first: %s)",
+			stats.Non2xx, stats.Requests, sstats.Failures, sstats.Streams, first)
 	}
 	if *assertHit > 0 {
 		if math.IsNaN(hitRate) {
@@ -145,6 +248,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if hitRate < *assertHit {
 			return fmt.Errorf("assert-warm-hitrate: %.3f < %.3f", hitRate, *assertHit)
 		}
+	}
+	if *assertAmp > 0 && amplification > *assertAmp {
+		return fmt.Errorf("assert-max-amplification: %.3f > %.3f (%d attempts for %d requests)",
+			amplification, *assertAmp, totalAttempts, totalRequests)
+	}
+	if *assertResumed > 0 && resumed < uint64(*assertResumed) {
+		return fmt.Errorf("assert-resumed: %d resumed streams < %d", resumed, *assertResumed)
 	}
 	return nil
 }

@@ -40,6 +40,31 @@ func TestAssertHitRateFails(t *testing.T) {
 	}
 }
 
+// TestChaosSmoke is the CI chaos gate in miniature: 10% seeded server-side
+// faults, forced stream cuts, and the three resilience assertions armed. A
+// green run proves the resilient client absorbed every injected fault with
+// zero client-visible failures, bounded retry amplification, and at least
+// one stream resume.
+func TestChaosSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-selfhost", "-clients", "4", "-requests", "200",
+		"-bers", "1e-12,1e-11,1e-9",
+		"-fault-rate", "0.1", "-chaos-seed", "7",
+		"-streams", "8", "-stream-truncate", "0.5",
+		"-assert-all-2xx", "-assert-max-amplification", "1.5", "-assert-resumed", "1",
+		"-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("onocload: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"chaos: injecting faults", "streams: 8 runs (4 force-cut)", "amplification", `"resumed_streams"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{},                                 // neither -addr nor -selfhost
@@ -47,6 +72,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-selfhost", "-clients", "0"},
 		{"-selfhost", "-requests", "-1"},
 		{"-selfhost", "-bers", "fast"},
+		{"-selfhost", "-fault-rate", "1.5"},
+		{"-addr", "http://x", "-fault-rate", "0.1"}, // chaos needs -selfhost
+		{"-selfhost", "-stream-truncate", "2"},
+		{"-selfhost", "-streams", "-3"},
 		{"-nosuchflag"},
 	} {
 		var out bytes.Buffer

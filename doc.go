@@ -216,9 +216,16 @@
 //     and the closed-loop load generator (cmd/onocload); the daemon adds
 //     admission control, per-request deadlines, singleflight-coalesced cold
 //     solves over the sharded LRU, Prometheus-text metrics and SIGHUP hot
-//     reload
+//     reload; the client retries retryable failures with backoff behind a
+//     circuit breaker and resumes interrupted NDJSON streams via
+//     ?start_index
 //   - internal/apierr     — typed-error ↔ stable JSON error envelope and
 //     HTTP status mapping, shared by the daemon and the client
+//   - internal/resilience — context-aware retry with capped exponential
+//     backoff and full jitter, plus a three-state circuit breaker
+//   - internal/faultinject — deterministic seeded fault injection (latency,
+//     429/503 envelopes, connection resets, mid-stream truncation) behind
+//     onocd -fault-rate and the onocload chaos gates
 //
 // The benchmark harness in bench_test.go regenerates every table and figure
 // of the paper; engine_bench_test.go compares the sequential and concurrent

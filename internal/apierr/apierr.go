@@ -4,7 +4,10 @@
 // without importing one another; the photonoc facade re-exports them.
 package apierr
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 var (
 	// ErrInvalidConfig reports a component that cannot be constructed:
@@ -25,4 +28,24 @@ var (
 	// configured concurrency limit is reached and the caller should retry
 	// after backing off (HTTP 429 with Retry-After).
 	ErrOverloaded = errors.New("photonoc: service overloaded")
+
+	// ErrUnavailable reports a transient service-side failure (HTTP 503):
+	// the request was well-formed and the service is up, but this attempt
+	// could not be served — retry after backing off. The fault injector
+	// uses it for its synthetic 5xx envelopes.
+	ErrUnavailable = errors.New("photonoc: service temporarily unavailable")
 )
+
+// Retryable reports whether a typed API error is worth retrying on an
+// idempotent request: the overload (429), unavailable (503) and
+// server-side deadline (504) envelopes all describe transient conditions
+// that a later attempt may not hit. Invalid input/config (400), infeasible
+// operating points (422) and a cancellation of the caller's own context
+// are deterministic or intentional — retrying them only repeats the
+// failure. Transport-level errors never reach this function; the client
+// classifies them separately.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

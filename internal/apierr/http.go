@@ -32,6 +32,7 @@ const (
 	CodeInvalidInput  = "invalid_input"
 	CodeInfeasible    = "infeasible"
 	CodeOverloaded    = "overloaded"
+	CodeUnavailable   = "unavailable"
 	CodeDeadline      = "deadline_exceeded"
 	CodeCanceled      = "canceled"
 	CodeInternal      = "internal"
@@ -42,6 +43,7 @@ const (
 //	ErrInvalidConfig, ErrInvalidInput → 400 (the request itself is wrong)
 //	ErrInfeasible                    → 422 (well-formed, but no scheme closes it)
 //	ErrOverloaded                    → 429 (admission control; retry later)
+//	ErrUnavailable                   → 503 (transient service failure; retry later)
 //	context.DeadlineExceeded         → 504 (the per-request deadline expired)
 //	context.Canceled                 → 499 (client went away, nginx convention)
 //	anything else                    → 500
@@ -53,6 +55,8 @@ func HTTPStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrInfeasible):
@@ -72,6 +76,8 @@ func Code(err error) string {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return CodeOverloaded
+	case errors.Is(err, ErrUnavailable):
+		return CodeUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadline
 	case errors.Is(err, ErrInfeasible):
@@ -111,6 +117,8 @@ func FromEnvelope(e Envelope) error {
 		sentinel = ErrInfeasible
 	case CodeOverloaded:
 		sentinel = ErrOverloaded
+	case CodeUnavailable:
+		sentinel = ErrUnavailable
 	case CodeDeadline:
 		sentinel = context.DeadlineExceeded
 	case CodeCanceled:

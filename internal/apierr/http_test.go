@@ -18,6 +18,7 @@ func TestHTTPStatusAndCode(t *testing.T) {
 		{ErrInvalidInput, 400, CodeInvalidInput},
 		{ErrInfeasible, 422, CodeInfeasible},
 		{ErrOverloaded, 429, CodeOverloaded},
+		{ErrUnavailable, 503, CodeUnavailable},
 		{context.DeadlineExceeded, 504, CodeDeadline},
 		{context.Canceled, 499, CodeCanceled},
 		{errors.New("surprise"), 500, CodeInternal},
@@ -57,7 +58,7 @@ func TestEnvelopeStableShape(t *testing.T) {
 func TestEnvelopeRoundTrip(t *testing.T) {
 	for _, sentinel := range []error{
 		ErrInvalidConfig, ErrInvalidInput, ErrInfeasible, ErrOverloaded,
-		context.DeadlineExceeded, context.Canceled,
+		ErrUnavailable, context.DeadlineExceeded, context.Canceled,
 	} {
 		_, env := EnvelopeFor(fmt.Errorf("%w: details", sentinel))
 		back := FromEnvelope(env)
@@ -70,5 +71,36 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	err := FromEnvelope(Envelope{Error: ErrorBody{Code: "martian", Message: "m", Status: 500}})
 	if err == nil || errors.Is(err, ErrInvalidInput) {
 		t.Errorf("unknown code: %v", err)
+	}
+}
+
+// TestRetryable pins the retry classification the resilient client keys
+// on: transient service conditions retry, deterministic failures do not —
+// including through envelope round-trips and wrapping.
+func TestRetryable(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{ErrOverloaded, true},
+		{ErrUnavailable, true},
+		{context.DeadlineExceeded, true},
+		{ErrInvalidInput, false},
+		{ErrInvalidConfig, false},
+		{ErrInfeasible, false},
+		{context.Canceled, false},
+		{errors.New("surprise"), false},
+		{fmt.Errorf("wrapped: %w", ErrOverloaded), true},
+	} {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+		// The classification must survive the wire envelope.
+		_, env := EnvelopeFor(tc.err)
+		if env.Error.Code != CodeInternal {
+			if got := Retryable(FromEnvelope(env)); got != tc.want {
+				t.Errorf("Retryable(round-trip %v) = %v, want %v", tc.err, got, tc.want)
+			}
+		}
 	}
 }

@@ -205,14 +205,17 @@ func (e *Engine) acquireSession() *NetworkSession {
 
 func (e *Engine) releaseSession(s *NetworkSession) { e.sessions.Put(s) }
 
-// batchInto evaluates a candidate population and hands each result, with
-// its population index, to emit. Candidates are split into contiguous
-// per-worker chunks rather than interleaved, so neighboring candidates
-// land on the same session and the fingerprint diff sees the chain
-// locality autotuner populations have. emit may run concurrently from
-// different workers but is called exactly once per completed candidate;
-// the *noc.Result is only valid for the duration of the call.
-func (e *Engine) batchInto(ctx context.Context, cands []NetworkCandidate, emit func(int, *noc.Result)) error {
+// batchInto evaluates a candidate population and hands each outcome, with
+// its population index, to emit — a result on success, a *CandidateError on
+// failure (only in continueOnError mode; in strict mode the first failure
+// aborts the batch and emit never sees an error). Candidates are split into
+// contiguous per-worker chunks rather than interleaved, so neighboring
+// candidates land on the same session and the fingerprint diff sees the
+// chain locality autotuner populations have. emit may run concurrently from
+// different workers but is called exactly once per completed candidate; the
+// *noc.Result is only valid for the duration of the call. Context
+// cancellation is terminal in both modes.
+func (e *Engine) batchInto(ctx context.Context, cands []NetworkCandidate, continueOnError bool, emit func(int, *noc.Result, *CandidateError)) error {
 	if len(cands) == 0 {
 		return fmt.Errorf("%w: empty candidate population", ErrInvalidInput)
 	}
@@ -226,11 +229,15 @@ func (e *Engine) batchInto(ctx context.Context, cands []NetworkCandidate, emit f
 		for i := range cands {
 			res, err := sess.Evaluate(ctx, cands[i])
 			if err != nil {
+				if continueOnError && ctx.Err() == nil {
+					emit(i, nil, &CandidateError{Index: i, Err: err})
+					continue
+				}
 				return fmt.Errorf("candidate %d: %w", i, err)
 			}
-			emit(i, res)
+			emit(i, res, nil)
 		}
-		return nil
+		return ctx.Err()
 	}
 
 	poolCtx, cancel := context.WithCancel(ctx)
@@ -269,10 +276,17 @@ func (e *Engine) batchInto(ctx context.Context, cands []NetworkCandidate, emit f
 				}
 				res, err := sess.Evaluate(poolCtx, cands[i])
 				if err != nil {
+					// The pool context going down means the whole batch is
+					// being torn down (cancellation or a sibling's strict
+					// failure) — never record that as a candidate failure.
+					if continueOnError && poolCtx.Err() == nil {
+						emit(i, nil, &CandidateError{Index: i, Err: err})
+						continue
+					}
 					fail(fmt.Errorf("candidate %d: %w", i, err))
 					return
 				}
-				emit(i, res)
+				emit(i, res, nil)
 			}
 		}(lo, hi)
 	}
@@ -291,16 +305,38 @@ func (e *Engine) batchInto(ctx context.Context, cands []NetworkCandidate, emit f
 // NetworkSession, so within a worker's contiguous chunk every candidate is
 // solved incrementally against its predecessor; cells no session can reuse
 // go through the memo cache and singleflight group like any other solve
-// (CacheStats reports both, plus SessionReuses for the diffed cells). The
-// first candidate error — or context cancellation — aborts the batch. An
+// (CacheStats reports both, plus SessionReuses for the diffed cells). An
 // infeasible candidate is not an error: its Result has Feasible == false.
 // Returned results are deep copies, independent of the pooled sessions.
-func (e *Engine) NetworkBatch(ctx context.Context, cands []NetworkCandidate) ([]noc.Result, error) {
+//
+// By default the first candidate error — or context cancellation — aborts
+// the batch with a nil slice. With BatchOptions.ContinueOnError the batch
+// runs to completion instead: the returned slice holds every successful
+// result (failed indices keep the zero Result), and the error is a
+// *BatchErrors listing each failure as an indexed CandidateError, ordered
+// by index. Cancellation stays terminal either way.
+func (e *Engine) NetworkBatch(ctx context.Context, cands []NetworkCandidate, opts ...BatchOptions) ([]noc.Result, error) {
+	opt := batchOptions(opts)
 	out := make([]noc.Result, len(cands))
-	if err := e.batchInto(ctx, cands, func(i int, res *noc.Result) {
+	var (
+		mu    sync.Mutex
+		fails []*CandidateError
+	)
+	if err := e.batchInto(ctx, cands, opt.ContinueOnError, func(i int, res *noc.Result, cerr *CandidateError) {
+		if cerr != nil {
+			mu.Lock()
+			fails = append(fails, cerr)
+			mu.Unlock()
+			return
+		}
 		out[i] = res.Clone()
 	}); err != nil {
 		return nil, err
+	}
+	if len(fails) > 0 {
+		be := &BatchErrors{Errors: fails}
+		be.sortByIndex()
+		return out, be
 	}
 	return out, nil
 }
@@ -312,7 +348,14 @@ func (e *Engine) NetworkBatch(ctx context.Context, cands []NetworkCandidate) ([]
 // the producer never blocks and abandoning the stream leaks nothing. On
 // error or cancellation the stream ends early with a final NetworkResult
 // carrying Err; the channel is always closed.
-func (e *Engine) NetworkBatchStream(ctx context.Context, cands []NetworkCandidate) <-chan NetworkResult {
+//
+// With BatchOptions.ContinueOnError a failed candidate occupies its own
+// slot in the stream — a NetworkResult whose Err is a *CandidateError (so
+// errors.As distinguishes it from a terminal abort) — and the stream keeps
+// going; every candidate gets exactly one item. Cancellation still ends the
+// stream early with a terminal Err.
+func (e *Engine) NetworkBatchStream(ctx context.Context, cands []NetworkCandidate, opts ...BatchOptions) <-chan NetworkResult {
+	opt := batchOptions(opts)
 	if len(cands) == 0 {
 		out := make(chan NetworkResult, 1)
 		out <- NetworkResult{Index: 0, Err: fmt.Errorf("%w: empty candidate population", ErrInvalidInput)}
@@ -329,7 +372,11 @@ func (e *Engine) NetworkBatchStream(ctx context.Context, cands []NetworkCandidat
 		var poolErr error
 		go func() {
 			defer close(unordered)
-			poolErr = e.batchInto(ctx, cands, func(i int, res *noc.Result) {
+			poolErr = e.batchInto(ctx, cands, opt.ContinueOnError, func(i int, res *noc.Result, cerr *CandidateError) {
+				if cerr != nil {
+					unordered <- NetworkResult{Index: i, TargetBER: cands[i].Opts.TargetBER, Err: cerr}
+					return
+				}
 				unordered <- NetworkResult{Index: i, TargetBER: res.TargetBER, Result: res.Clone()}
 			})
 		}()

@@ -332,3 +332,121 @@ func TestNetworkSessionZeroAlloc(t *testing.T) {
 		t.Errorf("steady-state session evaluation allocated %.1f times per run, want 0", allocs)
 	}
 }
+
+// TestNetworkBatchContinueOnError: partial-failure mode evaluates every
+// good candidate to the same bits as a cold reference, records each bad one
+// as an indexed CandidateError inside a *BatchErrors, and multi-unwraps so
+// errors.Is classification reaches every record.
+func TestNetworkBatchContinueOnError(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	ref := newColdReference(t, codes)
+	good := candidateChain(codes, 8, 5)
+	badBER := good[0]
+	badBER.Opts.TargetBER = 0.7
+	badTopo := good[0]
+	badTopo.Topology = noc.Config{Kind: noc.Ring, Tiles: 99}
+	cands := make([]NetworkCandidate, 0, 10)
+	cands = append(cands, good[:3]...)
+	cands = append(cands, badBER)
+	cands = append(cands, good[3:6]...)
+	cands = append(cands, badTopo)
+	cands = append(cands, good[6:]...)
+	badIdx := map[int]bool{3: true, 7: true}
+
+	for _, workers := range []int{1, 4} {
+		e := newNetEngine(t, codes, WithWorkers(workers))
+		res, err := e.NetworkBatch(context.Background(), cands, BatchOptions{ContinueOnError: true})
+		var be *BatchErrors
+		if !errors.As(err, &be) {
+			t.Fatalf("workers=%d: err = %v, want *BatchErrors", workers, err)
+		}
+		if len(be.Errors) != 2 || be.Errors[0].Index != 3 || be.Errors[1].Index != 7 {
+			t.Fatalf("workers=%d: failure records %+v, want indices 3 and 7", workers, be.Errors)
+		}
+		if !errors.Is(be.Errors[0], ErrInvalidInput) || !errors.Is(be.Errors[1], ErrInvalidConfig) {
+			t.Fatalf("workers=%d: record causes %v / %v", workers, be.Errors[0], be.Errors[1])
+		}
+		// Multi-unwrap: the aggregate matches both sentinels.
+		if !errors.Is(err, ErrInvalidInput) || !errors.Is(err, ErrInvalidConfig) {
+			t.Fatalf("workers=%d: aggregate does not multi-unwrap: %v", workers, err)
+		}
+		if len(res) != len(cands) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res), len(cands))
+		}
+		gi := 0
+		for i, r := range res {
+			if badIdx[i] {
+				var zero noc.Result
+				if !reflect.DeepEqual(r, zero) {
+					t.Fatalf("workers=%d: failed index %d has a non-zero result", workers, i)
+				}
+				continue
+			}
+			if want := ref.evaluate(good[gi]); !reflect.DeepEqual(r, want) {
+				t.Fatalf("workers=%d: partial-mode result %d differs from cold reference", workers, i)
+			}
+			gi++
+		}
+	}
+}
+
+// TestNetworkBatchStreamContinueOnError: in partial mode every candidate
+// gets exactly one stream slot in order — failures as *CandidateError items
+// — while cancellation stays terminal.
+func TestNetworkBatchStreamContinueOnError(t *testing.T) {
+	codes := ecc.PaperSchemes()
+	e := newNetEngine(t, codes, WithWorkers(4))
+	good := NetworkCandidate{
+		Topology: noc.Config{Kind: noc.Crossbar, Tiles: 8},
+		Opts:     noc.EvalOptions{TargetBER: 1e-9, Objective: manager.MinEnergy},
+	}
+	bad := good
+	bad.Opts.TargetBER = 0.7
+	cands := []NetworkCandidate{good, bad, good, bad, good}
+
+	batch, berr := e.NetworkBatch(context.Background(), cands, BatchOptions{ContinueOnError: true})
+	if berr == nil {
+		t.Fatal("batch reported no failures")
+	}
+	i := 0
+	for r := range e.NetworkBatchStream(context.Background(), cands, BatchOptions{ContinueOnError: true}) {
+		if r.Index != i {
+			t.Fatalf("stream item %d has index %d", i, r.Index)
+		}
+		if i == 1 || i == 3 {
+			var ce *CandidateError
+			if !errors.As(r.Err, &ce) || ce.Index != i || !errors.Is(ce, ErrInvalidInput) {
+				t.Fatalf("stream item %d: err = %v, want indexed CandidateError(ErrInvalidInput)", i, r.Err)
+			}
+		} else {
+			if r.Err != nil {
+				t.Fatalf("stream item %d: unexpected error %v", i, r.Err)
+			}
+			if !reflect.DeepEqual(r.Result, batch[i]) {
+				t.Fatalf("stream item %d differs from batch result", i)
+			}
+		}
+		i++
+	}
+	if i != len(cands) {
+		t.Fatalf("stream yielded %d items, want %d", i, len(cands))
+	}
+
+	// Cancellation is terminal even in partial mode: no CandidateError
+	// wrapping, the stream just ends with context.Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var last NetworkResult
+	n := 0
+	for r := range e.NetworkBatchStream(ctx, cands, BatchOptions{ContinueOnError: true}) {
+		last = r
+		n++
+	}
+	var ce *CandidateError
+	if !errors.Is(last.Err, context.Canceled) || errors.As(last.Err, &ce) {
+		t.Fatalf("canceled partial stream: last err = %v after %d items", last.Err, n)
+	}
+	if _, err := e.NetworkBatch(ctx, cands, BatchOptions{ContinueOnError: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled partial batch err = %v", err)
+	}
+}

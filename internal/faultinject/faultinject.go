@@ -1,0 +1,370 @@
+// Package faultinject is the deterministic chaos layer of the serving
+// stack. One seeded Injector drives both sides of the wire: as onocd
+// middleware it delays, rejects (429/503 envelopes), resets, or truncates
+// responses mid-stream; as an http.RoundTripper wrapper it does the same to
+// a client without a server in the loop. Every fault decision is one draw
+// from a single mutex-guarded RNG, so a given seed replays the same fault
+// mix — the CI chaos gate depends on that. The injector is never built in
+// the default path: onocd only constructs one when -fault-rate > 0.
+package faultinject
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"photonoc/internal/apierr"
+)
+
+// ErrInjectedReset is the transport-level error surfaced by the client-side
+// wrapper when a reset fault fires: the request never reaches the wrapped
+// transport, mimicking a connection torn down before the response.
+var ErrInjectedReset = fmt.Errorf("faultinject: injected connection reset")
+
+// Rates holds per-fault-mode probabilities. They are cumulative in spirit:
+// on each request a single uniform draw lands in at most one mode, so the
+// total fault probability is the sum (which must stay ≤ 1).
+type Rates struct {
+	// Latency delays the request by Options.Latency, then serves normally.
+	Latency float64
+	// Reject answers 429 with an overloaded envelope and a Retry-After.
+	Reject float64
+	// Unavailable answers 503 with an unavailable envelope.
+	Unavailable float64
+	// Reset aborts the connection with no usable response.
+	Reset float64
+	// Truncate serves the real response but cuts the body mid-stream. It
+	// only fires on routes marked streaming; elsewhere the draw is a no-op
+	// (the request serves normally) so single-shot routes never see a
+	// half-written JSON object.
+	Truncate float64
+}
+
+// Total is the summed fault probability.
+func (r Rates) Total() float64 {
+	return r.Latency + r.Reject + r.Unavailable + r.Reset + r.Truncate
+}
+
+// Spread splits a total fault rate across the modes in the mix the chaos
+// harness wants: mostly retryable envelopes and latency, a meaningful slice
+// of resets and truncations so resume paths actually run.
+func Spread(rate float64) Rates {
+	return Rates{
+		Latency:     0.30 * rate,
+		Reject:      0.25 * rate,
+		Unavailable: 0.20 * rate,
+		Reset:       0.15 * rate,
+		Truncate:    0.10 * rate,
+	}
+}
+
+// Options configures an Injector; zero fields take defaults.
+type Options struct {
+	// Seed fixes the fault RNG stream (0 means 1).
+	Seed int64
+	// Rates are the per-mode probabilities.
+	Rates Rates
+	// Latency is the injected delay when a latency fault fires (default
+	// 5ms — enough to perturb tails without stretching chaos runs).
+	Latency time.Duration
+	// RetryAfter is the Retry-After header value on injected 429s (default
+	// "0" so chaos runs stay fast; production admission control sends "1",
+	// and the client's floor parsing has its own unit test).
+	RetryAfter string
+	// TruncateMinBytes/TruncateSpanBytes bound the body budget of a
+	// truncate fault: budget = min + draw(span). Defaults 64 and 4032, so
+	// cuts land anywhere from inside the first item to a few KB in.
+	TruncateMinBytes  int
+	TruncateSpanBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Latency == 0 {
+		o.Latency = 5 * time.Millisecond
+	}
+	if o.RetryAfter == "" {
+		o.RetryAfter = "0"
+	}
+	if o.TruncateMinBytes == 0 {
+		o.TruncateMinBytes = 64
+	}
+	if o.TruncateSpanBytes == 0 {
+		o.TruncateSpanBytes = 4032
+	}
+	return o
+}
+
+// Counts is a point-in-time snapshot of injected faults, keyed the same way
+// as the onocd /metrics fault counters.
+type Counts struct {
+	Requests     uint64 `json:"requests"`
+	Latencies    uint64 `json:"latencies"`
+	Rejects      uint64 `json:"rejects"`
+	Unavailables uint64 `json:"unavailables"`
+	Resets       uint64 `json:"resets"`
+	Truncates    uint64 `json:"truncates"`
+}
+
+// Faults is the total number of injected faults in the snapshot.
+func (c Counts) Faults() uint64 {
+	return c.Latencies + c.Rejects + c.Unavailables + c.Resets + c.Truncates
+}
+
+// kind is the outcome of one fault draw.
+type kind int
+
+const (
+	none kind = iota
+	latency
+	reject
+	unavailable
+	reset
+	truncate
+)
+
+// Injector makes seeded fault decisions. Safe for concurrent use; the RNG
+// and counters share one mutex, held only for the draw.
+type Injector struct {
+	opts Options
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts Counts
+}
+
+// New builds an injector (zero option fields defaulted).
+func New(opts Options) *Injector {
+	opts = opts.withDefaults()
+	return &Injector{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// NewSpread is the common construction: one total rate, the standard mix.
+func NewSpread(seed int64, rate float64) *Injector {
+	return New(Options{Seed: seed, Rates: Spread(rate)})
+}
+
+// Counts snapshots the fault counters.
+func (inj *Injector) Counts() Counts {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.counts
+}
+
+// decide makes the per-request draw: one uniform sample against cumulative
+// mode thresholds, plus (for truncate) the body budget from the same
+// stream. Counters update under the same lock so Counts is consistent.
+func (inj *Injector) decide(streaming bool) (kind, int) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.counts.Requests++
+	u := inj.rng.Float64()
+	r := inj.opts.Rates
+	budget := 0
+	var k kind
+	switch {
+	case u < r.Latency:
+		k = latency
+	case u < r.Latency+r.Reject:
+		k = reject
+	case u < r.Latency+r.Reject+r.Unavailable:
+		k = unavailable
+	case u < r.Latency+r.Reject+r.Unavailable+r.Reset:
+		k = reset
+	case u < r.Latency+r.Reject+r.Unavailable+r.Reset+r.Truncate:
+		if streaming {
+			k = truncate
+			budget = inj.opts.TruncateMinBytes + inj.rng.Intn(inj.opts.TruncateSpanBytes)
+		}
+	}
+	switch k {
+	case latency:
+		inj.counts.Latencies++
+	case reject:
+		inj.counts.Rejects++
+	case unavailable:
+		inj.counts.Unavailables++
+	case reset:
+		inj.counts.Resets++
+	case truncate:
+		inj.counts.Truncates++
+	}
+	return k, budget
+}
+
+// envelopeBody renders the injected-fault error envelope for a mode.
+func envelopeBody(sentinel error) (int, []byte) {
+	status, env := apierr.EnvelopeFor(fmt.Errorf("%w: injected fault", sentinel))
+	raw := append(mustMarshal(env), '\n')
+	return status, raw
+}
+
+func mustMarshal(env apierr.Envelope) []byte {
+	// The envelope shape is pinned by apierr's own tests; marshal cannot
+	// fail on it.
+	raw, err := json.Marshal(env)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// Middleware wraps an onocd handler. streaming marks NDJSON routes, the
+// only ones eligible for truncate faults.
+func (inj *Injector) Middleware(next http.Handler, streaming bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		k, budget := inj.decide(streaming)
+		switch k {
+		case latency:
+			time.Sleep(inj.opts.Latency)
+		case reject:
+			status, body := envelopeBody(apierr.ErrOverloaded)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", inj.opts.RetryAfter)
+			w.WriteHeader(status)
+			w.Write(body)
+			return
+		case unavailable:
+			status, body := envelopeBody(apierr.ErrUnavailable)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write(body)
+			return
+		case reset:
+			// net/http treats ErrAbortHandler as "tear down the connection
+			// quietly": the client sees an unexpected EOF, not a response.
+			panic(http.ErrAbortHandler)
+		case truncate:
+			w = &truncWriter{ResponseWriter: w, remaining: budget}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncWriter forwards writes until the byte budget runs out, then flushes
+// what was written and aborts the connection — the client observes a
+// response cut mid-stream, possibly mid-line.
+type truncWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (w *truncWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if len(p) > w.remaining {
+		w.ResponseWriter.Write(p[:w.remaining])
+		w.remaining = 0
+		w.Flush()
+		panic(http.ErrAbortHandler)
+	}
+	w.remaining -= len(p)
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush keeps NDJSON handlers' per-item flushing working through the wrap.
+func (w *truncWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Transport wraps an http.RoundTripper with the same fault model, for
+// exercising a client without a faulty server. Reset faults fail before the
+// wrapped transport runs; truncate faults cut the real response body so it
+// ends in io.ErrUnexpectedEOF.
+func (inj *Injector) Transport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &transport{inj: inj, next: next}
+}
+
+type transport struct {
+	inj  *Injector
+	next http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Streaming-ness is keyed off the Accept header the onocd client sets
+	// for NDJSON routes.
+	streaming := req.Header.Get("Accept") == "application/x-ndjson"
+	k, budget := t.inj.decide(streaming)
+	switch k {
+	case latency:
+		time.Sleep(t.inj.opts.Latency)
+	case reject:
+		status, body := envelopeBody(apierr.ErrOverloaded)
+		resp := synthetic(req, status, body)
+		resp.Header.Set("Retry-After", t.inj.opts.RetryAfter)
+		return resp, nil
+	case unavailable:
+		status, body := envelopeBody(apierr.ErrUnavailable)
+		return synthetic(req, status, body), nil
+	case reset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrInjectedReset
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err == nil && k == truncate {
+		resp.Body = &truncBody{rc: resp.Body, remaining: budget}
+		resp.ContentLength = -1
+	}
+	return resp, err
+}
+
+// synthetic builds an injected JSON response without touching the network.
+func synthetic(req *http.Request, status int, body []byte) *http.Response {
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncBody passes through the real body until the budget runs out, then
+// reports io.ErrUnexpectedEOF — exactly what a torn connection looks like
+// to a reader.
+type truncBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *truncBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	return n, err
+}
+
+func (b *truncBody) Close() error { return b.rc.Close() }
+
+// String summarizes the configuration for startup logs.
+func (inj *Injector) String() string {
+	return "faultinject: rate=" + strconv.FormatFloat(inj.opts.Rates.Total(), 'g', 3, 64) +
+		" seed=" + strconv.FormatInt(inj.opts.Seed, 10)
+}

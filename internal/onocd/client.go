@@ -5,18 +5,22 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
 	"photonoc/internal/apierr"
 	"photonoc/internal/core"
 	"photonoc/internal/ecc"
+	"photonoc/internal/engine"
 	"photonoc/internal/mc"
 	"photonoc/internal/netsim"
 	"photonoc/internal/noc"
+	"photonoc/internal/resilience"
 )
 
 // Client is a typed onocd client. Errors decoded from the daemon's JSON
@@ -24,15 +28,31 @@ import (
 // a remote failure exactly as it would in process. Client implements
 // core.Evaluator, which is what lets onocsim push per-transfer manager
 // decisions through a remote daemon.
+//
+// Every call is resilient by default: retryable failures (429/503/504,
+// transport errors, truncated streams) are retried with capped
+// exponential backoff and full jitter, honoring the server's Retry-After
+// as a delay floor, behind a circuit breaker that fails fast while the
+// daemon is down. Every daemon route is a pure, deterministic evaluation,
+// so retrying a request that may already have executed is always safe.
+// Interrupted NDJSON streams resume from the last delivered item via
+// ?start_index. Stats snapshots the counters.
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:9137".
 	Base string
 	// HTTP is the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Retry is the backoff policy; nil defaults on first use. Set
+	// resilience.NewRetrier(resilience.NoRetry()) for fail-fast semantics
+	// (a first failure is final, but error typing is unchanged).
+	Retry *resilience.Retrier
+	// Breaker is the circuit breaker; nil defaults on first use.
+	Breaker *resilience.Breaker
 
-	// mu guards the revalidation cache below: the last /v1/config body and
-	// its ETag, served back on a 304 Not Modified.
+	// mu guards the resilience counters and the revalidation cache below:
+	// the last /v1/config body and its ETag, served back on a 304.
 	mu        sync.Mutex
+	stats     ClientStats
 	configTag string
 	config    ConfigResponse
 }
@@ -49,40 +69,68 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// roundTrip issues one request and decodes either the response body or the
-// error envelope into a typed error.
-func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
-			return fmt.Errorf("onocd: encode %s request: %w", path, err)
-		}
-		body = bytes.NewReader(raw)
+// send issues one HTTP request and returns the response on HTTP success; a
+// non-2xx status or a request-level failure comes back as a typed error
+// (Retry-After-decorated when the server set a retry horizon).
+func (c *Client) send(ctx context.Context, method, path, contentType string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return fmt.Errorf("onocd: %s %s: %w", method, path, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("%w: %s %s: %v", errTransport, method, path, err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
+		defer resp.Body.Close()
+		derr := decodeError(resp)
+		if floor := retryAfterFloor(resp); floor > 0 && apierr.Retryable(derr) {
+			return nil, &retryAfterError{err: derr, floor: floor}
+		}
+		return nil, derr
 	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	return resp, nil
+}
+
+// roundTrip issues one request under the retry/breaker loop and decodes
+// either the response body or the error envelope into a typed error.
+func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any) error {
+	var raw []byte
+	contentType := ""
+	if in != nil {
+		var err error
+		if raw, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("onocd: encode %s request: %w", path, err)
+		}
+		contentType = "application/json"
+	}
+	return c.withRetries(ctx, func() error {
+		resp, err := c.send(ctx, method, path, contentType, raw)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if out == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			// A 2xx body that does not decode is a torn or corrupted
+			// response, not a server verdict — classify as transport.
+			return fmt.Errorf("%w: decode %s response: %v", errTransport, path, err)
+		}
 		return nil
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("onocd: decode %s response: %w", path, err)
-	}
-	return nil
+	})
 }
 
 // decodeError turns a non-2xx response into a typed error via the stable
@@ -101,36 +149,46 @@ func decodeError(resp *http.Response) error {
 // ETag, so steady-state polls cost a bodyless 304 and are served from the
 // cached copy; a hot reload changes the fingerprint and refetches.
 func (c *Client) Config(ctx context.Context) (ConfigResponse, error) {
-	c.mu.Lock()
-	tag, cached := c.configTag, c.config
-	c.mu.Unlock()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/config", nil)
+	var out ConfigResponse
+	err := c.withRetries(ctx, func() error {
+		c.mu.Lock()
+		tag, cached := c.configTag, c.config
+		c.mu.Unlock()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/config", nil)
+		if err != nil {
+			return err
+		}
+		if tag != "" {
+			req.Header.Set("If-None-Match", tag)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return fmt.Errorf("%w: GET /v1/config: %v", errTransport, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusNotModified && tag != "" {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			out = cached
+			return nil
+		}
+		if resp.StatusCode/100 != 2 {
+			return decodeError(resp)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("%w: decode /v1/config response: %v", errTransport, err)
+		}
+		if tag := resp.Header.Get("ETag"); tag != "" {
+			c.mu.Lock()
+			c.configTag, c.config = tag, out
+			c.mu.Unlock()
+		}
+		return nil
+	})
 	if err != nil {
 		return ConfigResponse{}, err
-	}
-	if tag != "" {
-		req.Header.Set("If-None-Match", tag)
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return ConfigResponse{}, fmt.Errorf("onocd: GET /v1/config: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotModified && tag != "" {
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck
-		return cached, nil
-	}
-	if resp.StatusCode/100 != 2 {
-		return ConfigResponse{}, decodeError(resp)
-	}
-	var out ConfigResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return ConfigResponse{}, fmt.Errorf("onocd: decode /v1/config response: %w", err)
-	}
-	if tag := resp.Header.Get("ETag"); tag != "" {
-		c.mu.Lock()
-		c.configTag, c.config = tag, out
-		c.mu.Unlock()
 	}
 	return out, nil
 }
@@ -173,55 +231,125 @@ func (c *Client) NetworkEval(ctx context.Context, req NoCRequest) (noc.Result, e
 
 // NetworkSweep streams a network sweep from the daemon, invoking fn per
 // NDJSON line in batch (BER) order. A terminal stream error is returned as
-// the typed error it carried.
+// the typed error it carried. An interrupted stream is resumed
+// transparently from the last delivered item via ?start_index, so fn sees
+// every index exactly once regardless of how many reconnects it took.
 func (c *Client) NetworkSweep(ctx context.Context, req NoCRequest, fn func(int, float64, noc.Result) error) error {
 	raw, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("onocd: encode sweep request: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/noc/sweep", bytes.NewReader(raw))
-	if err != nil {
-		return err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(hreq)
-	if err != nil {
-		return fmt.Errorf("onocd: POST /v1/noc/sweep: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
-	}
-	return scanNoCStream(resp.Body, fn)
+	return c.streamNoC(ctx, "/v1/noc/sweep", "application/json", raw, len(req.TargetBERs),
+		func(item NoCStreamItem) error {
+			if item.Partial {
+				return fmt.Errorf("onocd: unexpected partial item %d on /v1/noc/sweep", item.Index)
+			}
+			res, err := item.Result.Core()
+			if err != nil {
+				return err
+			}
+			return fn(item.Index, item.TargetBER, res)
+		})
 }
 
-// scanNoCStream drains an NDJSON NoCStreamItem body, rebuilding each
-// in-process result and surfacing a terminal stream error as its typed
-// sentinel. Shared by NetworkSweep and NetworkBatch.
-func scanNoCStream(body io.Reader, fn func(int, float64, noc.Result) error) error {
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+// streamNoC runs one resumable NDJSON stream call: POST body to path, scan
+// NoCStreamItem lines through onItem, and on interruption reconnect with
+// ?start_index so the daemon replays only the missing suffix. The stream
+// is complete when expect items have been delivered (or a terminal item
+// ended it); a clean EOF short of that is a truncation like any other —
+// some cuts land exactly on a line boundary.
+func (c *Client) streamNoC(ctx context.Context, path, contentType string, body []byte, expect int, onItem func(NoCStreamItem) error) error {
+	next := 0
+	return c.withRetries(ctx, func() error {
+		before := next
+		p := path
+		if next > 0 {
+			sep := "?"
+			if strings.Contains(path, "?") {
+				sep = "&"
+			}
+			p = path + sep + "start_index=" + strconv.Itoa(next)
+		}
+		resp, err := c.send(ctx, http.MethodPost, p, contentType, body)
+		if err != nil {
+			return err
+		}
+		if next > 0 {
+			c.countResume(false)
+		}
+		err = scanNoCStream(resp.Body, &next, onItem)
+		resp.Body.Close()
+		if err == nil && next < expect {
+			err = &TruncatedStreamError{LastIndex: next - 1, Cause: io.ErrUnexpectedEOF}
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrTruncatedStream) {
+			c.countResume(true)
+		}
+		if next > before {
+			return &streamProgressError{err: err}
+		}
+		return err
+	})
+}
+
+// scanNoCStream drains an NDJSON NoCStreamItem body starting at item
+// *next: each in-order item is dispatched to onItem and advances the
+// cursor; a terminal error item (Error set, not Partial) surfaces as its
+// typed sentinel. A body that ends mid-line — or dies with a read error —
+// is a *TruncatedStreamError carrying the last intact index, which the
+// resume loop turns into a reconnect.
+func scanNoCStream(body io.Reader, next *int, onItem func(NoCStreamItem) error) error {
+	rd := bufio.NewReaderSize(body, 1<<16)
+	for {
+		line, err := rd.ReadBytes('\n')
+		if err != nil {
+			if len(bytes.TrimSpace(line)) > 0 || !errors.Is(err, io.EOF) {
+				// A partial final line, or the connection died: everything
+				// before the last newline was delivered intact.
+				cause := err
+				if errors.Is(err, io.EOF) {
+					cause = io.ErrUnexpectedEOF
+				}
+				return &TruncatedStreamError{LastIndex: *next - 1, Cause: cause}
+			}
+			return nil // clean EOF at a line boundary
+		}
+		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
 			continue
 		}
 		var item NoCStreamItem
 		if err := json.Unmarshal(line, &item); err != nil {
+			// The line arrived complete (newline-terminated) but does not
+			// parse: a protocol bug, not a truncation — do not resume.
 			return fmt.Errorf("onocd: decode stream line: %w", err)
 		}
-		if item.Error != nil {
+		if item.Error != nil && !item.Partial {
 			return apierr.FromEnvelope(apierr.Envelope{Error: *item.Error})
 		}
-		res, err := item.Result.Core()
-		if err != nil {
+		if item.Index != *next {
+			return fmt.Errorf("onocd: stream item index %d, want %d", item.Index, *next)
+		}
+		if err := onItem(item); err != nil {
 			return err
 		}
-		if err := fn(item.Index, item.TargetBER, res); err != nil {
-			return err
+		*next++
+	}
+}
+
+// encodeBatchItems renders the NDJSON request body of /v1/noc/batch.
+func encodeBatchItems(items []NoCBatchItem) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, it := range items {
+		if err := enc.Encode(it); err != nil {
+			return nil, fmt.Errorf("onocd: encode batch request: %w", err)
 		}
 	}
-	return sc.Err()
+	return buf.Bytes(), nil
 }
 
 // NetworkBatch streams a candidate-population evaluation from the daemon:
@@ -229,29 +357,71 @@ func scanNoCStream(body io.Reader, fn func(int, float64, noc.Result) error) erro
 // once per candidate in population order with the rebuilt result. One
 // request amortizes HTTP overhead over the whole population, and the
 // daemon's worker sessions diff neighboring candidates incrementally. A
-// terminal stream error is returned as the typed error it carried.
+// terminal stream error is returned as the typed error it carried; an
+// interrupted stream resumes transparently from the last delivered item.
+// This is the strict mode: the first failing candidate ends the batch. Use
+// NetworkBatchPartial to keep going past per-candidate failures.
 func (c *Client) NetworkBatch(ctx context.Context, items []NoCBatchItem, fn func(int, float64, noc.Result) error) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, it := range items {
-		if err := enc.Encode(it); err != nil {
-			return fmt.Errorf("onocd: encode batch request: %w", err)
-		}
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/noc/batch", bytes.NewReader(buf.Bytes()))
+	body, err := encodeBatchItems(items)
 	if err != nil {
 		return err
 	}
-	hreq.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := c.httpClient().Do(hreq)
+	return c.streamNoC(ctx, "/v1/noc/batch", "application/x-ndjson", body, len(items),
+		func(item NoCStreamItem) error {
+			if item.Partial {
+				return fmt.Errorf("onocd: unexpected partial item %d on strict /v1/noc/batch", item.Index)
+			}
+			res, err := item.Result.Core()
+			if err != nil {
+				return err
+			}
+			return fn(item.Index, item.TargetBER, res)
+		})
+}
+
+// NetworkBatchPartial is the partial-failure variant of NetworkBatch
+// (?continue_on_error=1): a failed candidate — infeasible input, a bad
+// scheme name, an invalid topology — becomes an indexed error record
+// instead of ending the batch, and fn still runs for every candidate that
+// succeeded. The returned error is nil when everything succeeded, a
+// *engine.BatchErrors aggregating typed engine.CandidateError records
+// (ordered by index, multi-unwrapping for errors.Is) when some candidates
+// failed, or the terminal error if the stream itself died unrecoverably.
+func (c *Client) NetworkBatchPartial(ctx context.Context, items []NoCBatchItem, fn func(int, float64, noc.Result) error) error {
+	body, err := encodeBatchItems(items)
 	if err != nil {
-		return fmt.Errorf("onocd: POST /v1/noc/batch: %w", err)
+		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
+	var fails []*engine.CandidateError
+	seen := make(map[int]bool)
+	err = c.streamNoC(ctx, "/v1/noc/batch?continue_on_error=1", "application/x-ndjson", body, len(items),
+		func(item NoCStreamItem) error {
+			if item.Partial {
+				// Defensive dedupe: the server does not replay partial
+				// records below start_index, but a record must never be
+				// double-counted even if one slips through a resume.
+				if !seen[item.Index] {
+					seen[item.Index] = true
+					fails = append(fails, &engine.CandidateError{
+						Index: item.Index,
+						Err:   apierr.FromEnvelope(apierr.Envelope{Error: *item.Error}),
+					})
+				}
+				return nil
+			}
+			res, err := item.Result.Core()
+			if err != nil {
+				return err
+			}
+			return fn(item.Index, item.TargetBER, res)
+		})
+	if err != nil {
+		return err
 	}
-	return scanNoCStream(resp.Body, fn)
+	if len(fails) > 0 {
+		return &engine.BatchErrors{Errors: fails}
+	}
+	return nil
 }
 
 // NetworkSim runs the network discrete-event simulator on the daemon.

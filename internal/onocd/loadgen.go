@@ -4,10 +4,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"photonoc/internal/noc"
 )
 
 // LoadOptions parameterizes one closed-loop load phase: Clients goroutines
@@ -121,3 +125,157 @@ func (s LoadStats) WriteTable(w io.Writer, label string) {
 	fmt.Fprintf(w, "%-8s %8d req %4d non-2xx %10.1f qps   p50 %10s  p90 %10s  p99 %10s  max %10s\n",
 		label, s.Requests, s.Non2xx, s.QPS, s.P50, s.P90, s.P99, s.Max)
 }
+
+// StreamLoadOptions parameterizes the resumable-stream phase of the load
+// harness: Streams sequential /v1/noc/batch NDJSON calls over the same
+// candidate list, a leading fraction of which get their first response
+// forcibly cut mid-line to exercise the client's start_index resume path.
+type StreamLoadOptions struct {
+	// Streams is the number of batch stream calls to run.
+	Streams int
+	// TruncateFraction is the fraction of streams (rounded up) whose first
+	// response is cut a few bytes into its second NDJSON line. Meaningful
+	// only with >= 2 candidates — a cut after the final line is just EOF.
+	TruncateFraction float64
+	// Items is the candidate list every stream evaluates.
+	Items []NoCBatchItem
+}
+
+// StreamLoadStats aggregates the stream phase across all runs.
+type StreamLoadStats struct {
+	Streams           int    `json:"streams"`
+	Items             int    `json:"items"`
+	Failures          int    `json:"failures"`
+	ForcedTruncations int    `json:"forced_truncations"`
+	Requests          uint64 `json:"requests"`
+	Attempts          uint64 `json:"attempts"`
+	Retries           uint64 `json:"retries"`
+	Resumed           uint64 `json:"resumed"`
+	Truncated         uint64 `json:"truncated"`
+	BreakerTrips      uint64 `json:"breaker_trips"`
+	FirstError        string `json:"first_error,omitempty"`
+}
+
+// RunStreamLoad runs the resumable-stream phase against the daemon at base.
+// Each stream gets a fresh client (so the per-stream resilience counters
+// aggregate cleanly); httpc supplies the shared transport, and forced
+// truncations wrap it per-stream. Failures are counted, not fatal — the
+// caller's assert flags decide whether they sink the run.
+func RunStreamLoad(ctx context.Context, base string, httpc *http.Client, opts StreamLoadOptions) (StreamLoadStats, error) {
+	st := StreamLoadStats{Streams: opts.Streams}
+	if opts.Streams <= 0 || len(opts.Items) == 0 {
+		return st, nil
+	}
+	forced := int(math.Ceil(opts.TruncateFraction * float64(opts.Streams)))
+	if forced > opts.Streams {
+		forced = opts.Streams
+	}
+	st.ForcedTruncations = forced
+	for j := 0; j < opts.Streams; j++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		sc := NewClient(base)
+		sc.HTTP = httpc
+		if j < forced {
+			rt := http.RoundTripper(http.DefaultTransport)
+			var timeout time.Duration
+			if httpc != nil {
+				timeout = httpc.Timeout
+				if httpc.Transport != nil {
+					rt = httpc.Transport
+				}
+			}
+			sc.HTTP = &http.Client{
+				Timeout:   timeout,
+				Transport: &chopTransport{next: rt, path: "/v1/noc/batch", lines: 1},
+			}
+		}
+		n := 0
+		err := sc.NetworkBatch(ctx, opts.Items, func(int, float64, noc.Result) error {
+			n++
+			return nil
+		})
+		st.Items += n
+		if err != nil {
+			st.Failures++
+			if st.FirstError == "" {
+				st.FirstError = err.Error()
+			}
+		}
+		cs := sc.Stats()
+		st.Requests += cs.Requests
+		st.Attempts += cs.Attempts
+		st.Retries += cs.Retries
+		st.Resumed += cs.ResumedStreams
+		st.Truncated += cs.TruncatedStreams
+		st.BreakerTrips += cs.Breaker.Trips
+	}
+	return st, nil
+}
+
+// chopTransport cuts the body of the first response on path a few bytes
+// into its (lines+1)-th NDJSON line; every other response passes through.
+type chopTransport struct {
+	next  http.RoundTripper
+	path  string
+	lines int
+
+	mu    sync.Mutex
+	fired bool
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *chopTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.next.RoundTrip(req)
+	if err != nil || req.URL.Path != t.path {
+		return resp, err
+	}
+	t.mu.Lock()
+	fire := !t.fired
+	t.fired = true
+	t.mu.Unlock()
+	if !fire {
+		return resp, nil
+	}
+	out := *resp
+	out.Body = &cutBody{src: resp.Body, lines: t.lines, extra: 5}
+	out.ContentLength = -1
+	return &out, nil
+}
+
+// cutBody passes through `lines` complete NDJSON lines plus `extra` bytes
+// of the next one, then fails like a torn connection. A body that ends
+// before the budget is spent passes through untouched — no truncation to
+// simulate if there was nothing left to cut.
+type cutBody struct {
+	src   io.ReadCloser
+	lines int
+	extra int
+	done  bool
+}
+
+// Read implements io.Reader.
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.done {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n, err := b.src.Read(p)
+	for i := 0; i < n; i++ {
+		if b.lines > 0 {
+			if p[i] == '\n' {
+				b.lines--
+			}
+			continue
+		}
+		if b.extra == 0 {
+			b.done = true
+			return i, io.ErrUnexpectedEOF
+		}
+		b.extra--
+	}
+	return n, err
+}
+
+// Close implements io.Closer.
+func (b *cutBody) Close() error { return b.src.Close() }

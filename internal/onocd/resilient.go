@@ -1,0 +1,261 @@
+package onocd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"photonoc/internal/apierr"
+	"photonoc/internal/resilience"
+)
+
+// ErrTruncatedStream marks an NDJSON stream that ended before delivering
+// every expected item — a torn connection, an injected truncation, or a
+// response cut mid-line. Match it with errors.Is; errors.As against
+// *TruncatedStreamError recovers the resume cursor. The client retries
+// through it transparently (resuming at start_index), so callers only see
+// it when the retry budget runs dry.
+var ErrTruncatedStream = errors.New("onocd: truncated stream")
+
+// TruncatedStreamError carries where a stream broke: LastIndex is the last
+// item delivered intact (-1 when the stream broke before the first item),
+// so a resume reconnects at LastIndex+1.
+type TruncatedStreamError struct {
+	LastIndex int
+	Cause     error
+}
+
+// Error implements error.
+func (e *TruncatedStreamError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("onocd: truncated stream after item %d: %v", e.LastIndex, e.Cause)
+	}
+	return fmt.Sprintf("onocd: truncated stream after item %d", e.LastIndex)
+}
+
+// Is matches the ErrTruncatedStream sentinel.
+func (e *TruncatedStreamError) Is(target error) bool { return target == ErrTruncatedStream }
+
+// Unwrap exposes the transport-level cause.
+func (e *TruncatedStreamError) Unwrap() error { return e.Cause }
+
+// ClientStats is a point-in-time snapshot of the client's resilience
+// counters (the client-side mirror of the server's CacheStats habit).
+type ClientStats struct {
+	// Requests counts logical calls; Attempts counts HTTP requests issued
+	// for them. Attempts/Requests is the retry amplification the chaos
+	// gate bounds.
+	Requests uint64 `json:"requests"`
+	Attempts uint64 `json:"attempts"`
+	// Retries counts attempts after the first.
+	Retries uint64 `json:"retries"`
+	// ResumedStreams counts streams continued via start_index after an
+	// interruption; TruncatedStreams counts the interruptions themselves.
+	ResumedStreams   uint64 `json:"resumed_streams"`
+	TruncatedStreams uint64 `json:"truncated_streams"`
+	// Breaker is the circuit breaker's own snapshot.
+	Breaker resilience.BreakerStats `json:"breaker"`
+}
+
+// Stats snapshots the resilience counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	if c.Breaker != nil {
+		st.Breaker = c.Breaker.Stats()
+	}
+	return st
+}
+
+// retrier returns the retry policy, defaulting on first use.
+func (c *Client) retrier() *resilience.Retrier {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Retry == nil {
+		c.Retry = resilience.NewRetrier(resilience.Policy{})
+	}
+	return c.Retry
+}
+
+// breaker returns the circuit breaker, defaulting on first use.
+func (c *Client) breaker() *resilience.Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Breaker == nil {
+		c.Breaker = resilience.NewBreaker(resilience.BreakerOptions{})
+	}
+	return c.Breaker
+}
+
+func (c *Client) countAttempt() {
+	c.mu.Lock()
+	c.stats.Attempts++
+	c.mu.Unlock()
+}
+
+func (c *Client) countRequest() {
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+}
+
+func (c *Client) countRetry() {
+	c.mu.Lock()
+	c.stats.Retries++
+	c.mu.Unlock()
+}
+
+func (c *Client) countResume(truncated bool) {
+	c.mu.Lock()
+	if truncated {
+		c.stats.TruncatedStreams++
+	} else {
+		c.stats.ResumedStreams++
+	}
+	c.mu.Unlock()
+}
+
+// retryAfterError decorates a retryable error with the server's
+// Retry-After horizon; the backoff uses it as the delay floor.
+type retryAfterError struct {
+	err   error
+	floor time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// retryAfterFloor parses a Retry-After header (delta-seconds form; the
+// HTTP-date form is not worth supporting for a service we also wrote) into
+// a backoff floor. Admission control sends "1": one full second before the
+// retry, exactly as the server asked.
+func retryAfterFloor(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryableErr classifies what the retry loop may try again: retryable API
+// codes (overloaded, unavailable, deadline — see apierr.Retryable), an open
+// circuit (the floor is the breaker cooldown), stream truncation, and
+// transport-level failures. Deterministic rejections (400/422), caller
+// cancellation and callback errors are final.
+func retryableErr(err error) bool {
+	switch {
+	case err == nil, errors.Is(err, context.Canceled):
+		return false
+	case apierr.Retryable(err), errors.Is(err, resilience.ErrOpen), errors.Is(err, ErrTruncatedStream):
+		return true
+	case errors.Is(err, errTransport):
+		return true
+	default:
+		return false
+	}
+}
+
+// errTransport tags request-level failures (connection refused/reset, EOF
+// before a response) so the classification above can match them without
+// enumerating net's error zoo. Every route on the daemon is a pure,
+// deterministic evaluation, so retrying a request that may have executed is
+// always safe.
+var errTransport = errors.New("onocd: transport failure")
+
+// withRetries runs op under the client's retry budget, breaker and backoff.
+// op reports whether it made durable progress (a stream that delivered new
+// items) alongside its error; progress resets the consecutive-failure
+// budget, so a long stream interrupted many times still completes as long
+// as each attempt moves forward. The breaker gates each attempt: while
+// open, the attempt fails fast with the cooldown as its backoff floor.
+func (c *Client) withRetries(ctx context.Context, op func() error) error {
+	c.countRequest()
+	r := c.retrier()
+	b := c.breaker()
+	consec := 0
+	for {
+		var err error
+		if berr := b.Allow(); berr != nil {
+			err = berr
+		} else {
+			c.countAttempt()
+			err = op()
+			// Breaker accounting: transport failures and retryable service
+			// errors count against the endpoint; deterministic rejections
+			// (invalid input, infeasible) mean the service is healthy and
+			// answering, as does success.
+			if err == nil || !retryableErr(err) {
+				b.Success()
+			} else {
+				b.Failure()
+			}
+		}
+		if err == nil {
+			return nil
+		}
+		if progressed(err) {
+			consec = 0
+		}
+		consec++
+		if ctx.Err() != nil || !retryableErr(err) || consec >= r.MaxAttempts() {
+			return unwrapRetryAfter(err)
+		}
+		c.countRetry()
+		floor := errFloor(err, b)
+		if serr := r.Sleep(ctx, r.Delay(consec, floor)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// progressed reports whether the failed attempt still advanced a stream
+// (its truncation cursor moved past the start). Stream ops wrap their
+// errors in *streamProgressError when items were delivered.
+func progressed(err error) bool {
+	var pe *streamProgressError
+	return errors.As(err, &pe)
+}
+
+// streamProgressError tags an attempt that failed after delivering new
+// items, so the retry budget counts consecutive fruitless attempts rather
+// than total interruptions.
+type streamProgressError struct{ err error }
+
+func (e *streamProgressError) Error() string { return e.err.Error() }
+func (e *streamProgressError) Unwrap() error { return e.err }
+
+// errFloor extracts the backoff floor from the error: a Retry-After echo,
+// or the breaker cooldown when the circuit is open.
+func errFloor(err error, b *resilience.Breaker) time.Duration {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.floor
+	}
+	if errors.Is(err, resilience.ErrOpen) {
+		return b.RetryIn()
+	}
+	return 0
+}
+
+// unwrapRetryAfter strips the internal floor/progress decorations before an
+// error escapes to the caller.
+func unwrapRetryAfter(err error) error {
+	for {
+		switch e := err.(type) {
+		case *retryAfterError:
+			err = e.err
+		case *streamProgressError:
+			err = e.err
+		default:
+			return err
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package onocd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"photonoc/internal/apierr"
+	"photonoc/internal/engine"
+	"photonoc/internal/faultinject"
+	"photonoc/internal/noc"
+	"photonoc/internal/resilience"
+)
+
+// fastRetry is a test policy: real retry semantics, recorded (not slept)
+// backoff.
+func fastRetry(attempts int, sleeps *[]time.Duration) *resilience.Retrier {
+	return resilience.NewRetrier(resilience.Policy{
+		MaxAttempts: attempts,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			if sleeps != nil {
+				*sleeps = append(*sleeps, d)
+			}
+			return nil
+		},
+	})
+}
+
+// TestClientRetriesOverloadedWithRetryAfterFloor: a 429 with Retry-After: 1
+// is retried, every backoff drawn at or above the advertised floor, and the
+// call succeeds once the server recovers — without a single real sleep.
+func TestClientRetriesOverloadedWithRetryAfterFloor(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			status, env := apierr.EnvelopeFor(fmt.Errorf("%w: drill", apierr.ErrOverloaded))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(env)
+			return
+		}
+		io := json.NewEncoder(w)
+		w.Header().Set("Content-Type", "application/json")
+		io.Encode(StatusResponse{Service: "onocd"})
+	}))
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry(4, &sleeps)
+	st, err := c.Statusz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Service != "onocd" {
+		t.Fatalf("service = %q", st.Service)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 429s, one success)", calls.Load())
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("recorded %d backoffs, want 2", len(sleeps))
+	}
+	for i, d := range sleeps {
+		if d < time.Second {
+			t.Errorf("backoff %d = %v, below the Retry-After floor of 1s", i, d)
+		}
+	}
+	cs := c.Stats()
+	if cs.Requests != 1 || cs.Attempts != 3 || cs.Retries != 2 {
+		t.Errorf("stats = %+v, want 1 request / 3 attempts / 2 retries", cs)
+	}
+}
+
+// TestClientDoesNotRetryDeterministicErrors: a 400 is the server's final
+// word — one attempt, typed sentinel, no backoff.
+func TestClientDoesNotRetryDeterministicErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		status, env := apierr.EnvelopeFor(fmt.Errorf("%w: bad grid", apierr.ErrInvalidInput))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(env)
+	}))
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry(4, &sleeps)
+	_, err := c.Sweep(context.Background(), SweepRequest{TargetBERs: []float64{1e-9}})
+	if !errors.Is(err, apierr.ErrInvalidInput) {
+		t.Fatalf("err = %v, want ErrInvalidInput", err)
+	}
+	if calls.Load() != 1 || len(sleeps) != 0 {
+		t.Fatalf("calls = %d, sleeps = %d; deterministic errors must not retry", calls.Load(), len(sleeps))
+	}
+}
+
+// TestClientBreakerOpensOnDeadEndpoint: a dead endpoint trips the breaker
+// after the failure threshold; further attempts fail fast with ErrOpen and
+// the trip is visible in Stats.
+func TestClientBreakerOpensOnDeadEndpoint(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		status, env := apierr.EnvelopeFor(fmt.Errorf("%w: down for repairs", apierr.ErrUnavailable))
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(env)
+	}))
+	defer srv.Close()
+
+	frozen := time.Unix(1000, 0)
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry(8, nil)
+	c.Breaker = resilience.NewBreaker(resilience.BreakerOptions{
+		FailureThreshold: 3,
+		Cooldown:         time.Minute,
+		Now:              func() time.Time { return frozen }, // never cools down
+	})
+	err := c.Healthz(context.Background())
+	if !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen once the circuit trips", err)
+	}
+	cs := c.Stats()
+	if cs.Breaker.Trips != 1 || cs.Breaker.State != resilience.Open {
+		t.Fatalf("breaker stats = %+v, want one trip, open", cs.Breaker)
+	}
+	if cs.Attempts != 3 {
+		t.Fatalf("attempts = %d, want exactly the 3 that tripped the circuit", cs.Attempts)
+	}
+}
+
+// TestTruncatedStreamTypedError: a stream cut mid-line surfaces (with
+// retries disabled) as ErrTruncatedStream carrying the last intact index.
+func TestTruncatedStreamTypedError(t *testing.T) {
+	item := func(i int) string {
+		raw, _ := json.Marshal(NoCStreamItem{Index: i, TargetBER: 1e-9, Result: &NoCResult{Kind: "crossbar"}})
+		return string(raw) + "\n"
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprint(w, item(0))
+		fmt.Fprint(w, item(1))
+		fmt.Fprint(w, item(2)[:9]) // cut inside item 2
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry = resilience.NewRetrier(resilience.NoRetry())
+	var got []int
+	err := c.NetworkSweep(context.Background(), NoCRequest{TargetBERs: []float64{1e-9, 1e-10, 1e-11}},
+		func(i int, _ float64, _ noc.Result) error {
+			got = append(got, i)
+			return nil
+		})
+	if !errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("err = %v, want ErrTruncatedStream", err)
+	}
+	var te *TruncatedStreamError
+	if !errors.As(err, &te) || te.LastIndex != 1 {
+		t.Fatalf("err = %#v, want *TruncatedStreamError with LastIndex 1", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d items before the cut, want 2", len(got))
+	}
+	if c.Stats().TruncatedStreams != 1 {
+		t.Fatalf("stats = %+v, want one recorded truncation", c.Stats())
+	}
+}
+
+// truncateOnce cuts the body of the first matching response a few bytes
+// into its (lines+1)-th NDJSON line; every later request passes through
+// untouched.
+type truncateOnce struct {
+	next   http.RoundTripper
+	path   string
+	lines  int
+	fired  atomic.Bool
+	resume atomic.Int64 // start_index observed on the follow-up request
+}
+
+func (t *truncateOnce) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Path == t.path {
+		if v := req.URL.Query().Get("start_index"); v != "" {
+			var n int
+			fmt.Sscanf(v, "%d", &n)
+			t.resume.Store(int64(n))
+		}
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.URL.Path == t.path && t.fired.CompareAndSwap(false, true) {
+		out := *resp
+		out.Body = &cutBody{src: resp.Body, lines: t.lines, extra: 5}
+		out.ContentLength = -1
+		return &out, nil
+	}
+	return resp, nil
+}
+
+// TestResumedBatchStreamByteIdentical is the resume property test: a
+// /v1/noc/batch stream truncated mid-flight and resumed via start_index
+// delivers exactly the items an uninterrupted run delivers, byte for byte
+// in wire order, with the resume visible in the client stats.
+func TestResumedBatchStreamByteIdentical(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	items := []NoCBatchItem{
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 1e-9}},
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 1e-11}},
+		{NoCRequest: NoCRequest{Topology: "mesh", Tiles: 9, TargetBER: 1e-9}},
+		{NoCRequest: NoCRequest{Topology: "ring", Tiles: 6, TargetBER: 1e-10}},
+	}
+	collect := func(c *Client) (lines []string) {
+		t.Helper()
+		err := c.NetworkBatch(context.Background(), items, func(i int, ber float64, res noc.Result) error {
+			raw, err := json.Marshal(struct {
+				I   int        `json:"i"`
+				BER float64    `json:"ber"`
+				Res noc.Result `json:"res"`
+			}{i, ber, res})
+			if err != nil {
+				return err
+			}
+			lines = append(lines, string(raw))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lines
+	}
+
+	want := collect(c)
+	if len(want) != len(items) {
+		t.Fatalf("clean run delivered %d items", len(want))
+	}
+
+	// Same server, new client whose first batch response is cut a few bytes
+	// into item 2's line, forcing a resume at start_index=2.
+	flaky := NewClient(c.Base)
+	flaky.Retry = fastRetry(4, nil)
+	tr := &truncateOnce{next: http.DefaultTransport, path: "/v1/noc/batch", lines: 2}
+	flaky.HTTP = &http.Client{Transport: tr}
+	got := collect(flaky)
+
+	if len(got) != len(want) {
+		t.Fatalf("resumed run delivered %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("item %d differs after resume:\n%s\nvs\n%s", i, got[i], want[i])
+		}
+	}
+	cs := flaky.Stats()
+	if cs.TruncatedStreams == 0 || cs.ResumedStreams == 0 {
+		t.Fatalf("stats = %+v, want the truncation and the resume recorded", cs)
+	}
+	if tr.resume.Load() == 0 {
+		t.Fatal("follow-up request carried no start_index")
+	}
+}
+
+// TestNetworkBatchPartialRoundTrip: continue_on_error batches round-trip
+// per-candidate failures as typed indexed records while every healthy
+// candidate still evaluates — including a candidate that fails wire-level
+// conversion (unknown scheme) and so never reaches the engine.
+func TestNetworkBatchPartialRoundTrip(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	items := []NoCBatchItem{
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 1e-9}},
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 0.7}}, // invalid BER → engine rejects
+		{NoCRequest: NoCRequest{Topology: "mesh", Tiles: 9, TargetBER: 1e-9}},
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 1e-9}, Schemes: []string{"martian"}}, // conversion error
+		{NoCRequest: NoCRequest{Topology: "ring", Tiles: 6, TargetBER: 1e-10}},
+	}
+	got := map[int]noc.Result{}
+	err := c.NetworkBatchPartial(context.Background(), items, func(i int, _ float64, res noc.Result) error {
+		got[i] = res
+		return nil
+	})
+	var be *engine.BatchErrors
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *engine.BatchErrors", err)
+	}
+	if len(be.Errors) != 2 || be.Errors[0].Index != 1 || be.Errors[1].Index != 3 {
+		t.Fatalf("failure records = %+v, want indices 1 and 3", be.Errors)
+	}
+	if !errors.Is(be.Errors[0], apierr.ErrInvalidInput) || !errors.Is(be.Errors[1], apierr.ErrInvalidInput) {
+		t.Fatalf("record causes not typed: %v / %v", be.Errors[0], be.Errors[1])
+	}
+	if !strings.Contains(be.Errors[1].Err.Error(), "martian") {
+		t.Fatalf("conversion record lost its cause: %v", be.Errors[1])
+	}
+	for _, i := range []int{0, 2, 4} {
+		if _, ok := got[i]; !ok {
+			t.Errorf("healthy candidate %d was not delivered", i)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("delivered %d results, want 3", len(got))
+	}
+
+	// Strict mode on the same population still aborts on the first failure.
+	strictErr := c.NetworkBatch(context.Background(), items, func(int, float64, noc.Result) error { return nil })
+	if strictErr == nil || errors.As(strictErr, &be) {
+		t.Fatalf("strict batch err = %v, want a terminal (non-aggregate) error", strictErr)
+	}
+}
+
+// TestChaosClosedLoop drives the resilient client through a server with a
+// seeded 20% fault mix (latency, 429, 503, resets, truncations): every
+// logical call must succeed, the breaker must not wedge, and truncated
+// streams must resume. Seeded faults + injected sleep make it
+// deterministic.
+func TestChaosClosedLoop(t *testing.T) {
+	inj := faultinject.NewSpread(7, 0.20)
+	_, c := newTestServer(t, Options{FaultInjector: inj})
+	c.Retry = resilience.NewRetrier(resilience.Policy{
+		MaxAttempts: 8,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	})
+	ctx := context.Background()
+
+	items := []NoCBatchItem{
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 1e-9}},
+		{NoCRequest: NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 1e-11}},
+		{NoCRequest: NoCRequest{Topology: "mesh", Tiles: 9, TargetBER: 1e-9}},
+	}
+	for round := 0; round < 30; round++ {
+		if _, err := c.NetworkEval(ctx, NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 1e-9}); err != nil {
+			t.Fatalf("round %d eval: %v", round, err)
+		}
+		n := 0
+		err := c.NetworkSweep(ctx, NoCRequest{Topology: "crossbar", Tiles: 8, TargetBERs: []float64{1e-9, 1e-10, 1e-11}},
+			func(int, float64, noc.Result) error { n++; return nil })
+		if err != nil || n != 3 {
+			t.Fatalf("round %d sweep: %d items, %v", round, n, err)
+		}
+		n = 0
+		if err := c.NetworkBatch(ctx, items, func(int, float64, noc.Result) error { n++; return nil }); err != nil || n != len(items) {
+			t.Fatalf("round %d batch: %d items, %v", round, n, err)
+		}
+	}
+	cs := c.Stats()
+	if cs.Requests != 90 {
+		t.Fatalf("requests = %d, want 90", cs.Requests)
+	}
+	if cs.Attempts < cs.Requests {
+		t.Fatalf("attempts %d < requests %d", cs.Attempts, cs.Requests)
+	}
+	amp := float64(cs.Attempts) / float64(cs.Requests)
+	if amp > 2.0 {
+		t.Fatalf("retry amplification %.2f at a 20%% fault rate, breaker/backoff not containing retries", amp)
+	}
+	if fc := inj.Counts(); fc.Faults() == 0 {
+		t.Fatal("the injector never fired — the chaos loop tested nothing")
+	}
+	t.Logf("chaos: %d requests, %d attempts (%.2fx), %d truncated, %d resumed, breaker %+v, faults %+v",
+		cs.Requests, cs.Attempts, amp, cs.TruncatedStreams, cs.ResumedStreams, cs.Breaker, inj.Counts())
+}

@@ -18,6 +18,7 @@ import (
 	"photonoc/internal/core"
 	"photonoc/internal/ecc"
 	"photonoc/internal/engine"
+	"photonoc/internal/faultinject"
 	"photonoc/internal/manager"
 	"photonoc/internal/mc"
 )
@@ -58,6 +59,12 @@ type Options struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+
+	// FaultInjector, when non-nil, wraps every /v1 route with the seeded
+	// chaos middleware (cmd/onocd builds one from -fault-rate/-fault-seed).
+	// nil — the default — adds no middleware and no per-request draw: the
+	// production hot path is untouched.
+	FaultInjector *faultinject.Injector
 }
 
 // engineState is one immutable generation of the serving engine. Hot
@@ -198,21 +205,35 @@ func ListenLocal(opts Options) (*Server, *http.Server, string, error) {
 
 // routes mounts every endpoint. The /v1 evaluation routes pass through
 // admission control and the deadline middleware; the observability routes
-// are exempt so a saturated server can still be inspected.
+// are exempt so a saturated server can still be inspected (and so chaos
+// faults never hide the metrics a chaos run is graded on). With a
+// FaultInjector configured, the chaos middleware wraps outside instrument:
+// injected rejections never consume an admission slot, and truncation
+// wraps the response writer under the streaming handlers' flusher.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.Handle("GET /v1/config", s.instrument("/v1/config", false, s.handleConfig))
+	s.mux.Handle("GET /v1/config", s.withFaults(s.instrument("/v1/config", false, s.handleConfig), false))
 
-	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", true, s.handleSweep))
-	s.mux.Handle("POST /v1/sweep/stream", s.instrument("/v1/sweep/stream", true, s.handleSweepStream))
-	s.mux.Handle("POST /v1/decide", s.instrument("/v1/decide", true, s.handleDecide))
-	s.mux.Handle("POST /v1/noc/eval", s.instrument("/v1/noc/eval", true, s.handleNoCEval))
-	s.mux.Handle("POST /v1/noc/batch", s.instrument("/v1/noc/batch", true, s.handleNoCBatch))
-	s.mux.Handle("POST /v1/noc/sweep", s.instrument("/v1/noc/sweep", true, s.handleNoCSweep))
-	s.mux.Handle("POST /v1/noc/sim", s.instrument("/v1/noc/sim", true, s.handleNoCSim))
-	s.mux.Handle("POST /v1/validate", s.instrument("/v1/validate", true, s.handleValidate))
+	s.mux.Handle("POST /v1/sweep", s.withFaults(s.instrument("/v1/sweep", true, s.handleSweep), false))
+	s.mux.Handle("POST /v1/sweep/stream", s.withFaults(s.instrument("/v1/sweep/stream", true, s.handleSweepStream), true))
+	s.mux.Handle("POST /v1/decide", s.withFaults(s.instrument("/v1/decide", true, s.handleDecide), false))
+	s.mux.Handle("POST /v1/noc/eval", s.withFaults(s.instrument("/v1/noc/eval", true, s.handleNoCEval), false))
+	s.mux.Handle("POST /v1/noc/batch", s.withFaults(s.instrument("/v1/noc/batch", true, s.handleNoCBatch), true))
+	s.mux.Handle("POST /v1/noc/sweep", s.withFaults(s.instrument("/v1/noc/sweep", true, s.handleNoCSweep), true))
+	s.mux.Handle("POST /v1/noc/sim", s.withFaults(s.instrument("/v1/noc/sim", true, s.handleNoCSim), false))
+	s.mux.Handle("POST /v1/validate", s.withFaults(s.instrument("/v1/validate", true, s.handleValidate), false))
+}
+
+// withFaults wraps a route with the chaos middleware when one is
+// configured; streaming routes are additionally eligible for mid-stream
+// truncation faults. A nil injector returns the handler unchanged.
+func (s *Server) withFaults(h http.Handler, streaming bool) http.Handler {
+	if s.opts.FaultInjector == nil {
+		return h
+	}
+	return s.opts.FaultInjector.Middleware(h, streaming)
 }
 
 // statusWriter records the status code actually sent, for metrics and so
@@ -406,6 +427,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge(w, "onocd_cache_capacity", "Memo-cache capacity.", float64(cs.Capacity))
 	gauge(w, "onocd_cache_shards", "Independently locked LRU shards.", float64(cs.Shards))
 	gauge(w, "onocd_cache_cold_solve_seconds_total", "Cumulative wall time in cold solves.", cs.ColdSolveTime.Seconds())
+	if inj := s.opts.FaultInjector; inj != nil {
+		fc := inj.Counts()
+		counter(w, "onocd_fault_requests_total", "Requests seen by the chaos middleware.", fc.Requests)
+		counter(w, "onocd_fault_injected_total", "Faults injected, all modes.", fc.Faults())
+		counter(w, "onocd_fault_latency_total", "Injected latency faults.", fc.Latencies)
+		counter(w, "onocd_fault_reject_total", "Injected 429 rejections.", fc.Rejects)
+		counter(w, "onocd_fault_unavailable_total", "Injected 503 responses.", fc.Unavailables)
+		counter(w, "onocd_fault_reset_total", "Injected connection resets.", fc.Resets)
+		counter(w, "onocd_fault_truncate_total", "Injected mid-stream truncations.", fc.Truncates)
+	}
 }
 
 func schemeNames(codes []ecc.Code) []string {
@@ -553,16 +584,66 @@ func (s *Server) handleNoCEval(ctx context.Context, st *engineState, w *statusWr
 	return nil
 }
 
+// boolParam parses a "0"/"1"/"false"/"true" query parameter (empty means
+// false).
+func boolParam(r *http.Request, name string) (bool, error) {
+	switch v := r.URL.Query().Get(name); v {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: %s %q must be 0|1|false|true", apierr.ErrInvalidInput, name, v)
+	}
+}
+
+// startIndexParam parses the ?start_index=N resume cursor of the streaming
+// routes: the server recomputes the full stream but only emits items with
+// Index >= N, so a client that lost a connection mid-stream can fetch
+// exactly the missing suffix. Skipped prefix work is warm — the memo cache
+// and worker-session diffs already hold the first pass's cells.
+func startIndexParam(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("start_index")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: start_index %q must be a non-negative integer", apierr.ErrInvalidInput, v)
+	}
+	return n, nil
+}
+
 // handleNoCBatch evaluates a candidate population: the request body is an
 // NDJSON (or concatenated-JSON) stream of NoCBatchItem lines, the response
 // one NDJSON NoCStreamItem per candidate in population order, backed by
 // Engine.NetworkBatchStream — neighboring candidates are diffed
 // incrementally inside the worker sessions, so a mutate-one-knob autotuner
 // population amortizes both HTTP overhead and per-cell solves.
+//
+// ?start_index=N resumes an interrupted stream at item N;
+// ?continue_on_error=1 switches to partial-failure mode, where a failed
+// candidate (including one that failed wire-level conversion) becomes an
+// indexed Partial error item instead of ending the stream.
 func (s *Server) handleNoCBatch(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	start, err := startIndexParam(r)
+	if err != nil {
+		return err
+	}
+	partial, err := boolParam(r, "continue_on_error")
+	if err != nil {
+		return err
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var cands []engine.NetworkCandidate
+	// convFails maps candidate index → wire-conversion failure. In partial
+	// mode a bad candidate keeps its population slot via a placeholder (the
+	// zero candidate fails engine validation immediately, without solving
+	// anything) and the recorded cause overrides the placeholder's error in
+	// the emitted item. Malformed NDJSON framing stays terminal in both
+	// modes: once the decoder loses sync, indices after it are meaningless.
+	var convFails map[int]error
 	for {
 		var it NoCBatchItem
 		if err := dec.Decode(&it); err != nil {
@@ -577,23 +658,45 @@ func (s *Server) handleNoCBatch(ctx context.Context, st *engineState, w *statusW
 		}
 		cand, err := it.candidate()
 		if err != nil {
-			return fmt.Errorf("candidate %d: %w", len(cands), err)
+			if !partial {
+				return fmt.Errorf("candidate %d: %w", len(cands), err)
+			}
+			if convFails == nil {
+				convFails = make(map[int]error)
+			}
+			convFails[len(cands)] = fmt.Errorf("candidate %d: %w", len(cands), err)
+			cands = append(cands, engine.NetworkCandidate{})
+			continue
 		}
 		cands = append(cands, cand)
 	}
 	if len(cands) == 0 {
 		return fmt.Errorf("%w: empty candidate population", apierr.ErrInvalidInput)
 	}
+	if start >= len(cands) {
+		return fmt.Errorf("%w: start_index %d beyond population of %d", apierr.ErrInvalidInput, start, len(cands))
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
-	for res := range st.eng.NetworkBatchStream(ctx, cands) {
+	for res := range st.eng.NetworkBatchStream(ctx, cands, engine.BatchOptions{ContinueOnError: partial}) {
 		item := NoCStreamItem{Index: res.Index, TargetBER: res.TargetBER}
 		if res.Err != nil {
-			_, body := apierr.EnvelopeFor(res.Err)
+			errCause := res.Err
+			var ce *engine.CandidateError
+			if errors.As(res.Err, &ce) {
+				item.Partial = true
+				if oe, ok := convFails[ce.Index]; ok {
+					errCause = oe
+				}
+			}
+			_, body := apierr.EnvelopeFor(errCause)
 			item.Error = &body.Error
 		} else {
 			wr := toWireNoC(res.Result)
 			item.Result = &wr
+		}
+		if item.Index < start && (item.Error == nil || item.Partial) {
+			continue // resumed stream: the client already has this item
 		}
 		if err := enc.Encode(item); err != nil {
 			return nil // client went away mid-stream
@@ -604,8 +707,14 @@ func (s *Server) handleNoCBatch(ctx context.Context, st *engineState, w *statusW
 }
 
 // handleNoCSweep streams one NDJSON NoCStreamItem per target BER, reusing
-// the engine's streaming network sweep.
+// the engine's streaming network sweep. ?start_index=N resumes an
+// interrupted stream at grid point N (the skipped prefix re-solves warm
+// through the memo cache).
 func (s *Server) handleNoCSweep(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	start, err := startIndexParam(r)
+	if err != nil {
+		return err
+	}
 	var req NoCRequest
 	if err := decodeJSON(r, &req); err != nil {
 		return err
@@ -628,6 +737,9 @@ func (s *Server) handleNoCSweep(ctx context.Context, st *engineState, w *statusW
 		} else {
 			wr := toWireNoC(res.Result)
 			item.Result = &wr
+		}
+		if item.Index < start && item.Error == nil {
+			continue // resumed stream: the client already has this item
 		}
 		if err := enc.Encode(item); err != nil {
 			return nil

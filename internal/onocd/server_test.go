@@ -18,6 +18,7 @@ import (
 	"photonoc/internal/core"
 	"photonoc/internal/ecc"
 	"photonoc/internal/engine"
+	"photonoc/internal/resilience"
 )
 
 // Client drives netsim, so it must satisfy the evaluator seam.
@@ -282,7 +283,10 @@ func TestDeadlineExpiryMapsTo504(t *testing.T) {
 	if resp.StatusCode != 504 || env.Error.Code != apierr.CodeDeadline {
 		t.Errorf("got %d/%q, want 504/deadline_exceeded", resp.StatusCode, env.Error.Code)
 	}
-	// And the typed client surfaces it as the context sentinel.
+	// And the typed client surfaces it as the context sentinel (fail-fast
+	// policy: a 504 is retryable and would otherwise re-run the oversized
+	// Monte-Carlo budget several times).
+	c.Retry = resilience.NewRetrier(resilience.NoRetry())
 	_, err = c.Validate(context.Background(), ValidateRequest{Scheme: "H(7,4)", RawBER: 1e-3, Frames: 1 << 30})
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		t.Logf("note: full-budget validate finished: %v", err)
@@ -315,7 +319,10 @@ func TestAdmissionControl(t *testing.T) {
 	if env.Error.Code != apierr.CodeOverloaded {
 		t.Errorf("code = %q", env.Error.Code)
 	}
-	// The typed client round-trips the sentinel.
+	// The typed client round-trips the sentinel. Fail-fast policy: the
+	// saturation is held for the whole test, so retrying (the default)
+	// would only stretch the test by the Retry-After floor per attempt.
+	c.Retry = resilience.NewRetrier(resilience.NoRetry())
 	_, err = c.Sweep(context.Background(), SweepRequest{TargetBERs: []float64{1e-9}})
 	if !errors.Is(err, apierr.ErrOverloaded) {
 		t.Errorf("client error = %v, want ErrOverloaded", err)

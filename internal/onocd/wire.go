@@ -493,13 +493,19 @@ func (w NoCResult) Core() (noc.Result, error) {
 	return res, nil
 }
 
-// NoCStreamItem is one NDJSON line of /v1/noc/sweep: either an aggregated
-// per-BER result or a terminal error.
+// NoCStreamItem is one NDJSON line of /v1/noc/sweep and /v1/noc/batch:
+// either a per-index result or an error. Index stamps the item's position
+// in the full (unresumed) stream, so a client reconnecting with
+// ?start_index=N can verify it is receiving exactly the suffix it asked
+// for. An Error with Partial unset is terminal — the stream is over; with
+// Partial set (batch continue_on_error mode) it is one candidate's failure
+// record and the stream continues.
 type NoCStreamItem struct {
 	Index     int               `json:"index"`
 	TargetBER float64           `json:"target_ber"`
 	Result    *NoCResult        `json:"result,omitempty"`
 	Error     *apierr.ErrorBody `json:"error,omitempty"`
+	Partial   bool              `json:"partial,omitempty"`
 }
 
 // NoCSimResult is a network discrete-event simulation on the wire.

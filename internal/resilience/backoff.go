@@ -1,0 +1,128 @@
+// Package resilience holds the client-side reliability primitives of the
+// serving stack: a context-aware retry policy (capped exponential backoff
+// with full jitter, honoring a server-provided floor such as Retry-After)
+// and a circuit breaker (closed → open → half-open with a single probe).
+// The onocd client composes both around every idempotent request; the
+// package itself knows nothing about HTTP, so the netsim/autotuner layers
+// can reuse it for any transient-failure boundary. Every time source is
+// injectable, so the state machines are fully testable without wall-clock
+// sleeps.
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy defaults, tuned for a local-network evaluation service: a handful
+// of quick attempts resolves transient overload without stretching a
+// closed-loop client's tail latency past the service's own percentiles.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 25 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+)
+
+// Policy parameterizes a retry schedule. The zero value of any field means
+// its default; use MaxAttempts: 1 (via NoRetry) to disable retries while
+// keeping the rest of the resilient path (error typing, breaker
+// accounting) intact.
+type Policy struct {
+	// MaxAttempts bounds the total tries of one logical call, including
+	// the first (default 4). Streaming resumes that made progress reset
+	// the counter — the budget bounds consecutive fruitless attempts.
+	MaxAttempts int
+	// BaseDelay is the backoff scale before jitter (default 25ms): the
+	// attempt-k delay is drawn uniformly from [0, min(MaxDelay, BaseDelay·2^k)).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 2s).
+	MaxDelay time.Duration
+	// Seed fixes the jitter RNG stream; 0 means a fixed default seed, so
+	// two retriers built from equal policies draw identical schedules.
+	Seed int64
+	// Sleep waits between attempts; nil means a real timer. Tests inject
+	// a recorder so retry schedules are asserted, not slept.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NoRetry is the single-attempt policy: the resilient path runs, but a
+// first failure is final.
+func NoRetry() Policy { return Policy{MaxAttempts: 1} }
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// sleepCtx is a context-aware time.Sleep.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retrier executes a Policy. It is safe for concurrent use: the jitter RNG
+// is the only shared mutable state and sits behind its own mutex.
+type Retrier struct {
+	pol Policy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier builds a retrier from a policy (zero fields defaulted).
+func NewRetrier(pol Policy) *Retrier {
+	pol = pol.withDefaults()
+	return &Retrier{pol: pol, rng: rand.New(rand.NewSource(pol.Seed))}
+}
+
+// MaxAttempts returns the per-call attempt budget.
+func (r *Retrier) MaxAttempts() int { return r.pol.MaxAttempts }
+
+// Delay draws the backoff before retry number `retry` (1 = the wait
+// before the second attempt): full jitter over the capped exponential
+// window, but never below floor — the hook Retry-After feeds through. A
+// floor above MaxDelay wins; the server knows its own recovery horizon.
+func (r *Retrier) Delay(retry int, floor time.Duration) time.Duration {
+	window := r.pol.BaseDelay << uint(min(retry, 30))
+	if window <= 0 || window > r.pol.MaxDelay {
+		window = r.pol.MaxDelay
+	}
+	r.mu.Lock()
+	d := time.Duration(r.rng.Int63n(int64(window) + 1))
+	r.mu.Unlock()
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// Sleep waits out one backoff delay, honoring ctx.
+func (r *Retrier) Sleep(ctx context.Context, d time.Duration) error {
+	return r.pol.Sleep(ctx, d)
+}

@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayWithinWindow: every drawn delay falls in the capped exponential
+// window [0, min(MaxDelay, BaseDelay·2^retry)].
+func TestDelayWithinWindow(t *testing.T) {
+	r := NewRetrier(Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond})
+	for retry := 1; retry <= 8; retry++ {
+		window := 10 * time.Millisecond << uint(retry)
+		if window > 80*time.Millisecond {
+			window = 80 * time.Millisecond
+		}
+		for i := 0; i < 200; i++ {
+			if d := r.Delay(retry, 0); d < 0 || d > window {
+				t.Fatalf("Delay(retry=%d) = %v outside [0, %v]", retry, d, window)
+			}
+		}
+	}
+}
+
+// TestDelayShiftOverflowClampsToMax: absurd retry counts (and the shift
+// overflow they would cause) clamp to MaxDelay instead of going negative.
+func TestDelayShiftOverflowClampsToMax(t *testing.T) {
+	r := NewRetrier(Policy{BaseDelay: time.Second, MaxDelay: 2 * time.Second})
+	for _, retry := range []int{29, 30, 63, 1 << 20} {
+		if d := r.Delay(retry, 0); d < 0 || d > 2*time.Second {
+			t.Fatalf("Delay(retry=%d) = %v outside [0, 2s]", retry, d)
+		}
+	}
+}
+
+// TestDelayFloor: a server-provided floor (Retry-After) always wins over
+// the jittered draw — including a floor above MaxDelay.
+func TestDelayFloor(t *testing.T) {
+	r := NewRetrier(Policy{BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		if d := r.Delay(1, 5*time.Millisecond); d < 5*time.Millisecond {
+			t.Fatalf("delay %v below 5ms floor", d)
+		}
+	}
+	// Retry-After: 1 against a 10ms cap: the server's horizon wins.
+	if d := r.Delay(1, time.Second); d != time.Second {
+		t.Fatalf("delay %v, want the 1s floor to override MaxDelay", d)
+	}
+}
+
+// TestDelayDeterministicPerSeed: equal policies draw identical schedules;
+// distinct seeds draw distinct ones. The chaos harness leans on this for
+// reproducible runs.
+func TestDelayDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		r := NewRetrier(Policy{Seed: seed})
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = r.Delay(1+i%3, 0)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 drew identical schedules")
+	}
+}
+
+// TestNoRetrySingleAttempt: the NoRetry policy budgets exactly one attempt
+// but keeps sane backoff defaults if someone draws anyway.
+func TestNoRetrySingleAttempt(t *testing.T) {
+	r := NewRetrier(NoRetry())
+	if got := r.MaxAttempts(); got != 1 {
+		t.Fatalf("MaxAttempts = %d, want 1", got)
+	}
+}
+
+// TestSleepCtxCancel: a canceled context interrupts the wait immediately.
+func TestSleepCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled sleep took %v", elapsed)
+	}
+	// Non-positive delays return without arming a timer.
+	if err := sleepCtx(context.Background(), 0); err != nil {
+		t.Fatalf("zero-delay sleep: %v", err)
+	}
+}
+
+// TestInjectedSleepRecordsSchedule: Policy.Sleep replaces the real timer,
+// so retry-path tests assert schedules instead of sleeping them.
+func TestInjectedSleepRecordsSchedule(t *testing.T) {
+	var got []time.Duration
+	r := NewRetrier(Policy{
+		Sleep: func(_ context.Context, d time.Duration) error {
+			got = append(got, d)
+			return nil
+		},
+	})
+	for retry := 1; retry <= 3; retry++ {
+		if err := r.Sleep(context.Background(), r.Delay(retry, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("recorded %d sleeps, want 3", len(got))
+	}
+}

@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Allow while the circuit is open (or while
+// a half-open probe is already in flight): the endpoint is presumed down
+// and the call was not attempted. Callers that can wait should sleep at
+// least RetryIn and try again — the next Allow after the cooldown admits a
+// single probe.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// State is a circuit breaker state.
+type State int
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed State = iota
+	// Open: requests are rejected without being attempted until the
+	// cooldown elapses.
+	Open
+	// HalfOpen: the cooldown elapsed; exactly one probe request is
+	// admitted to test the endpoint. Its outcome decides between Closed
+	// (success) and another full Open cooldown (failure).
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Breaker defaults: five consecutive failures open the circuit, and a
+// probe is admitted a quarter second later. At the chaos harness's 10%
+// fault rate a trip needs five independent 2%-ish faults in a row — rare
+// enough to stay out of the way, present enough to matter when the
+// endpoint actually dies.
+const (
+	DefaultFailureThreshold = 5
+	DefaultCooldown         = 250 * time.Millisecond
+)
+
+// BreakerOptions configures a Breaker; zero fields take defaults.
+type BreakerOptions struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe (default 250ms).
+	Cooldown time.Duration
+	// Now is the clock; nil means time.Now. Tests inject a fake clock so
+	// the state machine is exercised without sleeping.
+	Now func() time.Time
+}
+
+// MarshalJSON renders the state by name, matching String.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// BreakerStats is a point-in-time counter snapshot.
+type BreakerStats struct {
+	State State `json:"state"`
+	// Trips counts closed→open and half-open→open transitions.
+	Trips uint64 `json:"trips"`
+	// Rejects counts calls refused by Allow.
+	Rejects uint64 `json:"rejects"`
+	// ConsecutiveFailures is the current closed-state failure run.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+}
+
+// Breaker is a classic three-state circuit breaker, safe for concurrent
+// use. Pair every successful Allow with exactly one Success or Failure.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu          sync.Mutex
+	state       State
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+	trips       uint64
+	rejects     uint64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.FailureThreshold == 0 {
+		opts.FailureThreshold = DefaultFailureThreshold
+	}
+	if opts.Cooldown == 0 {
+		opts.Cooldown = DefaultCooldown
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Breaker{opts: opts}
+}
+
+// Allow reports whether a call may proceed. In the open state it fails
+// fast with ErrOpen until the cooldown elapses, then admits exactly one
+// probe (half-open); concurrent calls during the probe are rejected.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+			b.rejects++
+			return fmt.Errorf("%w: retry in %s", ErrOpen, b.retryInLocked())
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return nil
+	default: // HalfOpen
+		if b.probing {
+			b.rejects++
+			return fmt.Errorf("%w: probe in flight", ErrOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success records a successful call: the closed failure run resets, and a
+// half-open probe closes the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.consecFails = 0
+	case HalfOpen:
+		b.state = Closed
+		b.consecFails = 0
+		b.probing = false
+	}
+}
+
+// Failure records a failed call: the threshold opens a closed circuit, and
+// a failed half-open probe re-opens it for another full cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.consecFails++
+		if b.consecFails >= b.opts.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.trip()
+		b.probing = false
+	}
+}
+
+// trip opens the circuit (caller holds the lock).
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.opts.Now()
+	b.consecFails = 0
+	b.trips++
+}
+
+// RetryIn returns how long until the open circuit admits its probe; zero
+// when the circuit is not open (or the cooldown already elapsed).
+func (b *Breaker) RetryIn() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retryInLocked()
+}
+
+func (b *Breaker) retryInLocked() time.Duration {
+	if b.state != Open {
+		return 0
+	}
+	if d := b.opts.Cooldown - b.opts.Now().Sub(b.openedAt); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// State returns the current state (open flips to half-open only on the
+// next Allow, matching the admission path).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats snapshots the counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state,
+		Trips:               b.trips,
+		Rejects:             b.rejects,
+		ConsecutiveFailures: b.consecFails,
+	}
+}

@@ -1,0 +1,168 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock; no breaker test sleeps.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return NewBreaker(BreakerOptions{
+		FailureThreshold: threshold,
+		Cooldown:         cooldown,
+		Now:              clk.Now,
+	}), clk
+}
+
+// TestBreakerClosedToOpenOnThreshold: the circuit opens on exactly the
+// configured consecutive-failure count, and a success anywhere in the run
+// resets it.
+func TestBreakerClosedToOpenOnThreshold(t *testing.T) {
+	b, _ := newFakeBreaker(3, time.Second)
+
+	// Two failures, a success, two more failures: never reaches three in a
+	// row, so the circuit stays closed.
+	for _, outcome := range []bool{false, false, true, false, false} {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected: %v", err)
+		}
+		if outcome {
+			b.Success()
+		} else {
+			b.Failure()
+		}
+	}
+	if s := b.State(); s != Closed {
+		t.Fatalf("state = %v, want closed (failure run was broken)", s)
+	}
+	if st := b.Stats(); st.ConsecutiveFailures != 2 {
+		t.Fatalf("consecutive failures = %d, want 2", st.ConsecutiveFailures)
+	}
+
+	// The third consecutive failure trips it.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure()
+	if s := b.State(); s != Open {
+		t.Fatalf("state after threshold = %v, want open", s)
+	}
+	if st := b.Stats(); st.Trips != 1 {
+		t.Fatalf("trips = %d, want 1", st.Trips)
+	}
+}
+
+// TestBreakerOpenRejectsUntilCooldown: open fails fast with ErrOpen and a
+// positive RetryIn; after the cooldown, exactly one probe is admitted.
+func TestBreakerOpenRejectsUntilCooldown(t *testing.T) {
+	b, clk := newFakeBreaker(1, time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure() // threshold 1: open immediately
+
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); !errors.Is(err, ErrOpen) {
+			t.Fatalf("open breaker allowed call %d: %v", i, err)
+		}
+	}
+	if st := b.Stats(); st.Rejects != 3 {
+		t.Fatalf("rejects = %d, want 3", st.Rejects)
+	}
+	if r := b.RetryIn(); r != time.Second {
+		t.Fatalf("RetryIn = %v, want full cooldown", r)
+	}
+	clk.Advance(600 * time.Millisecond)
+	if r := b.RetryIn(); r != 400*time.Millisecond {
+		t.Fatalf("RetryIn after 600ms = %v, want 400ms", r)
+	}
+
+	// Cooldown elapses: the next Allow admits the probe, transitioning to
+	// half-open; a second concurrent call is rejected while it is in flight.
+	clk.Advance(400 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected after cooldown: %v", err)
+	}
+	if s := b.State(); s != HalfOpen {
+		t.Fatalf("state = %v, want half-open", s)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second call admitted during probe: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenProbeSuccessCloses: a successful probe restores
+// normal service.
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	b, clk := newFakeBreaker(1, time.Second)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.Allow())
+	b.Failure()
+	clk.Advance(time.Second)
+	must(b.Allow()) // the probe
+	b.Success()
+	if s := b.State(); s != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", s)
+	}
+	// And the circuit serves normally again.
+	must(b.Allow())
+	b.Success()
+	if st := b.Stats(); st.Trips != 1 {
+		t.Fatalf("trips = %d, want 1 (no re-trip after recovery)", st.Trips)
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens: a failed probe restarts a full
+// cooldown from the probe's failure time.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newFakeBreaker(1, time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure()
+	clk.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure() // probe fails
+	if s := b.State(); s != Open {
+		t.Fatalf("state after failed probe = %v, want open", s)
+	}
+	if st := b.Stats(); st.Trips != 2 {
+		t.Fatalf("trips = %d, want 2 (re-trip counted)", st.Trips)
+	}
+	// A fresh full cooldown applies — half a second in, still rejecting.
+	clk.Advance(500 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("re-opened breaker allowed a call early: %v", err)
+	}
+	clk.Advance(500 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Success()
+	if s := b.State(); s != Closed {
+		t.Fatalf("state = %v, want closed after second probe succeeds", s)
+	}
+}
+
+// TestBreakerStateStrings: the diagnostic names are stable (they appear in
+// onocload summaries and error messages).
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -45,6 +45,16 @@ type (
 	// Engine.NetworkBatchStream, or drive a single incremental
 	// NoCSession via the promoted Engine.NewNetworkSession.
 	NoCCandidate = engine.NetworkCandidate
+	// NoCBatchOptions parameterizes Engine.NetworkBatch /
+	// Engine.NetworkBatchStream; the zero value is the strict mode, and
+	// ContinueOnError switches to partial-failure batches.
+	NoCBatchOptions = engine.BatchOptions
+	// NoCCandidateError is one candidate's failure in a partial-failure
+	// batch: population index plus the typed cause.
+	NoCCandidateError = engine.CandidateError
+	// NoCBatchErrors aggregates the per-candidate failures of a
+	// partial-failure batch; it multi-unwraps for errors.Is/As.
+	NoCBatchErrors = engine.BatchErrors
 	// NoCSession is the incremental, zero-allocation network evaluator
 	// of the autotuner fast path: it diffs each candidate against the
 	// previous one by per-link fingerprint and re-solves only the changed
