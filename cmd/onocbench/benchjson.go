@@ -64,6 +64,10 @@ type BenchMetric struct {
 	// p99_ns_per_op carry the p50 / p99 request latency).
 	QPS        float64 `json:"qps,omitempty"`
 	P99NsPerOp float64 `json:"p99_ns_per_op,omitempty"`
+	// Phases is the daemon's engine-phase breakdown over the whole run (cold
+	// solves vs cache hits vs coalesced solves), scraped from its /metrics
+	// instrumentation; set only on the service_warm_qps metric.
+	Phases *onocd.PhaseBreakdown `json:"phases,omitempty"`
 }
 
 // benchBERGrid is the tracked sweep grid: the 8 extended schemes × 6 target
@@ -325,13 +329,17 @@ func runBenchJSON(w io.Writer, cfg photonoc.LinkConfig, workers int) error {
 	if stats.Non2xx > 0 {
 		return fmt.Errorf("service_warm_qps: %d of %d requests failed (first: %s)", stats.Non2xx, stats.Requests, stats.FirstError)
 	}
-	report.Benchmarks = append(report.Benchmarks, BenchMetric{
+	svc := BenchMetric{
 		Name:       "service_warm_qps",
 		NsPerOp:    float64(stats.P50.Nanoseconds()),
 		P99NsPerOp: float64(stats.P99.Nanoseconds()),
 		N:          stats.Requests,
 		QPS:        stats.QPS,
-	})
+	}
+	if pb, err := onocd.ScrapePhases(ctx, nil, base); err == nil {
+		svc.Phases = &pb
+	}
+	report.Benchmarks = append(report.Benchmarks, svc)
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

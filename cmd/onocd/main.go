@@ -7,11 +7,17 @@
 //	onocd -addr :9137
 //	onocd -addr 127.0.0.1:0 -workers 8 -cache 65536       # OS-picked port
 //	onocd -config link.json -timeout 10s -max-inflight 32
+//	onocd -log-level debug -log-format text -pprof        # telemetry knobs
 //	kill -HUP $(pidof onocd)                              # re-read -config
 //
 // Routes: POST /v1/sweep[/stream], /v1/decide, /v1/noc/eval, /v1/noc/sweep
 // (NDJSON), /v1/noc/sim, /v1/validate; GET /v1/config, /healthz, /statusz,
-// /metrics. Errors arrive as {"error":{code,message,status}} envelopes.
+// /metrics, and (with -pprof) /debug/pprof/*. Errors arrive as
+// {"error":{code,message,status}} envelopes. Structured JSON logs go to
+// stderr: one access-log line per request carrying the W3C trace ID from
+// the caller's traceparent header (or a freshly rooted one), per-request
+// engine-work attribution (cold solves, cache hits, coalesces), and warn
+// lines for slow requests, shed load and injected faults.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"photonoc/internal/core"
 	"photonoc/internal/faultinject"
+	"photonoc/internal/obs"
 	"photonoc/internal/onocd"
 )
 
@@ -64,11 +71,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	faultRate := fs.Float64("fault-rate", 0, "chaos testing: inject faults (latency, 429/503, resets, stream truncation) into this fraction of requests (0 = off)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the deterministic fault injector (with -fault-rate)")
+	logLevel := fs.String("log-level", "info", "structured log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", "json", "structured log format: json|text")
+	slowRequest := fs.Duration("slow-request", 0, "log requests slower than this at warn level (0 = default 1s, negative = off)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/* (CPU, heap, goroutine profiles); exempt from admission control")
+	gzipMin := fs.Int("gzip-min-bytes", 0, "compress JSON responses at or above this size when the client accepts gzip (0 = default 1024, negative = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return errFlagParse
+	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		return err
 	}
 
 	loadConfig := func() (core.LinkConfig, error) {
@@ -92,7 +113,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	var injector *faultinject.Injector
 	if *faultRate > 0 {
-		injector = faultinject.NewSpread(*faultSeed, *faultRate)
+		injector = faultinject.New(faultinject.Options{
+			Seed:   *faultSeed,
+			Rates:  faultinject.Spread(*faultRate),
+			Logger: logger,
+		})
 	}
 
 	srv, err := onocd.NewServer(onocd.Options{
@@ -103,6 +128,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *timeout,
 		FaultInjector:  injector,
+		Logger:         logger,
+		SlowRequest:    *slowRequest,
+		EnablePprof:    *pprofOn,
+		GzipMinBytes:   *gzipMin,
 	})
 	if err != nil {
 		return err

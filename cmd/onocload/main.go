@@ -29,21 +29,26 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"photonoc/internal/faultinject"
+	"photonoc/internal/obs"
 	"photonoc/internal/onocd"
 )
 
@@ -81,6 +86,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	assertHit := fs.Float64("assert-warm-hitrate", 0, "exit non-zero unless the measured-phase cache hit rate reaches this fraction")
 	assertAmp := fs.Float64("assert-max-amplification", 0, "exit non-zero if retry amplification (attempts/requests) exceeds this ratio")
 	assertResumed := fs.Int("assert-resumed", 0, "exit non-zero unless at least this many interrupted streams resumed")
+	assertTraceLogs := fs.Bool("assert-trace-logs", false, "exit non-zero unless every structured log line parses as JSON and at least one client retry shares a trace ID with a daemon access-log line (needs -selfhost and -fault-rate)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -105,18 +111,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *streams < 0 {
 		return fmt.Errorf("-streams %d must be non-negative", *streams)
 	}
+	if *assertTraceLogs && (!*selfhost || *faultRate <= 0) {
+		return errors.New("-assert-trace-logs joins client retry logs with daemon access logs and needs -selfhost and -fault-rate")
+	}
 	grid, err := parseBERs(*bers)
 	if err != nil {
 		return err
 	}
 
+	// With -assert-trace-logs, both sides log JSON into in-memory buffers the
+	// assertion joins after the run.
+	var daemonBuf, clientBuf lockedBuffer
+	var daemonLog *slog.Logger
+	if *assertTraceLogs {
+		daemonLog, err = obs.NewLogger(&daemonBuf, slog.LevelInfo, obs.FormatJSON)
+		if err != nil {
+			return err
+		}
+	}
+
 	var injector *faultinject.Injector
 	if *faultRate > 0 {
-		injector = faultinject.NewSpread(*chaosSeed, *faultRate)
+		injector = faultinject.New(faultinject.Options{
+			Seed:   *chaosSeed,
+			Rates:  faultinject.Spread(*faultRate),
+			Logger: daemonLog,
+		})
 	}
 	base := *addr
 	if *selfhost {
-		_, hs, url, err := onocd.ListenLocal(onocd.Options{Workers: *workers, CacheShards: *shards, FaultInjector: injector})
+		_, hs, url, err := onocd.ListenLocal(onocd.Options{Workers: *workers, CacheShards: *shards, FaultInjector: injector, Logger: daemonLog})
 		if err != nil {
 			return err
 		}
@@ -129,6 +153,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	c := onocd.NewClient(base)
 	c.HTTP = &http.Client{Timeout: 2 * time.Minute}
+	if *assertTraceLogs {
+		if c.Logger, err = obs.NewLogger(&clientBuf, slog.LevelInfo, obs.FormatJSON); err != nil {
+			return err
+		}
+	}
 	if err := c.Healthz(ctx); err != nil {
 		return fmt.Errorf("daemon not healthy: %w", err)
 	}
@@ -198,6 +227,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	// Phase breakdown from the daemon's engine-instrumentation metrics: how
+	// much of the run's work ran cold, hit the cache, or coalesced.
+	var phases *onocd.PhaseBreakdown
+	if pb, err := onocd.ScrapePhases(ctx, c.HTTP, base); err == nil {
+		phases = &pb
+		fmt.Fprintf(out, "phases: %d cold solves (%.2f ms mean), %d cache hits, %d coalesced, %d session reuses\n",
+			pb.ColdSolves, pb.ColdSolveMeanMS, pb.CacheHits, pb.CoalescedSolves, pb.SessionReuses)
+	} else {
+		fmt.Fprintf(out, "phases: /metrics scrape failed: %v\n", err)
+	}
+
 	// Resilience summary across the load client and all stream clients.
 	cs := c.Stats()
 	totalRequests := cs.Requests + sstats.Requests
@@ -218,8 +258,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Client        onocd.ClientStats     `json:"client"`
 			Streams       onocd.StreamLoadStats `json:"streams"`
 			Amplification float64               `json:"amplification"`
+			Phases        *onocd.PhaseBreakdown `json:"phases,omitempty"`
 			Faults        *faultinject.Counts   `json:"faults,omitempty"`
-		}{stats, hitRate, cs, sstats, amplification, nil}
+		}{stats, hitRate, cs, sstats, amplification, phases, nil}
 		if math.IsNaN(summary.HitRate) {
 			summary.HitRate = -1
 		}
@@ -256,7 +297,92 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *assertResumed > 0 && resumed < uint64(*assertResumed) {
 		return fmt.Errorf("assert-resumed: %d resumed streams < %d", resumed, *assertResumed)
 	}
+	if *assertTraceLogs {
+		joined, err := verifyTraceLogs(daemonBuf.bytes(), clientBuf.bytes())
+		if err != nil {
+			return fmt.Errorf("assert-trace-logs: %w", err)
+		}
+		fmt.Fprintf(out, "trace logs: %d retried traces joined across client and daemon logs\n", joined)
+	}
 	return nil
+}
+
+// lockedBuffer is a mutex-guarded bytes.Buffer: slog handlers write one
+// record per Write call, so a lock per write keeps concurrent daemon
+// handler goroutines from interleaving JSON lines.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return bytes.Clone(b.buf.Bytes())
+}
+
+// verifyTraceLogs enforces the observability contract of a chaos run: every
+// log line on both sides is standalone JSON, and at least one client retry
+// carries a trace ID that also appears on a daemon access-log line — the
+// join that reconstructs a fault's lifecycle from logs alone. Returns the
+// number of retried traces that joined.
+func verifyTraceLogs(daemonRaw, clientRaw []byte) (int, error) {
+	parse := func(side string, raw []byte) ([]map[string]any, error) {
+		var out []map[string]any
+		sc := bufio.NewScanner(bytes.NewReader(raw))
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			var m map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				return nil, fmt.Errorf("%s log line is not JSON: %v: %s", side, err, sc.Text())
+			}
+			out = append(out, m)
+		}
+		return out, sc.Err()
+	}
+	daemonRecs, err := parse("daemon", daemonRaw)
+	if err != nil {
+		return 0, err
+	}
+	clientRecs, err := parse("client", clientRaw)
+	if err != nil {
+		return 0, err
+	}
+	served := make(map[string]bool)
+	for _, m := range daemonRecs {
+		if m["msg"] == "request" {
+			if id, _ := m["trace_id"].(string); id != "" {
+				served[id] = true
+			}
+		}
+	}
+	joined := make(map[string]bool)
+	retries := 0
+	for _, m := range clientRecs {
+		if m["msg"] != "retry" {
+			continue
+		}
+		retries++
+		if id, _ := m["trace_id"].(string); served[id] {
+			joined[id] = true
+		}
+	}
+	if retries == 0 {
+		return 0, errors.New("no client retry events logged; the chaos run exercised nothing")
+	}
+	if len(joined) == 0 {
+		return 0, fmt.Errorf("%d retries logged but none share a trace ID with a daemon access-log line", retries)
+	}
+	return len(joined), nil
 }
 
 // parseBERs splits the comma-separated working set.

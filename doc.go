@@ -226,6 +226,13 @@
 //   - internal/faultinject — deterministic seeded fault injection (latency,
 //     429/503 envelopes, connection resets, mid-stream truncation) behind
 //     onocd -fault-rate and the onocload chaos gates
+//   - internal/obs        — the telemetry layer: structured logging on
+//     log/slog, W3C trace-context propagation (traceparent parse/generate,
+//     request-scoped spans), and per-request engine-work attribution; the
+//     daemon threads it through access logs, /metrics and /statusz, the
+//     client joins its retry logs to the daemon's by trace ID, and the
+//     engine's Observer seam (WithObserver) feeds it without allocating
+//     when unused
 //
 // The benchmark harness in bench_test.go regenerates every table and figure
 // of the paper; engine_bench_test.go compares the sequential and concurrent

@@ -106,6 +106,17 @@ func WithCache(entries int) Option { return engine.WithCache(entries) }
 // serving load. See CacheStats.Shards and CacheStats.SharedSolves.
 func WithCacheShards(n int) Option { return engine.WithCacheShards(n) }
 
+// Observer receives engine instrumentation events — cold-solve durations,
+// per-shard cache traffic, singleflight coalesces, session reuses. Hooks run
+// synchronously on the solve path from many goroutines; implementations must
+// be concurrency-safe and cheap. See WithObserver.
+type Observer = engine.Observer
+
+// WithObserver installs an instrumentation observer (default: none). A nil
+// observer costs one pointer comparison per event site — the hot-path
+// zero-allocation guarantees are unaffected.
+func WithObserver(o Observer) Option { return engine.WithObserver(o) }
+
 // Manager builds a runtime link manager whose per-request link solves go
 // through this Engine — every Configure decision hits the Engine's memo
 // cache. The manager shares the Engine's configuration and scheme roster.

@@ -32,6 +32,10 @@ type Engine struct {
 	cache       *lruCache // nil when disabled via WithCache(0)
 	fingerprint string
 
+	// obs receives instrumentation events; nil (the default) disables the
+	// hooks behind a single pointer comparison per event site.
+	obs Observer
+
 	// flights coalesces concurrent cold solves of one cache key: a
 	// stampede of identical queries costs exactly one compiled solve.
 	flights flightGroup
@@ -70,6 +74,7 @@ type settings struct {
 	workers      int
 	cacheEntries int
 	cacheShards  int // 0 = automatic (scales with capacity)
+	obs          Observer
 }
 
 // Option configures an Engine under construction.
@@ -194,6 +199,7 @@ func New(opts ...Option) (*Engine, error) {
 		schemes:     s.schemes,
 		workers:     s.workers,
 		fingerprint: fingerprintBytes(raw),
+		obs:         s.obs,
 	}
 	if s.cacheEntries > 0 {
 		shards := s.cacheShards
@@ -264,12 +270,17 @@ func (e *Engine) CacheStats() CacheStats {
 }
 
 // solveCold runs a compiled pipeline for one grid point, accounting the
-// wall time under the engine's cold-solve statistics.
-func (e *Engine) solveCold(compiled *core.Compiled, code ecc.Code, targetBER float64) (core.Evaluation, error) {
+// wall time under the engine's cold-solve statistics. The context is the
+// evaluation's — the observer uses it to attribute the solve to a request.
+func (e *Engine) solveCold(ctx context.Context, compiled *core.Compiled, code ecc.Code, targetBER float64) (core.Evaluation, error) {
 	start := time.Now()
 	ev, err := compiled.Evaluate(code, targetBER)
+	elapsed := time.Since(start)
 	e.coldSolves.Add(1)
-	e.coldSolveNS.Add(int64(time.Since(start)))
+	e.coldSolveNS.Add(int64(elapsed))
+	if e.obs != nil {
+		e.obs.ColdSolve(ctx, code.Name(), elapsed)
+	}
 	return ev, err
 }
 
@@ -298,7 +309,7 @@ func (e *Engine) Evaluate(ctx context.Context, code ecc.Code, targetBER float64)
 	if err := validateBER(targetBER); err != nil {
 		return core.Evaluation{}, err
 	}
-	return e.evaluateCompiled(e.fingerprint, e.compiled, code, targetBER)
+	return e.evaluateCompiled(ctx, e.fingerprint, e.compiled, code, targetBER)
 }
 
 // evaluateCompiled solves one operating point of one compiled configuration
@@ -309,13 +320,20 @@ func (e *Engine) Evaluate(ctx context.Context, code ecc.Code, targetBER float64)
 // one compiled solve, the rest sharing its result (CacheStats.SharedSolves).
 // With the cache disabled every solve is cold and uncoalesced — that is the
 // benchmark configuration, where each call must really run the pipeline.
-func (e *Engine) evaluateCompiled(fp string, compiled *core.Compiled, code ecc.Code, targetBER float64) (core.Evaluation, error) {
+func (e *Engine) evaluateCompiled(ctx context.Context, fp string, compiled *core.Compiled, code ecc.Code, targetBER float64) (core.Evaluation, error) {
 	if e.cache == nil {
-		return e.solveCold(compiled, code, targetBER)
+		return e.solveCold(ctx, compiled, code, targetBER)
 	}
 	key := cacheKey{fingerprint: fp, scheme: code.Name(), targetBER: targetBER}
-	if ev, ok := e.cache.get(key); ok {
+	ev, shard, ok := e.cache.get(key)
+	if ok {
+		if e.obs != nil {
+			e.obs.CacheHit(ctx, shard)
+		}
 		return ev, nil
+	}
+	if e.obs != nil {
+		e.obs.CacheMiss(ctx, shard)
 	}
 	ev, shared, err := e.flights.do(key, func() (core.Evaluation, error) {
 		// A flight that closed between our miss and this one's start may
@@ -325,7 +343,7 @@ func (e *Engine) evaluateCompiled(fp string, compiled *core.Compiled, code ecc.C
 		if ev, ok := e.cache.peek(key); ok {
 			return ev, nil
 		}
-		ev, err := e.solveCold(compiled, code, targetBER)
+		ev, err := e.solveCold(ctx, compiled, code, targetBER)
 		if err != nil {
 			return core.Evaluation{}, err
 		}
@@ -334,6 +352,9 @@ func (e *Engine) evaluateCompiled(fp string, compiled *core.Compiled, code ecc.C
 	})
 	if shared {
 		e.sharedSolves.Add(1)
+		if e.obs != nil {
+			e.obs.SharedSolve(ctx)
+		}
 	}
 	if err != nil {
 		return core.Evaluation{}, err

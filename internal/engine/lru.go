@@ -140,10 +140,10 @@ func newLRUCache(capacity, shards int) *lruCache {
 	return c
 }
 
-// shardFor hashes a key onto its shard.
-func (c *lruCache) shardFor(k cacheKey) *lruShard {
+// shardIndex hashes a key onto its shard's index.
+func (c *lruCache) shardIndex(k cacheKey) int {
 	if len(c.shards) == 1 {
-		return &c.shards[0]
+		return 0
 	}
 	var h maphash.Hash
 	h.SetSeed(c.seed)
@@ -155,22 +155,30 @@ func (c *lruCache) shardFor(k cacheKey) *lruShard {
 		b[i] = byte(bits >> (8 * i))
 	}
 	h.Write(b[:])
-	return &c.shards[h.Sum64()%uint64(len(c.shards))]
+	return int(h.Sum64() % uint64(len(c.shards)))
 }
 
-// get returns the memoized evaluation and whether it was present.
-func (c *lruCache) get(k cacheKey) (core.Evaluation, bool) {
-	s := c.shardFor(k)
+// shardFor hashes a key onto its shard.
+func (c *lruCache) shardFor(k cacheKey) *lruShard {
+	return &c.shards[c.shardIndex(k)]
+}
+
+// get returns the memoized evaluation, the index of the shard consulted
+// (so instrumentation can attribute traffic per shard without hashing the
+// key twice), and whether the entry was present.
+func (c *lruCache) get(k cacheKey) (core.Evaluation, int, bool) {
+	i := c.shardIndex(k)
+	s := &c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.items[k]
 	if !ok {
 		s.misses++
-		return core.Evaluation{}, false
+		return core.Evaluation{}, i, false
 	}
 	s.hits++
 	s.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return el.Value.(*lruEntry).val, i, true
 }
 
 // peek reports whether the key is memoized without touching the hit/miss

@@ -67,7 +67,7 @@ func (e *Engine) SimulateNetwork(ctx context.Context, cfg noc.Config, opts Netwo
 	}
 	evals := g.newEvalLattice()
 	if err := e.forEach(ctx, g.pointsPerBER(), func(ctx context.Context, i int) error {
-		return e.solvePoint(g, evals, i)
+		return e.solvePoint(ctx, g, evals, i)
 	}); err != nil {
 		return netsim.NetResults{}, err
 	}

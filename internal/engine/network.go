@@ -155,13 +155,13 @@ func (e *Engine) prepareNetwork(cfg noc.Config, targetBERs []float64) (*netGrid,
 
 // solvePoint solves lattice point i (BER-major, then link, then scheme)
 // into evals, which is indexed evals[ber][link][scheme].
-func (e *Engine) solvePoint(g *netGrid, evals [][][]core.Evaluation, i int) error {
+func (e *Engine) solvePoint(ctx context.Context, g *netGrid, evals [][][]core.Evaluation, i int) error {
 	perBER := g.pointsPerBER()
 	b := i / perBER
 	rem := i % perBER
 	l := rem / len(g.schemes)
 	s := rem % len(g.schemes)
-	ev, err := e.evaluateCompiled(g.links[l].Fingerprint, g.compiled[l], g.schemes[s], g.bers[b])
+	ev, err := e.evaluateCompiled(ctx, g.links[l].Fingerprint, g.compiled[l], g.schemes[s], g.bers[b])
 	if err != nil {
 		return err
 	}
@@ -225,7 +225,7 @@ func (e *Engine) NetworkSweep(ctx context.Context, cfg noc.Config, targetBERs []
 	}
 	evals := g.newEvalLattice()
 	if err := e.forEach(ctx, len(g.bers)*g.pointsPerBER(), func(ctx context.Context, i int) error {
-		return e.solvePoint(g, evals, i)
+		return e.solvePoint(ctx, g, evals, i)
 	}); err != nil {
 		return nil, err
 	}
@@ -266,7 +266,7 @@ func (e *Engine) NetworkSweepStream(ctx context.Context, cfg noc.Config, targetB
 		go func() {
 			defer close(done)
 			poolErr = e.forEach(ctx, total, func(ctx context.Context, i int) error {
-				if err := e.solvePoint(g, evals, i); err != nil {
+				if err := e.solvePoint(ctx, g, evals, i); err != nil {
 					return err
 				}
 				done <- i

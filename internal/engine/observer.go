@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// Observer receives engine instrumentation events: cold-solve durations,
+// per-shard cache traffic, singleflight coalesces and session reuses. It is
+// the seam the serving layer hangs its telemetry on — histograms, access-log
+// attribution, per-request statistics — without the engine knowing anything
+// about metrics or logging.
+//
+// Every hook receives the context of the evaluation that triggered it, which
+// may belong to a different goroutine than the request that submitted the
+// work (sweep and batch solves fan across the worker pool with the request
+// context threaded through). Implementations attribute events per-request by
+// reading request-scoped carriers out of that context.
+//
+// Hooks are called synchronously on the solve path, potentially from many
+// goroutines at once: implementations must be concurrency-safe and cheap
+// (atomic counters, lock-free histograms). The engine's default is no
+// observer at all — a nil observer costs one pointer comparison per event
+// site and allocates nothing, which is what keeps the zero-alloc session
+// gates green.
+type Observer interface {
+	// ColdSolve reports one compiled-pipeline run: the scheme solved and the
+	// wall time it took. Fired for every cache miss that reaches the
+	// pipeline, and for every solve when the cache is disabled.
+	ColdSolve(ctx context.Context, scheme string, d time.Duration)
+
+	// CacheHit reports a memo-cache hit on the given shard index.
+	CacheHit(ctx context.Context, shard int)
+
+	// CacheMiss reports a memo-cache miss on the given shard index.
+	CacheMiss(ctx context.Context, shard int)
+
+	// SharedSolve reports an evaluation served by joining another
+	// goroutine's in-flight cold solve (the singleflight layer).
+	SharedSolve(ctx context.Context)
+
+	// SessionReuse reports cells a NetworkSession served from its
+	// previous-candidate diff — solves that skipped the pipeline and the
+	// cache entirely.
+	SessionReuse(ctx context.Context, cells int)
+}
+
+// WithObserver installs an instrumentation observer (default: none). The
+// observer sees every solve the engine performs, whichever API initiated it.
+func WithObserver(o Observer) Option {
+	return func(s *settings) error {
+		s.obs = o
+		return nil
+	}
+}

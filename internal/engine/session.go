@@ -155,7 +155,7 @@ func (s *NetworkSession) Evaluate(ctx context.Context, cand NetworkCandidate) (*
 			}
 		}
 		for si := 0; si < nschemes; si++ {
-			ev, err := s.e.evaluateCompiled(fp, s.compiled[l], schemes[si], opts.TargetBER)
+			ev, err := s.e.evaluateCompiled(ctx, fp, s.compiled[l], schemes[si], opts.TargetBER)
 			if err != nil {
 				s.invalidate()
 				return nil, err
@@ -165,6 +165,9 @@ func (s *NetworkSession) Evaluate(ctx context.Context, cand NetworkCandidate) (*
 	}
 	if reusedCells > 0 {
 		s.e.sessionReuses.Add(uint64(reusedCells))
+		if s.e.obs != nil {
+			s.e.obs.SessionReuse(ctx, reusedCells)
+		}
 	}
 
 	decisions, err := s.eval.Decide(net, s.rows, opts)

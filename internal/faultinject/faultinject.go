@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"photonoc/internal/apierr"
+	"photonoc/internal/obs"
 )
 
 // ErrInjectedReset is the transport-level error surfaced by the client-side
@@ -82,6 +84,12 @@ type Options struct {
 	// cuts land anywhere from inside the first item to a few KB in.
 	TruncateMinBytes  int
 	TruncateSpanBytes int
+	// Logger, when non-nil, logs every injected fault with the mode, the
+	// request path, and the trace ID of the request's traceparent header —
+	// the line that lets a chaos run's logs show which trace each fault
+	// landed on. nil stays silent (the injector predates the logging layer
+	// and every existing test builds it bare).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +138,23 @@ const (
 	reset
 	truncate
 )
+
+// String names a fault mode for logs.
+func (k kind) String() string {
+	switch k {
+	case latency:
+		return "latency"
+	case reject:
+		return "reject"
+	case unavailable:
+		return "unavailable"
+	case reset:
+		return "reset"
+	case truncate:
+		return "truncate"
+	}
+	return "none"
+}
 
 // Injector makes seeded fault decisions. Safe for concurrent use; the RNG
 // and counters share one mutex, held only for the draw.
@@ -217,11 +242,27 @@ func mustMarshal(env apierr.Envelope) []byte {
 	return raw
 }
 
+// logFault records one injected fault, joining it to the request's trace
+// when the caller sent a traceparent.
+func (inj *Injector) logFault(mode, path, traceparent string) {
+	if inj.opts.Logger == nil {
+		return
+	}
+	traceID := ""
+	if sc, err := obs.ParseTraceparent(traceparent); err == nil {
+		traceID = sc.TraceID.String()
+	}
+	inj.opts.Logger.Warn("fault_injected", "mode", mode, "path", path, "trace_id", traceID)
+}
+
 // Middleware wraps an onocd handler. streaming marks NDJSON routes, the
 // only ones eligible for truncate faults.
 func (inj *Injector) Middleware(next http.Handler, streaming bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		k, budget := inj.decide(streaming)
+		if k != none {
+			inj.logFault(k.String(), r.URL.Path, r.Header.Get("Traceparent"))
+		}
 		switch k {
 		case latency:
 			time.Sleep(inj.opts.Latency)
@@ -299,6 +340,9 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	// for NDJSON routes.
 	streaming := req.Header.Get("Accept") == "application/x-ndjson"
 	k, budget := t.inj.decide(streaming)
+	if k != none {
+		t.inj.logFault(k.String(), req.URL.Path, req.Header.Get("Traceparent"))
+	}
 	switch k {
 	case latency:
 		time.Sleep(t.inj.opts.Latency)

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace identifier shared by every span of one
+// request lifecycle, across processes.
+type TraceID [16]byte
+
+// SpanID is the 8-byte identifier of one operation within a trace.
+type SpanID [8]byte
+
+// String renders the lowercase-hex wire form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the lowercase-hex wire form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports the all-zero (invalid per W3C) identifier.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports the all-zero (invalid per W3C) identifier.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// FlagSampled is the only trace-flag bit the spec defines today.
+const FlagSampled byte = 0x01
+
+// SpanContext is the propagated trace identity: which trace this request
+// belongs to, which span is current, and the sampling flags. It is the
+// in-process form of the traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// IsValid reports whether both identifiers are non-zero, the W3C validity
+// rule for a traceparent.
+func (sc SpanContext) IsValid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the W3C header value: version 00, lowercase hex,
+// "00-<trace-id>-<parent-id>-<trace-flags>".
+func (sc SpanContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52] = '-'
+	hex.Encode(b[53:55], []byte{sc.Flags})
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// non-ff version whose first four fields have the version-00 layout (the
+// forward-compatibility rule of the spec), requires lowercase hex, and
+// rejects all-zero trace or span IDs.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	if len(s) < 55 {
+		return sc, fmt.Errorf("obs: traceparent %q: too short", s)
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return sc, fmt.Errorf("obs: traceparent %q: malformed trailer", s)
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, fmt.Errorf("obs: traceparent %q: bad field separators", s)
+	}
+	for _, c := range []byte(s[:55]) {
+		if c == '-' {
+			continue
+		}
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return sc, fmt.Errorf("obs: traceparent %q: non-lowercase-hex byte %q", s, c)
+		}
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(s[0:2])); err != nil {
+		return sc, fmt.Errorf("obs: traceparent %q: %v", s, err)
+	}
+	if version[0] == 0xff {
+		return sc, fmt.Errorf("obs: traceparent %q: forbidden version ff", s)
+	}
+	if version[0] == 0 && len(s) != 55 {
+		return sc, fmt.Errorf("obs: traceparent %q: version 00 must be exactly 55 bytes", s)
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(s[3:35])); err != nil {
+		return sc, fmt.Errorf("obs: traceparent %q: %v", s, err)
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(s[36:52])); err != nil {
+		return sc, fmt.Errorf("obs: traceparent %q: %v", s, err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return sc, fmt.Errorf("obs: traceparent %q: %v", s, err)
+	}
+	sc.Flags = flags[0]
+	if !sc.IsValid() {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: all-zero trace or span id", s)
+	}
+	return sc, nil
+}
+
+// idRNG is the identifier source: a ChaCha8 stream seeded once from the
+// OS entropy pool, mutex-guarded. Identifiers need to be unique, not
+// cryptographically unpredictable, and a userspace stream keeps ID
+// generation off the syscall path for every request.
+var idRNG = struct {
+	mu  sync.Mutex
+	rng *rand.ChaCha8
+}{rng: newIDRNG()}
+
+func newIDRNG() *rand.ChaCha8 {
+	var seed [32]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable on the platforms we
+		// run on; degrade to a time-derived seed rather than failing
+		// telemetry setup.
+		binary.LittleEndian.PutUint64(seed[:8], uint64(time.Now().UnixNano()))
+	}
+	return rand.NewChaCha8(seed)
+}
+
+// randomBytes fills b from the identifier stream, avoiding the all-zero
+// value (W3C reserves it as invalid).
+func randomBytes(b []byte) {
+	idRNG.mu.Lock()
+	defer idRNG.mu.Unlock()
+	for {
+		idRNG.rng.Read(b)
+		for _, c := range b {
+			if c != 0 {
+				return
+			}
+		}
+	}
+}
+
+// NewTraceID returns a fresh random trace identifier.
+func NewTraceID() TraceID {
+	var t TraceID
+	randomBytes(t[:])
+	return t
+}
+
+// NewSpanID returns a fresh random span identifier.
+func NewSpanID() SpanID {
+	var s SpanID
+	randomBytes(s[:])
+	return s
+}
+
+// NewSpanContext starts a new sampled trace.
+func NewSpanContext() SpanContext {
+	return SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+}
+
+// Child derives a new span within the same trace: the trace ID and flags
+// carry over, the span ID is fresh. The receiver becomes the parent.
+func (sc SpanContext) Child() SpanContext {
+	return SpanContext{TraceID: sc.TraceID, SpanID: NewSpanID(), Flags: sc.Flags}
+}
+
+// spanKey carries the current SpanContext in a context.
+type spanKey struct{}
+
+// ContextWithSpan attaches a span context.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanKey{}, sc)
+}
+
+// SpanFromContext returns the current span context, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanKey{}).(SpanContext)
+	return sc, ok && sc.IsValid()
+}
+
+// Span is one timed in-process operation. Spans are values for logging, not
+// a tracing backend: End returns the duration, and the caller decides what
+// to emit.
+type Span struct {
+	Name   string
+	SC     SpanContext
+	Parent SpanID
+	start  time.Time
+}
+
+// StartSpan begins a span under the context's current span (same trace,
+// fresh span ID) or a brand-new trace when the context carries none. The
+// returned context has the new span current, so nested StartSpan calls
+// chain parents correctly.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sp := &Span{Name: name, start: time.Now()}
+	if parent, ok := SpanFromContext(ctx); ok {
+		sp.SC = parent.Child()
+		sp.Parent = parent.SpanID
+	} else {
+		sp.SC = NewSpanContext()
+	}
+	return ContextWithSpan(ctx, sp.SC), sp
+}
+
+// End returns the span's duration. Idempotent in effect — it does not
+// mutate the span.
+func (s *Span) End() time.Duration { return time.Since(s.start) }

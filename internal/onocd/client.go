@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"photonoc/internal/mc"
 	"photonoc/internal/netsim"
 	"photonoc/internal/noc"
+	"photonoc/internal/obs"
 	"photonoc/internal/resilience"
 )
 
@@ -48,6 +50,12 @@ type Client struct {
 	Retry *resilience.Retrier
 	// Breaker is the circuit breaker; nil defaults on first use.
 	Breaker *resilience.Breaker
+	// Logger receives the client's structured resilience logs: one line per
+	// failed attempt, retry, breaker fail-fast, and stream resume, each
+	// carrying the request's trace ID and the attempt's span ID — the same
+	// identifiers the daemon's access log records, so a chaos run is
+	// reconstructable from the two logs joined on trace_id. nil discards.
+	Logger *slog.Logger
 
 	// mu guards the resilience counters and the revalidation cache below:
 	// the last /v1/config body and its ETag, served back on a 304.
@@ -69,6 +77,22 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return obs.Nop()
+}
+
+// setTraceparent propagates the context's current span — the attempt span
+// minted by withRetries — onto the outbound request, so the daemon's access
+// log joins this attempt under the same trace ID.
+func setTraceparent(ctx context.Context, req *http.Request) {
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		req.Header.Set("Traceparent", sc.Traceparent())
+	}
+}
+
 // send issues one HTTP request and returns the response on HTTP success; a
 // non-2xx status or a request-level failure comes back as a typed error
 // (Retry-After-decorated when the server set a retry horizon).
@@ -84,6 +108,7 @@ func (c *Client) send(ctx context.Context, method, path, contentType string, bod
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	setTraceparent(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -114,7 +139,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 		}
 		contentType = "application/json"
 	}
-	return c.withRetries(ctx, func() error {
+	return c.withRetries(ctx, func(ctx context.Context) error {
 		resp, err := c.send(ctx, method, path, contentType, raw)
 		if err != nil {
 			return err
@@ -150,7 +175,7 @@ func decodeError(resp *http.Response) error {
 // cached copy; a hot reload changes the fingerprint and refetches.
 func (c *Client) Config(ctx context.Context) (ConfigResponse, error) {
 	var out ConfigResponse
-	err := c.withRetries(ctx, func() error {
+	err := c.withRetries(ctx, func(ctx context.Context) error {
 		c.mu.Lock()
 		tag, cached := c.configTag, c.config
 		c.mu.Unlock()
@@ -161,6 +186,7 @@ func (c *Client) Config(ctx context.Context) (ConfigResponse, error) {
 		if tag != "" {
 			req.Header.Set("If-None-Match", tag)
 		}
+		setTraceparent(ctx, req)
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
@@ -260,7 +286,7 @@ func (c *Client) NetworkSweep(ctx context.Context, req NoCRequest, fn func(int, 
 // some cuts land exactly on a line boundary.
 func (c *Client) streamNoC(ctx context.Context, path, contentType string, body []byte, expect int, onItem func(NoCStreamItem) error) error {
 	next := 0
-	return c.withRetries(ctx, func() error {
+	return c.withRetries(ctx, func(ctx context.Context) error {
 		before := next
 		p := path
 		if next > 0 {

@@ -1,0 +1,194 @@
+package onocd
+
+import (
+	"bufio"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"photonoc/internal/noc"
+)
+
+// rawGet fetches a path with compression negotiation fully under the test's
+// control: Go's transport-level auto-gzip is disabled so the wire encoding
+// is visible.
+func rawGet(t *testing.T, base, path string, acceptGzip bool) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acceptGzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	tr := &http.Transport{DisableCompression: true}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestGzipLargeJSONResponse: a JSON body over the threshold compresses, the
+// gunzipped payload is the same JSON, and Vary: Accept-Encoding is set so
+// caches key on the negotiation.
+func TestGzipLargeJSONResponse(t *testing.T) {
+	_, c := newTestServer(t, Options{GzipMinBytes: 64})
+	resp := rawGet(t, c.Base, "/v1/config", true)
+	if ce := resp.Header.Get("Content-Encoding"); ce != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", ce)
+	}
+	if v := resp.Header.Get("Vary"); !strings.Contains(v, "Accept-Encoding") {
+		t.Errorf("Vary = %q, want Accept-Encoding", v)
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg ConfigResponse
+	if err := json.NewDecoder(zr).Decode(&cfg); err != nil {
+		t.Fatalf("decoding gunzipped config: %v", err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatalf("gzip trailer: %v", err)
+	}
+	if cfg.Fingerprint == "" {
+		t.Error("config fingerprint empty after gunzip")
+	}
+}
+
+// TestGzipSmallResponseBypassed: a body under the threshold ships identity
+// even when the client accepts gzip — compressing a handful of bytes costs
+// more than it saves.
+func TestGzipSmallResponseBypassed(t *testing.T) {
+	_, c := newTestServer(t, Options{GzipMinBytes: 1 << 20})
+	resp := rawGet(t, c.Base, "/v1/config", true)
+	if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("Content-Encoding = %q, want identity for a sub-threshold body", ce)
+	}
+	var cfg ConfigResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fingerprint == "" {
+		t.Error("config fingerprint empty after gunzip")
+	}
+}
+
+// TestGzipNotAcceptedStaysIdentity: no Accept-Encoding means no gzip, no
+// matter the size.
+func TestGzipNotAcceptedStaysIdentity(t *testing.T) {
+	_, c := newTestServer(t, Options{GzipMinBytes: 1})
+	resp := rawGet(t, c.Base, "/v1/config", false)
+	if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("Content-Encoding = %q, want identity without Accept-Encoding", ce)
+	}
+	var cfg ConfigResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGzipDisabled: a negative GzipMinBytes turns compression off entirely.
+func TestGzipDisabled(t *testing.T) {
+	_, c := newTestServer(t, Options{GzipMinBytes: -1})
+	resp := rawGet(t, c.Base, "/v1/config", true)
+	if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("Content-Encoding = %q, want identity with gzip disabled", ce)
+	}
+}
+
+// TestGzipNDJSONStream: a streaming route compresses when accepted, and the
+// gunzipped stream is line-for-line the same NDJSON sequence an identity
+// request delivers.
+func TestGzipNDJSONStream(t *testing.T) {
+	_, c := newTestServer(t, Options{GzipMinBytes: 1})
+	fetch := func(acceptGzip bool) ([]string, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/sweep/stream",
+			strings.NewReader(`{"target_bers":[1e-9,1e-10,1e-11,1e-12]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", "application/x-ndjson")
+		if acceptGzip {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		tr := &http.Transport{DisableCompression: true}
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body := io.Reader(resp.Body)
+		if resp.Header.Get("Content-Encoding") == "gzip" {
+			zr, err := gzip.NewReader(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body = zr
+		}
+		var lines []string
+		sc := bufio.NewScanner(body)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var item map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+				t.Fatalf("line %d is not JSON: %v", len(lines), err)
+			}
+			lines = append(lines, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return lines, resp.Header.Get("Content-Encoding")
+	}
+
+	gzLines, enc := fetch(true)
+	if enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip on the stream", enc)
+	}
+	idLines, _ := fetch(false)
+	if len(gzLines) == 0 || len(gzLines) != len(idLines) {
+		t.Fatalf("gzip stream delivered %d lines, identity %d", len(gzLines), len(idLines))
+	}
+	for i := range gzLines {
+		if gzLines[i] != idLines[i] {
+			t.Fatalf("line %d differs across encodings:\n gzip: %s\n  raw: %s", i, gzLines[i], idLines[i])
+		}
+	}
+}
+
+// TestClientWorksOverGzip: the stock client (Go's auto-gzip transport) is
+// oblivious to server-side compression — streams, resumes and metrics all
+// round-trip through a gzip-everything server.
+func TestClientWorksOverGzip(t *testing.T) {
+	_, c := newTestServer(t, Options{GzipMinBytes: 1})
+	ctx := context.Background()
+	n := 0
+	err := c.NetworkSweep(ctx, NoCRequest{Topology: "crossbar", Tiles: 8, TargetBERs: []float64{1e-9, 1e-10, 1e-11}},
+		func(int, float64, noc.Result) error { n++; return nil })
+	if err != nil || n != 3 {
+		t.Fatalf("sweep over gzip: %d items, %v", n, err)
+	}
+	resp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "onocd_requests_total") {
+		t.Error("metrics page missing onocd_requests_total after gzip round-trip")
+	}
+}

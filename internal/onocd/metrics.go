@@ -3,7 +3,10 @@ package onocd
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +30,28 @@ type metrics struct {
 
 	inFlight          atomic.Int64
 	admissionRejected atomic.Uint64
+
+	// recent is a ring of the last finished requests; /statusz mines it for
+	// the slowest recent requests per route, each carrying its trace ID so a
+	// latency spike links straight into the logs (exemplar-style).
+	recMu   sync.Mutex
+	recent  [recentRingSize]requestRecord
+	recNext int
+	recLen  int
+}
+
+// recentRingSize bounds the /statusz exemplar window.
+const recentRingSize = 256
+
+// requestRecord is one finished request in the recent-requests ring.
+type requestRecord struct {
+	Route      string
+	TraceID    string
+	Status     int
+	Duration   time.Duration
+	Bytes      int64
+	ColdSolves uint64
+	Time       time.Time
 }
 
 // routeMetrics aggregates one route's counters under the parent mutex.
@@ -61,6 +86,46 @@ func (m *metrics) observe(route string, code int, elapsed time.Duration) {
 		}
 	}
 }
+
+// recordRequest adds one finished request to the recent ring.
+func (m *metrics) recordRequest(rec requestRecord) {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	m.recent[m.recNext] = rec
+	m.recNext = (m.recNext + 1) % recentRingSize
+	if m.recLen < recentRingSize {
+		m.recLen++
+	}
+}
+
+// slowestRecent returns up to perRoute slowest recent requests for each
+// route, ordered slowest-first overall.
+func (m *metrics) slowestRecent(perRoute int) []requestRecord {
+	m.recMu.Lock()
+	recs := make([]requestRecord, m.recLen)
+	copy(recs, m.recent[:m.recLen])
+	m.recMu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Duration > recs[j].Duration })
+	taken := make(map[string]int)
+	out := recs[:0]
+	for _, r := range recs {
+		if taken[r.Route] >= perRoute {
+			continue
+		}
+		taken[r.Route]++
+		out = append(out, r)
+	}
+	return out
+}
+
+// escapeLabel escapes a Prometheus label value: backslash, double quote and
+// newline are the three characters the text exposition format requires
+// escaped (Go's %q escapes far more, which strict parsers reject).
+func escapeLabel(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 // gauge emits one untyped-free gauge line with HELP/TYPE headers.
 func gauge(w io.Writer, name, help string, v float64) {
@@ -98,20 +163,50 @@ func (m *metrics) writeTo(w io.Writer) {
 		}
 		sort.Ints(codes)
 		for _, c := range codes {
-			fmt.Fprintf(w, "onocd_requests_total{route=%q,code=\"%d\"} %d\n", r, c, rm.codes[c])
+			fmt.Fprintf(w, "onocd_requests_total{route=\"%s\",code=\"%d\"} %d\n", escapeLabel(r), c, rm.codes[c])
 		}
 	}
 
 	fmt.Fprintf(w, "# HELP onocd_request_duration_seconds Request latency by route.\n# TYPE onocd_request_duration_seconds histogram\n")
 	for _, r := range routes {
 		rm := m.routes[r]
+		er := escapeLabel(r)
 		var cum uint64
 		for i, ub := range latencyBuckets {
 			cum += rm.buckets[i]
-			fmt.Fprintf(w, "onocd_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
+			fmt.Fprintf(w, "onocd_request_duration_seconds_bucket{route=\"%s\",le=\"%g\"} %d\n", er, ub, cum)
 		}
-		fmt.Fprintf(w, "onocd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, rm.count)
-		fmt.Fprintf(w, "onocd_request_duration_seconds_sum{route=%q} %g\n", r, rm.sum)
-		fmt.Fprintf(w, "onocd_request_duration_seconds_count{route=%q} %d\n", r, rm.count)
+		fmt.Fprintf(w, "onocd_request_duration_seconds_bucket{route=\"%s\",le=\"+Inf\"} %d\n", er, rm.count)
+		fmt.Fprintf(w, "onocd_request_duration_seconds_sum{route=\"%s\"} %g\n", er, rm.sum)
+		fmt.Fprintf(w, "onocd_request_duration_seconds_count{route=\"%s\"} %d\n", er, rm.count)
 	}
+}
+
+// writeRuntimeMetrics emits the process-health gauges: goroutines, heap, GC
+// activity and the build-info series (value 1, identity in the labels).
+func writeRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge(w, "onocd_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge(w, "onocd_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge(w, "onocd_heap_sys_bytes", "Heap memory obtained from the OS.", float64(ms.HeapSys))
+	gauge(w, "onocd_next_gc_bytes", "Heap size that triggers the next GC cycle.", float64(ms.NextGC))
+	counter(w, "onocd_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
+	fmt.Fprintf(w, "# HELP onocd_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE onocd_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "onocd_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+
+	goVersion, revision, modified := runtime.Version(), "", "false"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP onocd_build_info Build identity; the value is always 1.\n# TYPE onocd_build_info gauge\n")
+	fmt.Fprintf(w, "onocd_build_info{go_version=\"%s\",revision=\"%s\",modified=\"%s\"} 1\n",
+		escapeLabel(goVersion), escapeLabel(revision), escapeLabel(modified))
 }

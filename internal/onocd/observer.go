@@ -1,0 +1,125 @@
+package onocd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"photonoc/internal/obs"
+)
+
+// coldSolveBuckets are the upper bounds (seconds) of the cold-solve duration
+// histogram. Compiled solves run tens of microseconds to low milliseconds;
+// the tail buckets catch pathological configurations.
+var coldSolveBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// engineObserver is the serving layer's engine.Observer: it aggregates the
+// engine's instrumentation events into /metrics series (cold-solve
+// histogram, per-shard cache traffic, coalesce and reuse counters) and
+// mirrors each event into the per-request obs.RequestStats riding the
+// evaluation's context, so the access log can attribute latency per request.
+//
+// One observer lives per engine generation (it is built alongside the engine
+// in newEngineState), so a hot reload starts its histograms cold together
+// with the memo cache. All fields are atomics: the hooks run concurrently on
+// the solve path.
+type engineObserver struct {
+	coldBuckets []atomic.Uint64 // indexed like coldSolveBuckets; overflow uncounted (le=+Inf uses count)
+	coldCount   atomic.Uint64
+	coldSumNS   atomic.Int64
+
+	shardHits   []atomic.Uint64
+	shardMisses []atomic.Uint64
+
+	coalesces     atomic.Uint64
+	sessionReuses atomic.Uint64
+}
+
+func newEngineObserver() *engineObserver {
+	return &engineObserver{coldBuckets: make([]atomic.Uint64, len(coldSolveBuckets))}
+}
+
+// initShards sizes the per-shard counters once the engine reports its shard
+// count. Called before the generation is published, so the hooks never see
+// the slices mid-resize.
+func (o *engineObserver) initShards(n int) {
+	o.shardHits = make([]atomic.Uint64, n)
+	o.shardMisses = make([]atomic.Uint64, n)
+}
+
+func (o *engineObserver) ColdSolve(ctx context.Context, scheme string, d time.Duration) {
+	sec := d.Seconds()
+	for i, ub := range coldSolveBuckets {
+		if sec <= ub {
+			o.coldBuckets[i].Add(1)
+			break
+		}
+	}
+	o.coldCount.Add(1)
+	o.coldSumNS.Add(int64(d))
+	if s := obs.StatsFrom(ctx); s != nil {
+		s.ColdSolves.Add(1)
+		s.ColdSolveNS.Add(int64(d))
+	}
+}
+
+func (o *engineObserver) CacheHit(ctx context.Context, shard int) {
+	if shard >= 0 && shard < len(o.shardHits) {
+		o.shardHits[shard].Add(1)
+	}
+	if s := obs.StatsFrom(ctx); s != nil {
+		s.CacheHits.Add(1)
+	}
+}
+
+func (o *engineObserver) CacheMiss(ctx context.Context, shard int) {
+	if shard >= 0 && shard < len(o.shardMisses) {
+		o.shardMisses[shard].Add(1)
+	}
+	if s := obs.StatsFrom(ctx); s != nil {
+		s.CacheMisses.Add(1)
+	}
+}
+
+func (o *engineObserver) SharedSolve(ctx context.Context) {
+	o.coalesces.Add(1)
+	if s := obs.StatsFrom(ctx); s != nil {
+		s.SharedSolves.Add(1)
+	}
+}
+
+func (o *engineObserver) SessionReuse(ctx context.Context, cells int) {
+	o.sessionReuses.Add(uint64(cells))
+	if s := obs.StatsFrom(ctx); s != nil {
+		s.SessionReuses.Add(uint64(cells))
+	}
+}
+
+// writeTo renders the observer's series in the Prometheus text format.
+func (o *engineObserver) writeTo(w io.Writer) {
+	fmt.Fprintf(w, "# HELP onocd_cold_solve_duration_seconds Wall time of compiled-pipeline solves (cache misses).\n# TYPE onocd_cold_solve_duration_seconds histogram\n")
+	var cum uint64
+	for i, ub := range coldSolveBuckets {
+		cum += o.coldBuckets[i].Load()
+		fmt.Fprintf(w, "onocd_cold_solve_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	count := o.coldCount.Load()
+	fmt.Fprintf(w, "onocd_cold_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(w, "onocd_cold_solve_duration_seconds_sum %g\n", time.Duration(o.coldSumNS.Load()).Seconds())
+	fmt.Fprintf(w, "onocd_cold_solve_duration_seconds_count %d\n", count)
+
+	fmt.Fprintf(w, "# HELP onocd_cache_shard_hits_total Memo-cache hits by LRU shard.\n# TYPE onocd_cache_shard_hits_total counter\n")
+	for i := range o.shardHits {
+		fmt.Fprintf(w, "onocd_cache_shard_hits_total{shard=\"%s\"} %d\n", strconv.Itoa(i), o.shardHits[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP onocd_cache_shard_misses_total Memo-cache misses by LRU shard.\n# TYPE onocd_cache_shard_misses_total counter\n")
+	for i := range o.shardMisses {
+		fmt.Fprintf(w, "onocd_cache_shard_misses_total{shard=\"%s\"} %d\n", strconv.Itoa(i), o.shardMisses[i].Load())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"photonoc/internal/apierr"
+	"photonoc/internal/obs"
 	"photonoc/internal/resilience"
 )
 
@@ -129,20 +130,29 @@ type retryAfterError struct {
 func (e *retryAfterError) Error() string { return e.err.Error() }
 func (e *retryAfterError) Unwrap() error { return e.err }
 
-// retryAfterFloor parses a Retry-After header (delta-seconds form; the
-// HTTP-date form is not worth supporting for a service we also wrote) into
-// a backoff floor. Admission control sends "1": one full second before the
-// retry, exactly as the server asked.
+// retryAfterFloor parses a Retry-After header into a backoff floor. Both
+// RFC 9110 forms are understood: delta-seconds ("1" — what the daemon's
+// admission control sends) and HTTP-date ("Fri, 07 Aug 2026 09:00:00 GMT" —
+// what proxies and other services in front of the daemon send). A date in
+// the past, or a value in neither form, clamps to zero: the client retries
+// on its own backoff schedule rather than trusting a stale horizon.
 func retryAfterFloor(resp *http.Response) time.Duration {
 	v := resp.Header.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // retryableErr classifies what the retry loop may try again: retryable API
@@ -176,18 +186,36 @@ var errTransport = errors.New("onocd: transport failure")
 // budget, so a long stream interrupted many times still completes as long
 // as each attempt moves forward. The breaker gates each attempt: while
 // open, the attempt fails fast with the cooldown as its backoff floor.
-func (c *Client) withRetries(ctx context.Context, op func() error) error {
+//
+// Tracing: the whole logical call runs under one trace — continued from the
+// caller's context span when present, freshly rooted otherwise — and every
+// attempt gets its own child span, handed to op through its context. The
+// span reaches the daemon as the outbound traceparent (see send), and every
+// attempt-failed, retry and breaker log line carries it, so a chaos run's
+// fault → retry → success lifecycle is reconstructable by joining client
+// and server logs on trace_id.
+func (c *Client) withRetries(ctx context.Context, op func(ctx context.Context) error) error {
 	c.countRequest()
+	if _, ok := obs.SpanFromContext(ctx); !ok {
+		ctx = obs.ContextWithSpan(ctx, obs.NewSpanContext())
+	}
+	root, _ := obs.SpanFromContext(ctx)
+	log := c.logger().With("trace_id", root.TraceID.String())
 	r := c.retrier()
 	b := c.breaker()
 	consec := 0
+	attempt := 0
 	for {
 		var err error
 		if berr := b.Allow(); berr != nil {
 			err = berr
+			log.Warn("breaker_open", "retry_in_ms", float64(b.RetryIn().Microseconds())/1e3)
 		} else {
+			attempt++
 			c.countAttempt()
-			err = op()
+			actx, span := obs.StartSpan(ctx, "attempt")
+			err = op(actx)
+			elapsed := span.End()
 			// Breaker accounting: transport failures and retryable service
 			// errors count against the endpoint; deterministic rejections
 			// (invalid input, infeasible) mean the service is healthy and
@@ -196,6 +224,14 @@ func (c *Client) withRetries(ctx context.Context, op func() error) error {
 				b.Success()
 			} else {
 				b.Failure()
+			}
+			if err != nil {
+				log.Warn("attempt_failed",
+					"span_id", span.SC.SpanID.String(),
+					"attempt", attempt,
+					"duration_ms", float64(elapsed.Microseconds())/1e3,
+					"error", err.Error(),
+					"retryable", retryableErr(err))
 			}
 		}
 		if err == nil {
@@ -210,7 +246,12 @@ func (c *Client) withRetries(ctx context.Context, op func() error) error {
 		}
 		c.countRetry()
 		floor := errFloor(err, b)
-		if serr := r.Sleep(ctx, r.Delay(consec, floor)); serr != nil {
+		delay := r.Delay(consec, floor)
+		log.Info("retry",
+			"attempt", attempt,
+			"delay_ms", float64(delay.Microseconds())/1e3,
+			"floor_ms", float64(floor.Microseconds())/1e3)
+		if serr := r.Sleep(ctx, delay); serr != nil {
 			return serr
 		}
 	}

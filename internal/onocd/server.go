@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"reflect"
 	"strconv"
 	"strings"
@@ -21,6 +23,7 @@ import (
 	"photonoc/internal/faultinject"
 	"photonoc/internal/manager"
 	"photonoc/internal/mc"
+	"photonoc/internal/obs"
 )
 
 // Service defaults.
@@ -34,6 +37,9 @@ const (
 	DefaultRequestTimeout = 30 * time.Second
 	// DefaultMaxBodyBytes bounds a request body.
 	DefaultMaxBodyBytes = 1 << 20
+	// DefaultSlowRequest is the access-log threshold above which a finished
+	// request additionally logs at warn level with its engine attribution.
+	DefaultSlowRequest = time.Second
 )
 
 // Options configures a Server. The zero value serves the paper's
@@ -65,6 +71,26 @@ type Options struct {
 	// nil — the default — adds no middleware and no per-request draw: the
 	// production hot path is untouched.
 	FaultInjector *faultinject.Injector
+
+	// Logger receives the service's structured logs: one access-log line per
+	// finished request (trace ID, route, status, bytes, engine attribution),
+	// slow-request warnings, admission rejections, reload events. nil
+	// discards everything, so embedders and tests opt in explicitly.
+	Logger *slog.Logger
+	// SlowRequest is the duration from which a finished request also logs a
+	// warn-level slow_request line (0 = DefaultSlowRequest; negative
+	// disables the slow log).
+	SlowRequest time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. The profiling
+	// routes bypass admission control — a saturated server is exactly when a
+	// profile is needed — so the flag is off by default and cmd/onocd gates
+	// it behind -pprof.
+	EnablePprof bool
+	// GzipMinBytes is the buffered response size from which JSON responses
+	// compress when the client accepts gzip (0 = DefaultGzipMinBytes;
+	// negative disables compression entirely). NDJSON streams compress from
+	// the first line regardless of size.
+	GzipMinBytes int
 }
 
 // engineState is one immutable generation of the serving engine. Hot
@@ -74,12 +100,15 @@ type Options struct {
 type engineState struct {
 	eng      *engine.Engine
 	mgr      *manager.Manager
+	obs      *engineObserver
 	loadedAt time.Time
 }
 
-// newEngineState builds one engine generation.
+// newEngineState builds one engine generation, instrumented with its own
+// observer (histograms and per-shard counters start cold with the cache).
 func newEngineState(opts Options, cfg core.LinkConfig) (*engineState, error) {
-	eopts := []engine.Option{}
+	o := newEngineObserver()
+	eopts := []engine.Option{engine.WithObserver(o)}
 	if !reflect.ValueOf(cfg).IsZero() {
 		eopts = append(eopts, engine.WithConfig(cfg))
 	}
@@ -99,12 +128,13 @@ func newEngineState(opts Options, cfg core.LinkConfig) (*engineState, error) {
 	if err != nil {
 		return nil, err
 	}
+	o.initShards(eng.CacheStats().Shards)
 	ecfg := eng.Config()
 	mgr, err := manager.NewWithEvaluator(&ecfg, eng.Schemes(), manager.PaperDAC(), eng)
 	if err != nil {
 		return nil, err
 	}
-	return &engineState{eng: eng, mgr: mgr, loadedAt: time.Now()}, nil
+	return &engineState{eng: eng, mgr: mgr, obs: o, loadedAt: time.Now()}, nil
 }
 
 // Server is the onocd HTTP service: the Engine behind JSON routes, with
@@ -116,6 +146,7 @@ type Server struct {
 	mux   *http.ServeMux
 	sem   chan struct{}
 	met   *metrics
+	log   *slog.Logger
 
 	started  time.Time
 	reloads  atomic.Uint64
@@ -139,6 +170,12 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.SlowRequest == 0 {
+		opts.SlowRequest = DefaultSlowRequest
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.Nop()
+	}
 	st, err := newEngineState(opts, opts.Config)
 	if err != nil {
 		return nil, err
@@ -148,6 +185,7 @@ func NewServer(opts Options) (*Server, error) {
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, opts.MaxInFlight),
 		met:     newMetrics(),
+		log:     opts.Logger,
 		started: time.Now(),
 	}
 	s.state.Store(st)
@@ -177,6 +215,9 @@ func (s *Server) Reload(cfg core.LinkConfig) error {
 	}
 	s.state.Store(st)
 	s.reloads.Add(1)
+	s.log.Info("engine_reloaded",
+		"fingerprint", st.eng.ConfigFingerprint(),
+		"reloads", s.reloads.Load())
 	return nil
 }
 
@@ -214,16 +255,37 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.Handle("GET /v1/config", s.withFaults(s.instrument("/v1/config", false, s.handleConfig), false))
+	s.v1("GET /v1/config", "/v1/config", false, false, s.handleConfig)
 
-	s.mux.Handle("POST /v1/sweep", s.withFaults(s.instrument("/v1/sweep", true, s.handleSweep), false))
-	s.mux.Handle("POST /v1/sweep/stream", s.withFaults(s.instrument("/v1/sweep/stream", true, s.handleSweepStream), true))
-	s.mux.Handle("POST /v1/decide", s.withFaults(s.instrument("/v1/decide", true, s.handleDecide), false))
-	s.mux.Handle("POST /v1/noc/eval", s.withFaults(s.instrument("/v1/noc/eval", true, s.handleNoCEval), false))
-	s.mux.Handle("POST /v1/noc/batch", s.withFaults(s.instrument("/v1/noc/batch", true, s.handleNoCBatch), true))
-	s.mux.Handle("POST /v1/noc/sweep", s.withFaults(s.instrument("/v1/noc/sweep", true, s.handleNoCSweep), true))
-	s.mux.Handle("POST /v1/noc/sim", s.withFaults(s.instrument("/v1/noc/sim", true, s.handleNoCSim), false))
-	s.mux.Handle("POST /v1/validate", s.withFaults(s.instrument("/v1/validate", true, s.handleValidate), false))
+	s.v1("POST /v1/sweep", "/v1/sweep", true, false, s.handleSweep)
+	s.v1("POST /v1/sweep/stream", "/v1/sweep/stream", true, true, s.handleSweepStream)
+	s.v1("POST /v1/decide", "/v1/decide", true, false, s.handleDecide)
+	s.v1("POST /v1/noc/eval", "/v1/noc/eval", true, false, s.handleNoCEval)
+	s.v1("POST /v1/noc/batch", "/v1/noc/batch", true, true, s.handleNoCBatch)
+	s.v1("POST /v1/noc/sweep", "/v1/noc/sweep", true, true, s.handleNoCSweep)
+	s.v1("POST /v1/noc/sim", "/v1/noc/sim", true, false, s.handleNoCSim)
+	s.v1("POST /v1/validate", "/v1/validate", true, false, s.handleValidate)
+
+	// The profiling routes are deliberately outside instrument: no admission
+	// slot (a saturated server is exactly when a profile is wanted), no
+	// deadline (a 30s CPU profile outlives the request timeout), no gzip
+	// (the protobuf profiles are already compressed).
+	if s.opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// v1 mounts one evaluation route with the full middleware chain, outermost
+// first: gzip (so everything inside writes uncompressed bytes), the chaos
+// injector (injected rejections never consume an admission slot; truncation
+// budgets count pre-compression bytes), then instrument (tracing, logging,
+// admission, deadline, metrics) around the handler body.
+func (s *Server) v1(pattern, route string, admission, streaming bool, fn handlerFunc) {
+	s.mux.Handle(pattern, s.withGzip(s.withFaults(s.instrument(route, admission, fn), streaming)))
 }
 
 // withFaults wraps a route with the chaos middleware when one is
@@ -236,11 +298,13 @@ func (s *Server) withFaults(h http.Handler, streaming bool) http.Handler {
 	return s.opts.FaultInjector.Middleware(h, streaming)
 }
 
-// statusWriter records the status code actually sent, for metrics and so
-// the error path knows whether headers are already gone (streaming).
+// statusWriter records the status code actually sent and the body bytes
+// written (pre-compression), for metrics, the access log, and so the error
+// path knows whether headers are already gone (streaming).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -254,7 +318,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.code == 0 {
 		w.code = http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the underlying flusher (NDJSON streaming).
@@ -269,17 +335,62 @@ func (w *statusWriter) Flush() {
 // returns an error to be enveloped.
 type handlerFunc func(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error
 
-// instrument wraps a route body with the service middleware: in-flight
-// gauge, admission control, the per-request deadline, error enveloping
-// and request accounting.
+// instrument wraps a route body with the service middleware: trace identity
+// (continue an incoming W3C traceparent or start a fresh trace), a
+// request-scoped child logger and stats accumulator in the context, the
+// in-flight gauge, admission control, the per-request deadline, error
+// enveloping, request accounting, the access log and the slow-request log.
 func (s *Server) instrument(route string, admission bool, fn handlerFunc) http.Handler {
 	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+
+		// Trace identity: a valid incoming traceparent makes this request's
+		// span a child in the caller's trace; anything else roots a new one.
+		var sc obs.SpanContext
+		if parent, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+			sc = parent.Child()
+		} else {
+			sc = obs.NewSpanContext()
+		}
+		// Echo the server's span back so even curl runs can join logs.
+		rw.Header().Set("Traceparent", sc.Traceparent())
+
 		w := &statusWriter{ResponseWriter: rw}
+		reqLog := s.log.With(
+			"trace_id", sc.TraceID.String(),
+			"span_id", sc.SpanID.String(),
+			"route", route)
+		stats := &obs.RequestStats{}
+
 		s.met.inFlight.Add(1)
 		defer func() {
+			elapsed := time.Since(start)
 			s.met.inFlight.Add(-1)
-			s.met.observe(route, w.code, time.Since(start))
+			s.met.observe(route, w.code, elapsed)
+			s.met.recordRequest(requestRecord{
+				Route:      route,
+				TraceID:    sc.TraceID.String(),
+				Status:     w.code,
+				Duration:   elapsed,
+				Bytes:      w.bytes,
+				ColdSolves: stats.ColdSolves.Load(),
+				Time:       start,
+			})
+			attrs := []any{
+				"method", r.Method,
+				"status", w.code,
+				"duration_ms", float64(elapsed.Microseconds()) / 1e3,
+				"bytes", w.bytes,
+				"cold_solves", stats.ColdSolves.Load(),
+				"cold_solve_ms", float64(stats.ColdSolveTime().Microseconds()) / 1e3,
+				"cache_hits", stats.CacheHits.Load(),
+				"shared_solves", stats.SharedSolves.Load(),
+				"session_reuses", stats.SessionReuses.Load(),
+			}
+			reqLog.Info("request", attrs...)
+			if s.opts.SlowRequest > 0 && elapsed >= s.opts.SlowRequest {
+				reqLog.Warn("slow_request", attrs...)
+			}
 		}()
 
 		if admission {
@@ -288,6 +399,7 @@ func (s *Server) instrument(route string, admission bool, fn handlerFunc) http.H
 				defer func() { <-s.sem }()
 			default:
 				s.met.admissionRejected.Add(1)
+				reqLog.Warn("admission_rejected", "max_in_flight", s.opts.MaxInFlight)
 				w.Header().Set("Retry-After", "1")
 				writeError(w, fmt.Errorf("%w: %d requests already in flight", apierr.ErrOverloaded, s.opts.MaxInFlight))
 				return
@@ -300,6 +412,9 @@ func (s *Server) instrument(route string, admission bool, fn handlerFunc) http.H
 			return
 		}
 		defer cancel()
+		ctx = obs.ContextWithSpan(ctx, sc)
+		ctx = obs.ContextWithLogger(ctx, reqLog)
+		ctx = obs.ContextWithStats(ctx, stats)
 
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 		if err := fn(ctx, s.state.Load(), w, r.WithContext(ctx)); err != nil {
@@ -309,6 +424,7 @@ func (s *Server) instrument(route string, admission bool, fn handlerFunc) http.H
 			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
 				err = ctx.Err()
 			}
+			reqLog.Warn("request_error", "error", err.Error())
 			if w.code != 0 {
 				return // headers sent (mid-stream failure); terminal NDJSON line already carries the error
 			}
@@ -392,10 +508,40 @@ type StatusResponse struct {
 	RequestTimeoutMS int64             `json:"request_timeout_ms"`
 	Draining         bool              `json:"draining"`
 	Cache            engine.CacheStats `json:"cache"`
+	// SlowestRequests are exemplars mined from the recent-request ring: the
+	// slowest recent requests per route, each carrying its trace ID so a
+	// latency spike links directly into the structured logs.
+	SlowestRequests []SlowRequest `json:"slowest_requests,omitempty"`
 }
+
+// SlowRequest is one slow-request exemplar on /statusz.
+type SlowRequest struct {
+	Route      string    `json:"route"`
+	TraceID    string    `json:"trace_id"`
+	Status     int       `json:"status"`
+	DurationMS float64   `json:"duration_ms"`
+	Bytes      int64     `json:"bytes"`
+	ColdSolves uint64    `json:"cold_solves"`
+	Time       time.Time `json:"time"`
+}
+
+// slowExemplarsPerRoute bounds how many exemplars each route contributes.
+const slowExemplarsPerRoute = 3
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st := s.state.Load()
+	var slow []SlowRequest
+	for _, rec := range s.met.slowestRecent(slowExemplarsPerRoute) {
+		slow = append(slow, SlowRequest{
+			Route:      rec.Route,
+			TraceID:    rec.TraceID,
+			Status:     rec.Status,
+			DurationMS: float64(rec.Duration.Microseconds()) / 1e3,
+			Bytes:      rec.Bytes,
+			ColdSolves: rec.ColdSolves,
+			Time:       rec.Time,
+		})
+	}
 	writeJSON(w, http.StatusOK, StatusResponse{
 		Service:          "onocd",
 		UptimeSec:        time.Since(s.started).Seconds(),
@@ -409,6 +555,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		RequestTimeoutMS: s.opts.RequestTimeout.Milliseconds(),
 		Draining:         s.draining.Load(),
 		Cache:            st.eng.CacheStats(),
+		SlowestRequests:  slow,
 	})
 }
 
@@ -427,6 +574,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge(w, "onocd_cache_capacity", "Memo-cache capacity.", float64(cs.Capacity))
 	gauge(w, "onocd_cache_shards", "Independently locked LRU shards.", float64(cs.Shards))
 	gauge(w, "onocd_cache_cold_solve_seconds_total", "Cumulative wall time in cold solves.", cs.ColdSolveTime.Seconds())
+	st.obs.writeTo(w)
+	writeRuntimeMetrics(w)
 	if inj := s.opts.FaultInjector; inj != nil {
 		fc := inj.Counts()
 		counter(w, "onocd_fault_requests_total", "Requests seen by the chaos middleware.", fc.Requests)

@@ -1,0 +1,207 @@
+package onocd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"testing"
+
+	"photonoc/internal/faultinject"
+	"photonoc/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: slog handlers write whole
+// records in one Write call, so a lock per write keeps concurrent handler
+// goroutines from interleaving JSON lines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return bytes.Clone(b.buf.Bytes())
+}
+
+// logLines decodes a JSON-lines log buffer, failing the test on any line
+// that is not a standalone JSON object — the structured-logging contract.
+func logLines(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, sc.Text())
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// byTrace indexes log records by their trace_id, keeping only records that
+// carry one.
+func byTrace(lines []map[string]any) map[string][]map[string]any {
+	idx := make(map[string][]map[string]any)
+	for _, m := range lines {
+		id, _ := m["trace_id"].(string)
+		if id == "" {
+			continue
+		}
+		idx[id] = append(idx[id], m)
+	}
+	return idx
+}
+
+// hasMsg reports whether any record in the slice has the given msg, with an
+// optional extra predicate.
+func hasMsg(recs []map[string]any, msg string, pred func(map[string]any) bool) bool {
+	for _, m := range recs {
+		if m["msg"] != msg {
+			continue
+		}
+		if pred == nil || pred(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosLifecycleReconstructableFromLogs is the observability acceptance
+// test: under injected faults, at least one request's full lifecycle —
+// fault landing on an attempt, the client retrying, the retried attempt
+// served — must be reconstructable by joining the client's and the daemon's
+// JSON logs on a single trace ID. Every log line on both sides must parse
+// as JSON.
+func TestChaosLifecycleReconstructableFromLogs(t *testing.T) {
+	var serverBuf, clientBuf syncBuffer
+	serverLog, err := obs.NewLogger(&serverBuf, slog.LevelDebug, obs.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reject-only faults: deterministic to retry through (no torn
+	// connections), and injected rejections bypass the access log, so the
+	// join below must go through the injector's own fault_injected line.
+	inj := faultinject.New(faultinject.Options{
+		Seed:   11,
+		Rates:  faultinject.Rates{Reject: 0.3},
+		Logger: serverLog,
+	})
+	_, c := newTestServer(t, Options{
+		FaultInjector: inj,
+		Logger:        serverLog,
+	})
+	clientLog, err := obs.NewLogger(&clientBuf, slog.LevelDebug, obs.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Logger = clientLog
+	c.Retry = fastRetry(5, nil)
+
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		if _, err := c.NetworkEval(ctx, NoCRequest{Topology: "crossbar", Tiles: 8, TargetBER: 1e-9}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if c.Stats().Retries >= 2 {
+			break
+		}
+	}
+	if c.Stats().Retries == 0 {
+		t.Fatal("no retries at a 30% reject rate over 40 requests; the chaos loop tested nothing")
+	}
+
+	serverByTrace := byTrace(logLines(t, serverBuf.Bytes()))
+	clientByTrace := byTrace(logLines(t, clientBuf.Bytes()))
+
+	// Find one trace whose whole story is on the record: the daemon logged
+	// the injected fault, the client logged the failed attempt and the
+	// retry, and the daemon's access log shows the retried attempt served.
+	reconstructed := ""
+	for id, clientRecs := range clientByTrace {
+		if !hasMsg(clientRecs, "attempt_failed", nil) || !hasMsg(clientRecs, "retry", nil) {
+			continue
+		}
+		serverRecs := serverByTrace[id]
+		if !hasMsg(serverRecs, "fault_injected", func(m map[string]any) bool {
+			return m["mode"] == "reject"
+		}) {
+			continue
+		}
+		if !hasMsg(serverRecs, "request", func(m map[string]any) bool {
+			st, ok := m["status"].(float64)
+			return ok && st == 200
+		}) {
+			continue
+		}
+		reconstructed = id
+		break
+	}
+	if reconstructed == "" {
+		t.Fatalf("no trace joins fault_injected + attempt_failed + retry + 200 access log\nserver traces: %d, client traces: %d",
+			len(serverByTrace), len(clientByTrace))
+	}
+
+	// The winning trace's access-log line must carry the request schema the
+	// README documents.
+	for _, m := range serverByTrace[reconstructed] {
+		if m["msg"] != "request" {
+			continue
+		}
+		for _, key := range []string{"route", "status", "duration_ms", "bytes", "span_id"} {
+			if _, ok := m[key]; !ok {
+				t.Errorf("access log line missing %q: %v", key, m)
+			}
+		}
+	}
+}
+
+// TestPprofGated: /debug/pprof/* exists only behind Options.EnablePprof —
+// never on a default daemon.
+func TestPprofGated(t *testing.T) {
+	_, c := newTestServer(t, Options{EnablePprof: true})
+	resp, err := http.Get(c.Base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d with EnablePprof", resp.StatusCode)
+	}
+	resp, err = http.Get(c.Base + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("goroutine profile = %d with EnablePprof", resp.StatusCode)
+	}
+
+	_, off := newTestServer(t, Options{})
+	resp, err = http.Get(off.Base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof mounted on a default daemon")
+	}
+}
