@@ -39,7 +39,7 @@ type BenchReport struct {
 type BenchMetric struct {
 	// Name identifies the metric: cold_sweep, warm_sweep, fer_inversion,
 	// monte_carlo_block, mc_throughput, mc_scalar_throughput, noc_eval,
-	// noc_batch, noc_batch_cold, service_warm_qps.
+	// noc_batch, noc_batch_cold, noc_tune, service_warm_qps.
 	Name string `json:"name"`
 	// NsPerOp is wall nanoseconds per operation.
 	NsPerOp float64 `json:"ns_per_op"`
@@ -55,10 +55,16 @@ type BenchMetric struct {
 	// network evaluation; set only on the noc_eval metric.
 	SolvesPerSec float64 `json:"solves_per_sec,omitempty"`
 	// CandidatesPerSec is the design-space candidate throughput of the
-	// autotuner workload; set only on the noc_batch* metrics (noc_batch is
+	// autotuner workload; set on the noc_batch* metrics (noc_batch is
 	// the incremental batch evaluator, noc_batch_cold the per-candidate
-	// cold baseline it is measured against).
+	// cold baseline it is measured against) and on noc_tune, where it
+	// counts the campaign's particles × generations evaluations.
 	CandidatesPerSec float64 `json:"candidates_per_sec,omitempty"`
+	// FrontSize is the final Pareto-front size of the tracked seeded
+	// autotuner campaign; set only on the noc_tune metric. The campaign is
+	// deterministic, so a changed front size is a behavior change, not
+	// noise.
+	FrontSize int `json:"front_size,omitempty"`
 	// QPS is the closed-loop request throughput against a selfhosted onocd
 	// daemon; set only on the service_warm_qps metric (whose ns_per_op /
 	// p99_ns_per_op carry the p50 / p99 request latency).
@@ -300,6 +306,32 @@ func runBenchJSON(w io.Writer, cfg photonoc.LinkConfig, workers int) error {
 	})
 	m = &report.Benchmarks[len(report.Benchmarks)-1]
 	m.CandidatesPerSec = float64(len(chain)) / m.NsPerOp * 1e9
+
+	// The tracked autotuner campaign (BenchmarkTune): a seeded 8-particle ×
+	// 5-generation swarm over the default design space, warm through the
+	// memo cache. The campaign is deterministic, so its front size is a
+	// tracked figure alongside the candidate throughput.
+	tuneOpts := photonoc.TuneOptions{TargetBER: 1e-11, Seed: 7, Particles: 8, Generations: 5}
+	if _, err := batchEng.Tune(ctx, tuneOpts); err != nil {
+		return err // warm the cache and the session pool unmeasured
+	}
+	var tuneFront int
+	measure("noc_tune", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := batchEng.Tune(ctx, tuneOpts)
+			if err != nil {
+				fail(b, err)
+			}
+			if len(res.Front) == 0 {
+				fail(b, fmt.Errorf("noc_tune: empty Pareto front"))
+			}
+			tuneFront = len(res.Front)
+		}
+	})
+	m = &report.Benchmarks[len(report.Benchmarks)-1]
+	m.CandidatesPerSec = float64(tuneOpts.Particles*tuneOpts.Generations) / m.NsPerOp * 1e9
+	m.FrontSize = tuneFront
 	if benchErr != nil {
 		return benchErr
 	}

@@ -1,0 +1,359 @@
+// Command onoctune runs design-space autotuner campaigns: a deterministic
+// multi-objective particle swarm over the joint NoC design space (topology
+// family, tile count, mesh shape, wavelength grid, scheme-roster subset,
+// DAC resolution), evaluated generation-by-generation as Engine.NetworkBatch
+// populations and archived as a Pareto front over energy per bit, p99
+// latency and saturation throughput.
+//
+//	onoctune -ber 1e-11 -particles 8 -generations 10 -seed 7
+//	onoctune -kinds bus,ring -tiles 8,16 -dacbits 0,6
+//	onoctune -pattern hotspot -hotspot 3 -json
+//	onoctune -remote http://127.0.0.1:9137 -ber 1e-11
+//
+// Campaigns are deterministic from -seed: the same flags produce the
+// identical front regardless of -workers, and with -remote the daemon
+// streams back exactly the campaign a local run would produce (the
+// "remote engine" banner aside, output is byte-identical).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"photonoc"
+
+	"photonoc/internal/ecc"
+	"photonoc/internal/manager"
+	"photonoc/internal/netsim"
+	"photonoc/internal/noc"
+	"photonoc/internal/onocd"
+	"photonoc/internal/report"
+	"photonoc/internal/tune"
+)
+
+// errFlagParse signals main that the FlagSet already printed the
+// diagnostic (and usage), so it must not be reported a second time.
+var errFlagParse = errors.New("onoctune: flag parse error")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "onoctune: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run parses the flags and executes one campaign against out. It is the
+// whole CLI behind main, factored out so the golden-file tests can pin the
+// rendered tables byte for byte.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("onoctune", flag.ContinueOnError)
+	ber := fs.Float64("ber", 1e-11, "target post-decoding BER")
+	seed := fs.Int64("seed", 1, "campaign root seed")
+	particles := fs.Int("particles", 0, "swarm size (0 = 16)")
+	generations := fs.Int("generations", 0, "campaign length (0 = 20)")
+	archive := fs.Int("archive", 0, "Pareto archive capacity (0 = 64)")
+	kinds := fs.String("kinds", "", "comma-separated topology families (default bus,ring,mesh)")
+	tiles := fs.String("tiles", "", "comma-separated tile counts (default 8,12,16)")
+	wavelengths := fs.String("wavelengths", "", "comma-separated wavelength-grid sizes, 0 = the engine's grid (default 0)")
+	dacbits := fs.String("dacbits", "", "comma-separated DAC resolutions, 0 = exact analytic settings (default 0,4,6,8)")
+	rosters := fs.String("rosters", "", "roster subsets: scheme names ';'-separated within a roster, '|' between rosters (default: full roster plus each single scheme)")
+	pattern := fs.String("pattern", "uniform", "uniform|hotspot|permutation|streaming")
+	hotspot := fs.Int("hotspot", 0, "hotspot destination tile")
+	hotFrac := fs.Float64("hotfrac", 0.30, "hotspot traffic fraction in (0,1)")
+	objective := fs.String("objective", "min-energy", "min-power|min-energy|min-latency")
+	msgBits := fs.Int("msgbits", 0, "message size in bits for the latency model (0 = 4 KiB)")
+	workers := fs.Int("workers", 0, "engine workers (0 = GOMAXPROCS; ignored with -remote)")
+	remote := fs.String("remote", "", "base URL of an onocd daemon to run the campaign on instead of the in-process engine")
+	jsonOut := fs.Bool("json", false, "emit the final front as JSON instead of tables (no progress lines)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, a successful exit
+		}
+		return errFlagParse
+	}
+
+	// Validate everything derivable from the flags alone before building
+	// anything or writing any output, so a failed invocation never emits a
+	// plausible-looking partial result.
+	if *ber <= 0 || *ber >= 0.5 || math.IsNaN(*ber) {
+		return fmt.Errorf("-ber %g outside (0, 0.5)", *ber)
+	}
+	if *particles < 0 || *generations < 0 || *archive < 0 {
+		return fmt.Errorf("-particles, -generations and -archive must be non-negative")
+	}
+	var obj manager.Objective
+	switch *objective {
+	case "min-power":
+		obj = photonoc.MinPower
+	case "min-energy":
+		obj = photonoc.MinEnergy
+	case "min-latency":
+		obj = photonoc.MinLatency
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+	pat, err := photonoc.ParsePattern(*pattern)
+	if err != nil {
+		return err
+	}
+	kindNames, err := splitList(*kinds)
+	if err != nil {
+		return fmt.Errorf("-kinds: %v", err)
+	}
+	var kindList []noc.Kind
+	for _, k := range kindNames {
+		kind, err := noc.ParseKind(k)
+		if err != nil {
+			return err
+		}
+		kindList = append(kindList, kind)
+	}
+	tileList, err := intList(*tiles)
+	if err != nil {
+		return fmt.Errorf("-tiles: %v", err)
+	}
+	waveList, err := intList(*wavelengths)
+	if err != nil {
+		return fmt.Errorf("-wavelengths: %v", err)
+	}
+	dacList, err := intList(*dacbits)
+	if err != nil {
+		return fmt.Errorf("-dacbits: %v", err)
+	}
+	rosterNames, rosterCodes, err := parseRosters(*rosters)
+	if err != nil {
+		return fmt.Errorf("-rosters: %v", err)
+	}
+
+	// The campaign driver re-validates all of this, but it only runs after
+	// the banner — check the choice lists here so a bad flag never leaves
+	// partial output behind.
+	minTiles := 8 // smallest default tile choice
+	for i, t := range tileList {
+		if t < 2 {
+			return fmt.Errorf("-tiles: choice %d must be at least 2", t)
+		}
+		if i == 0 || t < minTiles {
+			minTiles = t
+		}
+	}
+	for _, w := range waveList {
+		if w < 0 {
+			return fmt.Errorf("-wavelengths: choice %d must be non-negative", w)
+		}
+	}
+	for _, b := range dacList {
+		if b != 0 {
+			if err := (manager.DAC{Bits: b, MaxOpticalW: manager.PaperDAC().MaxOpticalW}).Validate(); err != nil {
+				return fmt.Errorf("-dacbits: %v", err)
+			}
+		}
+	}
+	if pat == netsim.Hotspot {
+		if *hotspot < 0 || *hotspot >= minTiles {
+			return fmt.Errorf("-hotspot %d outside the smallest tile choice %d", *hotspot, minTiles)
+		}
+		if *hotFrac <= 0 || *hotFrac >= 1 {
+			return fmt.Errorf("-hotfrac %g outside (0, 1)", *hotFrac)
+		}
+	}
+
+	gens := *generations
+	if gens == 0 {
+		gens = tune.DefaultGenerations
+	}
+	parts := *particles
+	if parts == 0 {
+		parts = tune.DefaultParticles
+	}
+
+	banner := func(w io.Writer) {
+		fmt.Fprintf(w, "autotune: %d particles × %d generations, %s, BER %.0e (%s traffic, seed %d)\n",
+			parts, gens, *objective, *ber, pat, *seed)
+	}
+
+	onGen := func(gen int, front []tune.Point) error {
+		if *jsonOut {
+			return nil
+		}
+		e, p99, sat := frontExtremes(front)
+		fmt.Fprintf(out, "gen %*d/%d: front %2d | min %6.2f pJ/bit | min %7.3f µs p99 | max %7.2f Gb/s sat\n",
+			len(strconv.Itoa(gens)), gen+1, gens, len(front), e*1e12, p99*1e6, sat/1e9)
+		return nil
+	}
+
+	var res *tune.Result
+	if *remote != "" {
+		c := onocd.NewClient(*remote)
+		conf, err := c.Config(ctx)
+		if err != nil {
+			return fmt.Errorf("remote %s: %w", *remote, err)
+		}
+		if !*jsonOut {
+			fmt.Fprintf(out, "remote engine %s at %s\n", conf.Fingerprint[:12], c.Base)
+			banner(out)
+		}
+		res, err = c.Tune(ctx, onocd.NoCTuneRequest{
+			TargetBER:       *ber,
+			Objective:       *objective,
+			Pattern:         pat.String(),
+			HotspotNode:     *hotspot,
+			HotspotFraction: *hotFrac,
+			MessageBits:     *msgBits,
+			Seed:            *seed,
+			Particles:       *particles,
+			Generations:     *generations,
+			ArchiveCap:      *archive,
+			Kinds:           kindNames,
+			Tiles:           tileList,
+			Wavelengths:     waveList,
+			DACBits:         dacList,
+			Rosters:         rosterNames,
+		}, onGen)
+		if err != nil {
+			return err
+		}
+	} else {
+		engOpts := []photonoc.Option{}
+		if *workers != 0 {
+			engOpts = append(engOpts, photonoc.WithWorkers(*workers))
+		}
+		eng, err := photonoc.New(engOpts...)
+		if err != nil {
+			return err
+		}
+		if !*jsonOut {
+			banner(out)
+		}
+		res, err = eng.Tune(ctx, photonoc.TuneOptions{
+			Seed:            *seed,
+			Particles:       *particles,
+			Generations:     *generations,
+			ArchiveCap:      *archive,
+			TargetBER:       *ber,
+			Objective:       obj,
+			Pattern:         pat,
+			HotspotNode:     *hotspot,
+			HotspotFraction: *hotFrac,
+			MessageBits:     *msgBits,
+			Kinds:           kindList,
+			Tiles:           tileList,
+			Wavelengths:     waveList,
+			Rosters:         rosterCodes,
+			DACBits:         dacList,
+			OnGeneration:    onGen,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(onocd.TuneSummary(res))
+	}
+	return printFront(out, res)
+}
+
+// frontExtremes summarizes a front for the progress line: the best value
+// of each objective across its points.
+func frontExtremes(front []tune.Point) (minEnergy, minP99, maxSat float64) {
+	minEnergy, minP99, maxSat = math.Inf(1), math.Inf(1), math.Inf(-1)
+	for i := range front {
+		minEnergy = math.Min(minEnergy, front[i].EnergyPerBitJ)
+		minP99 = math.Min(minP99, front[i].P99LatencySec)
+		maxSat = math.Max(maxSat, front[i].SaturationBitsPerSec)
+	}
+	return minEnergy, minP99, maxSat
+}
+
+// printFront renders the final Pareto front table.
+func printFront(out io.Writer, res *tune.Result) error {
+	t := report.NewTable(
+		fmt.Sprintf("Pareto front: %d points (%d evaluated, %d infeasible)",
+			len(res.Front), res.Evaluated, res.Infeasible),
+		"design", "pJ/bit", "p99 µs", "sat Gb/s/tile")
+	for i := range res.Front {
+		p := &res.Front[i]
+		t.AddRowf(p.Spec.String(),
+			fmt.Sprintf("%.2f", p.EnergyPerBitJ*1e12),
+			fmt.Sprintf("%.3f", p.P99LatencySec*1e6),
+			fmt.Sprintf("%.2f", p.SaturationBitsPerSec/1e9))
+	}
+	return t.Render(out)
+}
+
+// splitList splits a comma-separated flag, rejecting empty entries.
+func splitList(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+		if parts[i] == "" {
+			return nil, fmt.Errorf("empty entry in %q", s)
+		}
+	}
+	return parts, nil
+}
+
+// intList parses a comma-separated integer list.
+func intList(s string) ([]int, error) {
+	parts, err := splitList(s)
+	if err != nil || parts == nil {
+		return nil, err
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseRosters splits the -rosters flag — scheme names ';'-separated within
+// a roster, '|' between rosters (scheme names contain commas) — and
+// resolves every name against the extended registry, so both the wire names
+// and the resolved codes agree before anything runs.
+func parseRosters(s string) ([][]string, [][]ecc.Code, error) {
+	if s == "" {
+		return nil, nil, nil
+	}
+	var names [][]string
+	var codes [][]ecc.Code
+	for _, group := range strings.Split(s, "|") {
+		var roster []string
+		for _, n := range strings.Split(group, ";") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				return nil, nil, fmt.Errorf("empty scheme name in roster %q", group)
+			}
+			roster = append(roster, n)
+		}
+		resolved, err := onocd.ResolveSchemes(roster)
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, roster)
+		codes = append(codes, resolved)
+	}
+	return names, codes, nil
+}

@@ -165,6 +165,32 @@
 // mutate-one-knob chain); POST /v1/noc/batch serves the same path over
 // NDJSON through the daemon.
 //
+// # Autotuner campaigns
+//
+// Engine.Tune closes the search loop over that fast path: a deterministic
+// multi-objective particle swarm (Clerc constriction PSO) over the joint
+// design space — topology family, tile count, mesh shape, wavelength
+// budget, scheme-roster subset, DAC resolution — archived as a bounded
+// Pareto front over (energy/bit, p99 latency, saturation throughput) with
+// crowding-distance pruning:
+//
+//	res, err := eng.Tune(ctx, photonoc.TuneOptions{
+//		TargetBER: 1e-11, Seed: 7, Particles: 8, Generations: 10,
+//	})
+//	for _, p := range res.Front {
+//		fmt.Println(p.Spec.String(), p.EnergyPerBitJ, p.P99LatencySec)
+//	}
+//
+// Each generation evaluates the whole swarm as one Engine.NetworkBatch
+// population, so neighboring particles ride the incremental sessions.
+// Campaigns are bit-identical across Engine worker counts from the root
+// seed; infeasible candidates are counted and skipped, never fatal; and
+// every archived point's Spec rebuilds a candidate whose independent
+// Engine.Network evaluation reproduces its metrics exactly. cmd/onoctune
+// drives campaigns from the command line (table or JSON, locally or
+// against a daemon), and POST /v1/noc/tune streams one front snapshot per
+// generation as NDJSON, resumable via ?start_index.
+//
 // # Performance model
 //
 // Solves come in two costs. A warm solve is an LRU cache hit (microseconds).
@@ -211,6 +237,10 @@
 //   - internal/noc        — network-scale topologies (bus, crossbar, ring,
 //     mesh): wavelength allocation, routing, traffic-matrix aggregation
 //     (the machinery behind Engine.Network / NetworkSweep)
+//   - internal/tune       — the design-space autotuner: deterministic
+//     multi-objective PSO over topology × code × DAC with a
+//     crowding-pruned Pareto archive (the machinery behind Engine.Tune,
+//     cmd/onoctune and POST /v1/noc/tune)
 //   - internal/onocd      — the HTTP/JSON serving layer (cmd/onocd): wire
 //     DTOs over the Engine, a Go client that is itself a core.Evaluator,
 //     and the closed-loop load generator (cmd/onocload); the daemon adds

@@ -26,6 +26,12 @@ var (
 	// requested operating point. It wraps manager.ErrNoFeasibleScheme,
 	// so errors.Is matches either sentinel.
 	ErrInfeasible = engine.ErrInfeasible
+	// ErrZeroTraffic reports a NoC evaluation whose traffic matrix injects
+	// no traffic (every row sums to zero): saturation and throughput
+	// figures are undefined, so the evaluation is refused instead of
+	// reporting +Inf rates. It rides inside the ErrInvalidInput wrap, so
+	// errors.Is matches either sentinel.
+	ErrZeroTraffic = engine.ErrZeroTraffic
 )
 
 // DefaultCacheEntries is the memo-cache capacity used when WithCache is not

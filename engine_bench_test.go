@@ -182,6 +182,34 @@ func BenchmarkNetworkBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkTune runs the tracked noc_tune campaign: a seeded 8-particle ×
+// 5-generation swarm over the default design space, evaluated through the
+// incremental batch path. Candidate throughput (cand/s) counts the 40
+// evaluations each campaign performs.
+func BenchmarkTune(b *testing.B) {
+	eng, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := TuneOptions{TargetBER: 1e-11, Seed: 7, Particles: 8, Generations: 5}
+	if _, err := eng.Tune(ctx, opts); err != nil {
+		b.Fatal(err) // warm the memo cache and session pool untimed
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Tune(ctx, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Front) == 0 {
+			b.Fatal("empty Pareto front")
+		}
+	}
+	b.ReportMetric(float64(opts.Particles*opts.Generations)*float64(b.N)/b.Elapsed().Seconds(), "cand/s")
+}
+
 // BenchmarkManagerDecision compares per-request manager latency: a
 // standalone manager (private cache) against an engine-backed manager
 // sharing the sweep-warmed LRU.

@@ -34,6 +34,13 @@ var (
 	// could not be served — retry after backing off. The fault injector
 	// uses it for its synthetic 5xx envelopes.
 	ErrUnavailable = errors.New("photonoc: service temporarily unavailable")
+
+	// ErrZeroTraffic reports a traffic matrix with no active source: every
+	// row sums to zero, so no link carries load and saturation, rate and
+	// delivered-throughput figures are undefined. Callers that build
+	// matrices from traces or search loops should treat it as a degenerate
+	// candidate, not a service failure.
+	ErrZeroTraffic = errors.New("photonoc: traffic matrix injects no traffic")
 )
 
 // Retryable reports whether a typed API error is worth retrying on an

@@ -30,6 +30,7 @@ type ErrorBody struct {
 const (
 	CodeInvalidConfig = "invalid_config"
 	CodeInvalidInput  = "invalid_input"
+	CodeZeroTraffic   = "zero_traffic"
 	CodeInfeasible    = "infeasible"
 	CodeOverloaded    = "overloaded"
 	CodeUnavailable   = "unavailable"
@@ -42,15 +43,16 @@ const (
 //
 //	ErrInvalidConfig, ErrInvalidInput → 400 (the request itself is wrong)
 //	ErrInfeasible                    → 422 (well-formed, but no scheme closes it)
+//	ErrZeroTraffic                   → 422 (well-formed, but nothing injects)
 //	ErrOverloaded                    → 429 (admission control; retry later)
 //	ErrUnavailable                   → 503 (transient service failure; retry later)
 //	context.DeadlineExceeded         → 504 (the per-request deadline expired)
 //	context.Canceled                 → 499 (client went away, nginx convention)
 //	anything else                    → 500
 //
-// ErrInfeasible is checked before ErrInvalidInput so wrappers carrying both
-// sentinels (the manager's no-feasible-scheme path) report the more
-// specific 422.
+// ErrInfeasible and ErrZeroTraffic are checked before ErrInvalidInput so
+// wrappers carrying both sentinels (the manager's no-feasible-scheme path,
+// the engine's zero-traffic wrap) report the more specific 422.
 func HTTPStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
@@ -59,7 +61,7 @@ func HTTPStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, ErrInfeasible):
+	case errors.Is(err, ErrInfeasible), errors.Is(err, ErrZeroTraffic):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrInvalidConfig), errors.Is(err, ErrInvalidInput):
 		return http.StatusBadRequest
@@ -82,6 +84,8 @@ func Code(err error) string {
 		return CodeDeadline
 	case errors.Is(err, ErrInfeasible):
 		return CodeInfeasible
+	case errors.Is(err, ErrZeroTraffic):
+		return CodeZeroTraffic
 	case errors.Is(err, ErrInvalidConfig):
 		return CodeInvalidConfig
 	case errors.Is(err, ErrInvalidInput):
@@ -115,6 +119,11 @@ func FromEnvelope(e Envelope) error {
 		sentinel = ErrInvalidInput
 	case CodeInfeasible:
 		sentinel = ErrInfeasible
+	case CodeZeroTraffic:
+		// In process the zero-traffic sentinel always rides inside an
+		// ErrInvalidInput wrap; restore both so errors.Is matches either
+		// across the wire.
+		sentinel = fmt.Errorf("%w: %w", ErrInvalidInput, ErrZeroTraffic)
 	case CodeOverloaded:
 		sentinel = ErrOverloaded
 	case CodeUnavailable:

@@ -26,4 +26,10 @@ var (
 	// requested operating point; it wraps the manager's
 	// ErrNoFeasibleScheme at the API boundary.
 	ErrInfeasible = apierr.ErrInfeasible
+
+	// ErrZeroTraffic reports a NoC candidate whose traffic matrix injects
+	// no traffic (every row sums to zero), so saturation and throughput
+	// figures are undefined. It rides inside the ErrInvalidInput wrap the
+	// network paths apply, and errors.Is matches both sentinels.
+	ErrZeroTraffic = apierr.ErrZeroTraffic
 )

@@ -186,11 +186,11 @@ func (g *netGrid) aggregateBER(b int, evals [][][]core.Evaluation, opts noc.Eval
 	opts.TargetBER = g.bers[b]
 	decisions, err := noc.Decide(g.net, evals[b], opts)
 	if err != nil {
-		return noc.Result{}, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		return noc.Result{}, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
 	res, err := noc.Aggregate(g.net, decisions, opts)
 	if err != nil {
-		return noc.Result{}, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		return noc.Result{}, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
 	return res, nil
 }

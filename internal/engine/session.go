@@ -173,12 +173,12 @@ func (s *NetworkSession) Evaluate(ctx context.Context, cand NetworkCandidate) (*
 	decisions, err := s.eval.Decide(net, s.rows, opts)
 	if err != nil {
 		s.invalidate()
-		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
 	res, err := s.eval.Aggregate(net, decisions, opts)
 	if err != nil {
 		s.invalidate()
-		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidInput, err)
 	}
 
 	// Roll the lattice into the previous-candidate slot for the next diff.

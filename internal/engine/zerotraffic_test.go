@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"photonoc/internal/ecc"
+	"photonoc/internal/manager"
+	"photonoc/internal/noc"
+)
+
+// silentMatrix is an all-zero (no active source) traffic matrix.
+func silentMatrix(tiles int) noc.Matrix {
+	m := make(noc.Matrix, tiles)
+	for s := range m {
+		m[s] = make([]float64, tiles)
+	}
+	return m
+}
+
+// TestNetworkZeroTrafficTyped pins the zero-traffic contract at the engine
+// boundary: the noc sentinel survives the engine's invalid-input wrap, so
+// callers can distinguish a degenerate candidate from a malformed request
+// with errors.Is on either sentinel.
+func TestNetworkZeroTrafficTyped(t *testing.T) {
+	e := newNetEngine(t, ecc.PaperSchemes())
+	topo := noc.Config{Kind: noc.Crossbar, Tiles: 8}
+	opts := noc.EvalOptions{TargetBER: 1e-11, Objective: manager.MinEnergy, Traffic: silentMatrix(8)}
+
+	_, err := e.Network(context.Background(), topo, opts)
+	if !errors.Is(err, ErrZeroTraffic) {
+		t.Fatalf("Network error = %v, want ErrZeroTraffic in chain", err)
+	}
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("Network error = %v, want ErrInvalidInput in chain too", err)
+	}
+}
+
+// TestNetworkBatchZeroTrafficContinues pins the batch semantics the
+// autotuner depends on: with ContinueOnError a zero-traffic candidate
+// surfaces as a typed per-candidate error while its neighbors evaluate
+// normally.
+func TestNetworkBatchZeroTrafficContinues(t *testing.T) {
+	e := newNetEngine(t, ecc.PaperSchemes())
+	good := NetworkCandidate{
+		Topology: noc.Config{Kind: noc.Crossbar, Tiles: 8},
+		Opts:     noc.EvalOptions{TargetBER: 1e-11, Objective: manager.MinEnergy},
+	}
+	bad := good
+	bad.Opts.Traffic = silentMatrix(8)
+
+	results, err := e.NetworkBatch(context.Background(), []NetworkCandidate{good, bad, good},
+		BatchOptions{ContinueOnError: true})
+	var batch *BatchErrors
+	if !errors.As(err, &batch) {
+		t.Fatalf("batch error = %v, want *BatchErrors", err)
+	}
+	if len(batch.Errors) != 1 {
+		t.Fatalf("batch reported %d errors, want 1", len(batch.Errors))
+	}
+	if cand := batch.Errors[0]; cand.Index != 1 {
+		t.Fatalf("batch error = %v, want index 1", cand)
+	}
+	if !errors.Is(batch.Errors[0], ErrZeroTraffic) {
+		t.Fatalf("candidate error = %v, want ErrZeroTraffic in chain", batch.Errors[0])
+	}
+	for _, i := range []int{0, 2} {
+		if !results[i].Feasible || results[i].Links == 0 {
+			t.Fatalf("healthy candidate %d did not evaluate: %+v", i, results[i])
+		}
+	}
+}

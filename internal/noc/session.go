@@ -171,6 +171,16 @@ func (s *EvalSession) Aggregate(net *Network, decisions []LinkDecision, opts Eva
 		}
 	}
 
+	// An all-silent matrix (or one whose active rows route nothing) loads
+	// no link, so minSat never drops below +Inf. Validate already rejects
+	// matrices with no active source; this guard keeps the contract even
+	// for matrices constructed outside Validate — without it, Bisect gets
+	// an infinite bracket, errors, and the fallback would silently report
+	// SaturationInjectionBitsPerSec = +Inf and an +Inf delivered rate.
+	if math.IsInf(minSat, 1) {
+		return nil, fmt.Errorf("%w: no link carries load", ErrZeroTraffic)
+	}
+
 	// Saturation injection rate: bisect the rate at which the most loaded
 	// link hits unit utilization. The load curve is monotone in the rate,
 	// so the bisection brackets the closed-form min(capacity/share).

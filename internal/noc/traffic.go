@@ -3,7 +3,16 @@ package noc
 import (
 	"fmt"
 	"math"
+
+	"photonoc/internal/apierr"
 )
+
+// ErrZeroTraffic re-exports the API sentinel for an all-silent traffic
+// matrix: every row sums to zero, so no link carries load and saturation
+// and throughput figures are undefined. Matrix.Validate wraps it, and
+// EvalSession.Aggregate returns it as a defense-in-depth guard if such a
+// matrix slips past validation — the result is never a silent +Inf.
+var ErrZeroTraffic = apierr.ErrZeroTraffic
 
 // Matrix is a row-normalized traffic matrix: Matrix[s][d] is the fraction
 // of tile s's injected payload destined to tile d. Rows sum to 1 (or to 0
@@ -60,7 +69,7 @@ func (m Matrix) Validate(tiles int) error {
 		}
 	}
 	if active == 0 {
-		return fmt.Errorf("noc: traffic matrix has no active source")
+		return fmt.Errorf("%w: traffic matrix has no active source", ErrZeroTraffic)
 	}
 	return nil
 }

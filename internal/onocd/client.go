@@ -23,6 +23,7 @@ import (
 	"photonoc/internal/noc"
 	"photonoc/internal/obs"
 	"photonoc/internal/resilience"
+	"photonoc/internal/tune"
 )
 
 // Client is a typed onocd client. Errors decoded from the daemon's JSON
@@ -278,13 +279,43 @@ func (c *Client) NetworkSweep(ctx context.Context, req NoCRequest, fn func(int, 
 		})
 }
 
-// streamNoC runs one resumable NDJSON stream call: POST body to path, scan
-// NoCStreamItem lines through onItem, and on interruption reconnect with
+// wireStreamItem is the contract shared by the resumable NDJSON stream
+// line types: an index cursor into the full (unresumed) stream plus a
+// way to recognize a terminal error line.
+type wireStreamItem interface {
+	itemIndex() int
+	// terminal reports the error body that ends the stream, nil otherwise.
+	terminal() *apierr.ErrorBody
+}
+
+func (i NoCStreamItem) itemIndex() int { return i.Index }
+
+// terminal implements wireStreamItem: a Partial error is one candidate's
+// failure record, not the end of the stream.
+func (i NoCStreamItem) terminal() *apierr.ErrorBody {
+	if i.Error != nil && !i.Partial {
+		return i.Error
+	}
+	return nil
+}
+
+func (i NoCTuneItem) itemIndex() int { return i.Index }
+
+// terminal implements wireStreamItem: every tune error line is terminal.
+func (i NoCTuneItem) terminal() *apierr.ErrorBody { return i.Error }
+
+// streamNoC runs one resumable NoCStreamItem call; see streamItems.
+func (c *Client) streamNoC(ctx context.Context, path, contentType string, body []byte, expect int, onItem func(NoCStreamItem) error) error {
+	return streamItems(c, ctx, path, contentType, body, expect, onItem)
+}
+
+// streamItems runs one resumable NDJSON stream call: POST body to path,
+// scan item lines through onItem, and on interruption reconnect with
 // ?start_index so the daemon replays only the missing suffix. The stream
 // is complete when expect items have been delivered (or a terminal item
 // ended it); a clean EOF short of that is a truncation like any other —
 // some cuts land exactly on a line boundary.
-func (c *Client) streamNoC(ctx context.Context, path, contentType string, body []byte, expect int, onItem func(NoCStreamItem) error) error {
+func streamItems[T wireStreamItem](c *Client, ctx context.Context, path, contentType string, body []byte, expect int, onItem func(T) error) error {
 	next := 0
 	return c.withRetries(ctx, func(ctx context.Context) error {
 		before := next
@@ -303,7 +334,7 @@ func (c *Client) streamNoC(ctx context.Context, path, contentType string, body [
 		if next > 0 {
 			c.countResume(false)
 		}
-		err = scanNoCStream(resp.Body, &next, onItem)
+		err = scanStream(resp.Body, &next, onItem)
 		resp.Body.Close()
 		if err == nil && next < expect {
 			err = &TruncatedStreamError{LastIndex: next - 1, Cause: io.ErrUnexpectedEOF}
@@ -321,13 +352,13 @@ func (c *Client) streamNoC(ctx context.Context, path, contentType string, body [
 	})
 }
 
-// scanNoCStream drains an NDJSON NoCStreamItem body starting at item
-// *next: each in-order item is dispatched to onItem and advances the
-// cursor; a terminal error item (Error set, not Partial) surfaces as its
-// typed sentinel. A body that ends mid-line — or dies with a read error —
-// is a *TruncatedStreamError carrying the last intact index, which the
-// resume loop turns into a reconnect.
-func scanNoCStream(body io.Reader, next *int, onItem func(NoCStreamItem) error) error {
+// scanStream drains an NDJSON stream body starting at item *next: each
+// in-order item is dispatched to onItem and advances the cursor; a
+// terminal error item surfaces as its typed sentinel. A body that ends
+// mid-line — or dies with a read error — is a *TruncatedStreamError
+// carrying the last intact index, which the resume loop turns into a
+// reconnect.
+func scanStream[T wireStreamItem](body io.Reader, next *int, onItem func(T) error) error {
 	rd := bufio.NewReaderSize(body, 1<<16)
 	for {
 		line, err := rd.ReadBytes('\n')
@@ -347,23 +378,73 @@ func scanNoCStream(body io.Reader, next *int, onItem func(NoCStreamItem) error) 
 		if len(line) == 0 {
 			continue
 		}
-		var item NoCStreamItem
+		var item T
 		if err := json.Unmarshal(line, &item); err != nil {
 			// The line arrived complete (newline-terminated) but does not
 			// parse: a protocol bug, not a truncation — do not resume.
 			return fmt.Errorf("onocd: decode stream line: %w", err)
 		}
-		if item.Error != nil && !item.Partial {
-			return apierr.FromEnvelope(apierr.Envelope{Error: *item.Error})
+		if body := item.terminal(); body != nil {
+			return apierr.FromEnvelope(apierr.Envelope{Error: *body})
 		}
-		if item.Index != *next {
-			return fmt.Errorf("onocd: stream item index %d, want %d", item.Index, *next)
+		if item.itemIndex() != *next {
+			return fmt.Errorf("onocd: stream item index %d, want %d", item.itemIndex(), *next)
 		}
 		if err := onItem(item); err != nil {
 			return err
 		}
 		*next++
 	}
+}
+
+// Tune runs one remote autotuner campaign through POST /v1/noc/tune and
+// returns the final result. fn, when non-nil, receives each generation's
+// archive front as it is solved (gen counts from 0); a fn error aborts the
+// campaign. Campaigns are deterministic from the request seed, so an
+// interrupted stream resumes with ?start_index and the replayed prefix is
+// bit-identical to what was already delivered.
+func (c *Client) Tune(ctx context.Context, req NoCTuneRequest, fn func(gen int, front []tune.Point) error) (*tune.Result, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("onocd: encode tune request: %w", err)
+	}
+	gens := req.Generations
+	if gens == 0 {
+		gens = tune.DefaultGenerations
+	}
+	var res *tune.Result
+	err = streamItems(c, ctx, "/v1/noc/tune", "application/json", raw, gens+1,
+		func(item NoCTuneItem) error {
+			if item.Summary != nil {
+				front, err := coreTuneFront(item.Summary.Front)
+				if err != nil {
+					return err
+				}
+				res = &tune.Result{
+					Front:       front,
+					Generations: item.Summary.Generations,
+					Particles:   item.Summary.Particles,
+					Evaluated:   item.Summary.Evaluated,
+					Infeasible:  item.Summary.Infeasible,
+				}
+				return nil
+			}
+			if fn == nil {
+				return nil
+			}
+			front, err := coreTuneFront(item.Front)
+			if err != nil {
+				return err
+			}
+			return fn(item.Index, front)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("onocd: tune stream ended without a summary item")
+	}
+	return res, nil
 }
 
 // encodeBatchItems renders the NDJSON request body of /v1/noc/batch.

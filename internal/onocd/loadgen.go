@@ -27,23 +27,28 @@ type LoadOptions struct {
 	MakeRequest func(i int) SweepRequest
 }
 
-// LoadStats is the outcome of one load phase.
+// LoadStats is the outcome of one load phase. QPS and the latency
+// percentiles describe the Completed sample only — a run where every
+// request fails (100% fault rate, a breaker stuck open) reports
+// Completed 0, QPS 0 and zeroed percentiles, never NaN.
 type LoadStats struct {
-	Requests int           `json:"requests"`
-	Non2xx   int           `json:"non_2xx"`
-	Elapsed  time.Duration `json:"elapsed_ns"`
-	QPS      float64       `json:"qps"`
-	P50      time.Duration `json:"p50_ns"`
-	P90      time.Duration `json:"p90_ns"`
-	P99      time.Duration `json:"p99_ns"`
-	Max      time.Duration `json:"max_ns"`
+	Requests  int           `json:"requests"`
+	Completed int           `json:"completed"`
+	Non2xx    int           `json:"non_2xx"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	QPS       float64       `json:"qps"`
+	P50       time.Duration `json:"p50_ns"`
+	P90       time.Duration `json:"p90_ns"`
+	P99       time.Duration `json:"p99_ns"`
+	Max       time.Duration `json:"max_ns"`
 	// FirstError samples one failure for diagnostics.
 	FirstError string `json:"first_error,omitempty"`
 }
 
 // RunLoad drives a daemon with a closed loop of identical-shaped sweep
-// requests and aggregates throughput and latency percentiles. It is the
-// engine behind cmd/onocload and the service benchmark in onocbench.
+// requests and aggregates throughput and latency percentiles over the
+// requests that completed. It is the engine behind cmd/onocload and the
+// service benchmark in onocbench.
 func RunLoad(ctx context.Context, c *Client, opts LoadOptions) (LoadStats, error) {
 	if opts.Clients <= 0 {
 		opts.Clients = 8
@@ -60,6 +65,7 @@ func RunLoad(ctx context.Context, c *Client, opts LoadOptions) (LoadStats, error
 
 	var (
 		next      atomic.Int64
+		attempts  atomic.Int64
 		non2xx    atomic.Int64
 		firstErr  atomic.Value
 		wg        sync.WaitGroup
@@ -78,11 +84,13 @@ func RunLoad(ctx context.Context, c *Client, opts LoadOptions) (LoadStats, error
 				}
 				t0 := time.Now()
 				_, err := c.Sweep(ctx, makeReq(i))
-				lats = append(lats, time.Since(t0))
+				attempts.Add(1)
 				if err != nil {
 					non2xx.Add(1)
 					firstErr.CompareAndSwap(nil, err.Error())
+					continue
 				}
+				lats = append(lats, time.Since(t0))
 			}
 			latencies[cl] = lats
 		}(cl)
@@ -99,10 +107,11 @@ func RunLoad(ctx context.Context, c *Client, opts LoadOptions) (LoadStats, error
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	stats := LoadStats{
-		Requests: len(all),
-		Non2xx:   int(non2xx.Load()),
-		Elapsed:  elapsed,
-		QPS:      float64(len(all)) / elapsed.Seconds(),
+		Requests:  int(attempts.Load()),
+		Completed: len(all),
+		Non2xx:    int(non2xx.Load()),
+		Elapsed:   elapsed,
+		QPS:       float64(len(all)) / elapsed.Seconds(),
 	}
 	if msg, ok := firstErr.Load().(string); ok {
 		stats.FirstError = msg
@@ -121,7 +130,15 @@ func RunLoad(ctx context.Context, c *Client, opts LoadOptions) (LoadStats, error
 }
 
 // WriteTable renders the stats as the aligned row cmd/onocload prints.
+// With nothing completed there is no latency sample, so the percentile
+// columns would be fabrications — an explicit "0 completed" line replaces
+// them.
 func (s LoadStats) WriteTable(w io.Writer, label string) {
+	if s.Completed == 0 {
+		fmt.Fprintf(w, "%-8s %8d req %4d non-2xx   0 completed (no latency sample)\n",
+			label, s.Requests, s.Non2xx)
+		return
+	}
 	fmt.Fprintf(w, "%-8s %8d req %4d non-2xx %10.1f qps   p50 %10s  p90 %10s  p99 %10s  max %10s\n",
 		label, s.Requests, s.Non2xx, s.QPS, s.P50, s.P90, s.P99, s.Max)
 }

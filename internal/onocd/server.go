@@ -24,6 +24,7 @@ import (
 	"photonoc/internal/manager"
 	"photonoc/internal/mc"
 	"photonoc/internal/obs"
+	"photonoc/internal/tune"
 )
 
 // Service defaults.
@@ -264,6 +265,7 @@ func (s *Server) routes() {
 	s.v1("POST /v1/noc/batch", "/v1/noc/batch", true, true, s.handleNoCBatch)
 	s.v1("POST /v1/noc/sweep", "/v1/noc/sweep", true, true, s.handleNoCSweep)
 	s.v1("POST /v1/noc/sim", "/v1/noc/sim", true, false, s.handleNoCSim)
+	s.v1("POST /v1/noc/tune", "/v1/noc/tune", true, true, s.handleNoCTune)
 	s.v1("POST /v1/validate", "/v1/validate", true, false, s.handleValidate)
 
 	// The profiling routes are deliberately outside instrument: no admission
@@ -895,6 +897,83 @@ func (s *Server) handleNoCSweep(ctx context.Context, st *engineState, w *statusW
 		}
 		w.Flush()
 	}
+	return nil
+}
+
+// errClientGone marks a streaming write that failed because the client
+// disconnected: the campaign aborts, but the handler exits cleanly.
+var errClientGone = errors.New("onocd: client went away mid-stream")
+
+// handleNoCTune runs one autotuner campaign (internal/tune) against the
+// daemon's engine, streaming one NDJSON NoCTuneItem per generation — the
+// archive front after that generation's batch evaluation — plus a terminal
+// summary item at Index = generations. Campaigns are deterministic from
+// the request seed, so ?start_index=N resumes an interrupted stream by
+// replaying the campaign (warm through the memo cache) and emitting only
+// the missing suffix. Option errors surface before any output as a plain
+// HTTP error; mid-campaign failures (cancellation, deadline) arrive as a
+// terminal Error line under the already-committed 200.
+func (s *Server) handleNoCTune(ctx context.Context, st *engineState, w *statusWriter, r *http.Request) error {
+	start, err := startIndexParam(r)
+	if err != nil {
+		return err
+	}
+	var req NoCTuneRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	opts, err := req.options()
+	if err != nil {
+		return err
+	}
+	gens := opts.Generations
+	if gens == 0 {
+		gens = tune.DefaultGenerations
+	}
+	if start > gens {
+		return fmt.Errorf("%w: start_index %d beyond campaign stream of %d items", apierr.ErrInvalidInput, start, gens+1)
+	}
+	enc := json.NewEncoder(w)
+	streamed := false
+	done := 0
+	opts.OnGeneration = func(gen int, front []tune.Point) error {
+		if !streamed {
+			// Defer the header to the first generation so option validation
+			// inside tune.Run still yields a proper HTTP error status.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			streamed = true
+		}
+		done = gen + 1
+		if gen < start {
+			return nil // resumed stream: the client already has this item
+		}
+		item := NoCTuneItem{Index: gen, Front: toWireTuneFront(front)}
+		if err := enc.Encode(item); err != nil {
+			return errClientGone
+		}
+		w.Flush()
+		return nil
+	}
+	res, err := tune.Run(ctx, st.eng, opts)
+	if err != nil {
+		if errors.Is(err, errClientGone) {
+			return nil
+		}
+		if !streamed {
+			return err // failed before any output: plain HTTP error
+		}
+		_, body := apierr.EnvelopeFor(err)
+		if encErr := enc.Encode(NoCTuneItem{Index: done, Error: &body.Error}); encErr == nil {
+			w.Flush()
+		}
+		return nil
+	}
+	sum := TuneSummary(res)
+	item := NoCTuneItem{Index: res.Generations, Summary: &sum}
+	if err := enc.Encode(item); err != nil {
+		return nil
+	}
+	w.Flush()
 	return nil
 }
 

@@ -470,7 +470,7 @@ func TestRunLoadWarmHitRate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Requests != 60 || stats.Non2xx != 0 {
+	if stats.Requests != 60 || stats.Completed != 60 || stats.Non2xx != 0 {
 		t.Fatalf("stats: %+v", stats)
 	}
 	if stats.QPS <= 0 || stats.P50 <= 0 || stats.P99 < stats.P50 {
@@ -488,6 +488,45 @@ func TestRunLoadWarmHitRate(t *testing.T) {
 	}
 }
 
+// TestRunLoadZeroCompleted pins the 100%-failure contract behind
+// cmd/onocload: when every measured request is rejected the latency sample
+// is empty, so the stats must report Completed 0 with zeroed QPS and
+// percentiles (never NaN — json.Marshal would refuse it), and WriteTable
+// must print an explicit "0 completed" line instead of fabricated
+// percentile columns.
+func TestRunLoadZeroCompleted(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	stats, err := RunLoad(context.Background(), c, LoadOptions{
+		Clients:  2,
+		Requests: 8,
+		// A zero BER is a deterministic 400 — final, never retried — so
+		// every request fails without a single completion.
+		MakeRequest: func(int) SweepRequest {
+			return SweepRequest{TargetBERs: []float64{0}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 8 || stats.Completed != 0 || stats.Non2xx != 8 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.QPS != 0 || stats.P50 != 0 || stats.P99 != 0 || stats.Max != 0 {
+		t.Errorf("figures fabricated from an empty sample: %+v", stats)
+	}
+	if stats.FirstError == "" {
+		t.Error("no failure sampled into FirstError")
+	}
+	var tbl strings.Builder
+	stats.WriteTable(&tbl, "warm")
+	if !strings.Contains(tbl.String(), "0 completed") || strings.Contains(tbl.String(), "qps") {
+		t.Errorf("table: %q", tbl.String())
+	}
+	if _, err := json.Marshal(stats); err != nil {
+		t.Errorf("stats do not survive JSON encoding: %v", err)
+	}
+}
+
 func TestWFloatRoundTrip(t *testing.T) {
 	for _, v := range []float64{0, 1.5, -2.25e-9, math.Inf(1), math.Inf(-1)} {
 		raw, err := json.Marshal(WFloat(v))
@@ -500,6 +539,22 @@ func TestWFloatRoundTrip(t *testing.T) {
 		}
 		if float64(back) != v {
 			t.Errorf("%g → %s → %g", v, raw, float64(back))
+		}
+	}
+	// Finite values must reproduce encoding/json's float notation byte for
+	// byte — promoting a float64 wire field to WFloat is invisible until
+	// the value goes non-finite.
+	for _, v := range []float64{0, 1.5, -2.25e-9, 1e-11, 108169014084.50705, 1e21, 5.4084507042253525e+22} {
+		wraw, err := json.Marshal(WFloat(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fraw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wraw) != string(fraw) {
+			t.Errorf("WFloat(%g) marshals as %s, float64 as %s", v, wraw, fraw)
 		}
 	}
 	raw, _ := json.Marshal(WFloat(math.NaN()))

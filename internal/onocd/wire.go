@@ -21,6 +21,7 @@ import (
 	"photonoc/internal/netsim"
 	"photonoc/internal/noc"
 	"photonoc/internal/onoc"
+	"photonoc/internal/tune"
 )
 
 // WFloat is a float64 whose JSON form survives non-finite values: finite
@@ -30,7 +31,11 @@ import (
 // percentiles, and the wire must not lose that.
 type WFloat float64
 
-// MarshalJSON implements json.Marshaler.
+// MarshalJSON implements json.Marshaler. Finite values reproduce
+// encoding/json's own float notation byte for byte ('f' except for
+// exponents beyond its ±range, with the two-digit exponent de-padded), so
+// promoting a plain float64 field to WFloat never changes the wire bytes
+// of finite values.
 func (f WFloat) MarshalJSON() ([]byte, error) {
 	v := float64(f)
 	switch {
@@ -40,9 +45,19 @@ func (f WFloat) MarshalJSON() ([]byte, error) {
 		return []byte(`"-Inf"`), nil
 	case math.IsNaN(v):
 		return []byte(`"NaN"`), nil
-	default:
-		return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
 	}
+	format := byte('f')
+	if abs := math.Abs(v); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b := strconv.AppendFloat(nil, v, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
 }
 
 // UnmarshalJSON implements json.Unmarshaler.
@@ -336,10 +351,13 @@ type NoCResult struct {
 	Decisions []NoCLinkDecision `json:"decisions,omitempty"`
 	Loads     []NoCLinkLoad     `json:"loads,omitempty"`
 
-	SaturationInjectionBitsPerSec float64 `json:"saturation_injection_bits_per_sec"`
-	InjectionRateBitsPerSec       float64 `json:"injection_rate_bits_per_sec"`
-	Saturated                     bool    `json:"saturated"`
-	DeliveredBitsPerSec           float64 `json:"delivered_bits_per_sec"`
+	// The rate figures ride WFloat like the latency percentiles: a
+	// degenerate candidate evaluated by an old daemon (or a result relayed
+	// through logs) can carry ±Inf, and the wire must not lose it.
+	SaturationInjectionBitsPerSec WFloat `json:"saturation_injection_bits_per_sec"`
+	InjectionRateBitsPerSec       WFloat `json:"injection_rate_bits_per_sec"`
+	Saturated                     bool   `json:"saturated"`
+	DeliveredBitsPerSec           WFloat `json:"delivered_bits_per_sec"`
 
 	LaserPowerW         float64 `json:"laser_power_w"`
 	ModulatorPowerW     float64 `json:"modulator_power_w"`
@@ -406,10 +424,10 @@ func toWireNoC(res noc.Result) NoCResult {
 		InfeasibleReason: res.InfeasibleReason,
 		SchemeUse:        res.SchemeUse,
 
-		SaturationInjectionBitsPerSec: res.SaturationInjectionBitsPerSec,
-		InjectionRateBitsPerSec:       res.InjectionRateBitsPerSec,
+		SaturationInjectionBitsPerSec: WFloat(res.SaturationInjectionBitsPerSec),
+		InjectionRateBitsPerSec:       WFloat(res.InjectionRateBitsPerSec),
 		Saturated:                     res.Saturated,
-		DeliveredBitsPerSec:           res.DeliveredBitsPerSec,
+		DeliveredBitsPerSec:           WFloat(res.DeliveredBitsPerSec),
 
 		LaserPowerW:         res.LaserPowerW,
 		ModulatorPowerW:     res.ModulatorPowerW,
@@ -456,10 +474,10 @@ func (w NoCResult) Core() (noc.Result, error) {
 		InfeasibleReason: w.InfeasibleReason,
 		SchemeUse:        w.SchemeUse,
 
-		SaturationInjectionBitsPerSec: w.SaturationInjectionBitsPerSec,
-		InjectionRateBitsPerSec:       w.InjectionRateBitsPerSec,
+		SaturationInjectionBitsPerSec: float64(w.SaturationInjectionBitsPerSec),
+		InjectionRateBitsPerSec:       float64(w.InjectionRateBitsPerSec),
 		Saturated:                     w.Saturated,
-		DeliveredBitsPerSec:           w.DeliveredBitsPerSec,
+		DeliveredBitsPerSec:           float64(w.DeliveredBitsPerSec),
 
 		LaserPowerW:         w.LaserPowerW,
 		ModulatorPowerW:     w.ModulatorPowerW,
@@ -617,4 +635,192 @@ type ConfigResponse struct {
 	Schemes     []string        `json:"schemes"`
 	Workers     int             `json:"workers"`
 	Config      core.LinkConfig `json:"config"`
+}
+
+// NoCTuneRequest is the body of POST /v1/noc/tune: one autotuner campaign
+// over the joint NoC design space. Only TargetBER is required; every other
+// field zero-defaults exactly like tune.Options (16 particles, 20
+// generations, bus/ring/mesh kinds, the daemon's roster plus one
+// single-scheme roster per code, DAC bits {0, 4, 6, 8}).
+type NoCTuneRequest struct {
+	TargetBER       float64 `json:"target_ber"`
+	Objective       string  `json:"objective,omitempty"`
+	Pattern         string  `json:"pattern,omitempty"` // uniform|hotspot|permutation|streaming
+	HotspotNode     int     `json:"hotspot_node,omitempty"`
+	HotspotFraction float64 `json:"hotspot_fraction,omitempty"`
+	MessageBits     int     `json:"message_bits,omitempty"`
+
+	Seed        int64 `json:"seed,omitempty"`
+	Particles   int   `json:"particles,omitempty"`
+	Generations int   `json:"generations,omitempty"`
+	ArchiveCap  int   `json:"archive_cap,omitempty"`
+
+	// The design-space choice lists. Kinds are topology names; Rosters are
+	// scheme-name subsets resolved against the extended registry.
+	Kinds       []string   `json:"kinds,omitempty"`
+	Tiles       []int      `json:"tiles,omitempty"`
+	Wavelengths []int      `json:"wavelengths,omitempty"`
+	Rosters     [][]string `json:"rosters,omitempty"`
+	DACBits     []int      `json:"dac_bits,omitempty"`
+}
+
+// options converts the wire campaign into tune options; list defaults stay
+// nil so tune.Run applies its own.
+func (r *NoCTuneRequest) options() (tune.Options, error) {
+	obj, err := parseObjective(r.Objective)
+	if err != nil {
+		return tune.Options{}, err
+	}
+	pat := netsim.Uniform
+	if r.Pattern != "" {
+		if pat, err = netsim.ParsePattern(r.Pattern); err != nil {
+			return tune.Options{}, fmt.Errorf("%w: %v", apierr.ErrInvalidInput, err)
+		}
+	}
+	opts := tune.Options{
+		Seed:            r.Seed,
+		Particles:       r.Particles,
+		Generations:     r.Generations,
+		ArchiveCap:      r.ArchiveCap,
+		TargetBER:       r.TargetBER,
+		Objective:       obj,
+		Pattern:         pat,
+		HotspotNode:     r.HotspotNode,
+		HotspotFraction: r.HotspotFraction,
+		MessageBits:     r.MessageBits,
+		Tiles:           r.Tiles,
+		Wavelengths:     r.Wavelengths,
+		DACBits:         r.DACBits,
+	}
+	for _, k := range r.Kinds {
+		kind, err := noc.ParseKind(k)
+		if err != nil {
+			return tune.Options{}, fmt.Errorf("%w: %v", apierr.ErrInvalidInput, err)
+		}
+		opts.Kinds = append(opts.Kinds, kind)
+	}
+	for i, names := range r.Rosters {
+		codes, err := ResolveSchemes(names)
+		if err != nil {
+			return tune.Options{}, err
+		}
+		if len(codes) == 0 {
+			return tune.Options{}, fmt.Errorf("%w: roster choice %d is empty", apierr.ErrInvalidInput, i)
+		}
+		opts.Rosters = append(opts.Rosters, codes)
+	}
+	return opts, nil
+}
+
+// NoCTunePoint is one archived design point on the wire: the decoded spec
+// (scheme roster by name), the encoded particle position, and the three
+// objectives. The objectives ride WFloat like the NoCResult figures.
+type NoCTunePoint struct {
+	Topology    string    `json:"topology"`
+	Tiles       int       `json:"tiles"`
+	Columns     int       `json:"columns"`
+	Wavelengths int       `json:"wavelengths,omitempty"` // 0 = the daemon's grid
+	Roster      []string  `json:"roster"`
+	DACBits     int       `json:"dac_bits,omitempty"` // 0 = exact analytic settings
+	Position    []float64 `json:"position"`
+
+	EnergyPerBitJ        WFloat `json:"energy_per_bit_j"`
+	P99LatencySec        WFloat `json:"p99_latency_sec"`
+	SaturationBitsPerSec WFloat `json:"saturation_bits_per_sec"`
+}
+
+// toWireTunePoint flattens one archived point.
+func toWireTunePoint(p tune.Point) NoCTunePoint {
+	return NoCTunePoint{
+		Topology:             p.Spec.Kind.String(),
+		Tiles:                p.Spec.Tiles,
+		Columns:              p.Spec.Columns,
+		Wavelengths:          p.Spec.Wavelengths,
+		Roster:               p.Spec.Roster,
+		DACBits:              p.Spec.DACBits,
+		Position:             p.Position,
+		EnergyPerBitJ:        WFloat(p.EnergyPerBitJ),
+		P99LatencySec:        WFloat(p.P99LatencySec),
+		SaturationBitsPerSec: WFloat(p.SaturationBitsPerSec),
+	}
+}
+
+// toWireTuneFront flattens a whole front.
+func toWireTuneFront(front []tune.Point) []NoCTunePoint {
+	out := make([]NoCTunePoint, len(front))
+	for i, p := range front {
+		out[i] = toWireTunePoint(p)
+	}
+	return out
+}
+
+// Core rebuilds the in-process point (topology name parsed back to its
+// kind), so remote fronts render through the same code as local ones.
+func (w NoCTunePoint) Core() (tune.Point, error) {
+	kind, err := noc.ParseKind(w.Topology)
+	if err != nil {
+		return tune.Point{}, fmt.Errorf("%w: %v", apierr.ErrInvalidInput, err)
+	}
+	return tune.Point{
+		Spec: tune.CandidateSpec{
+			Kind:        kind,
+			Tiles:       w.Tiles,
+			Columns:     w.Columns,
+			Wavelengths: w.Wavelengths,
+			Roster:      w.Roster,
+			DACBits:     w.DACBits,
+		},
+		Position:             w.Position,
+		EnergyPerBitJ:        float64(w.EnergyPerBitJ),
+		P99LatencySec:        float64(w.P99LatencySec),
+		SaturationBitsPerSec: float64(w.SaturationBitsPerSec),
+	}, nil
+}
+
+// coreTuneFront rebuilds a whole front.
+func coreTuneFront(front []NoCTunePoint) ([]tune.Point, error) {
+	out := make([]tune.Point, len(front))
+	for i, w := range front {
+		p, err := w.Core()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// NoCTuneSummary is the terminal line of a finished campaign: the final
+// front plus evaluation accounting, mirroring tune.Result.
+type NoCTuneSummary struct {
+	Generations int            `json:"generations"`
+	Particles   int            `json:"particles"`
+	Evaluated   int            `json:"evaluated"`
+	Infeasible  int            `json:"infeasible"`
+	Front       []NoCTunePoint `json:"front"`
+}
+
+// NoCTuneItem is one NDJSON line of POST /v1/noc/tune. Index counts
+// generations: items 0 .. generations−1 carry that generation's archive
+// front, and the final item at Index = generations carries the Summary.
+// An Error item is always terminal — infeasible candidates are accounted
+// inside the campaign, never streamed as failures.
+type NoCTuneItem struct {
+	Index   int               `json:"index"`
+	Front   []NoCTunePoint    `json:"front,omitempty"`
+	Summary *NoCTuneSummary   `json:"summary,omitempty"`
+	Error   *apierr.ErrorBody `json:"error,omitempty"`
+}
+
+// TuneSummary flattens a finished campaign — the daemon's terminal stream
+// line and the onoctune -json document share this exact shape, so a remote
+// campaign's JSON is byte-identical to a local one's.
+func TuneSummary(res *tune.Result) NoCTuneSummary {
+	return NoCTuneSummary{
+		Generations: res.Generations,
+		Particles:   res.Particles,
+		Evaluated:   res.Evaluated,
+		Infeasible:  res.Infeasible,
+		Front:       toWireTuneFront(res.Front),
+	}
 }

@@ -1,0 +1,127 @@
+package tune
+
+import (
+	"math"
+	"sort"
+)
+
+// objectives extracts the minimized objective vector of a point:
+// energy per bit, p99 latency, and negated saturation throughput (higher
+// saturation headroom is better, so it is minimized negated).
+func objectives(p *Point) [3]float64 {
+	return [3]float64{p.EnergyPerBitJ, p.P99LatencySec, -p.SaturationBitsPerSec}
+}
+
+// dominates reports weak Pareto dominance: a is no worse than b in every
+// objective and strictly better in at least one.
+func dominates(a, b [3]float64) bool {
+	better := false
+	for k := range a {
+		if a[k] > b[k] {
+			return false
+		}
+		if a[k] < b[k] {
+			better = true
+		}
+	}
+	return better
+}
+
+// archive is the bounded Pareto archive of a campaign: a mutually
+// non-dominated point set with crowding-distance pruning. All operations
+// are deterministic — insertion order never affects the final set beyond
+// the first-come rule for objective-identical points.
+type archive struct {
+	cap    int
+	points []Point
+}
+
+// add offers a point to the archive. It is rejected when an archived point
+// dominates it or duplicates its objective vector (first-come wins, which
+// keeps re-discovered designs from churning the front); otherwise every
+// archived point it dominates is evicted, the point is inserted, and the
+// archive is pruned back to capacity by crowding distance.
+func (a *archive) add(p Point) bool {
+	obj := objectives(&p)
+	for i := range a.points {
+		q := objectives(&a.points[i])
+		if q == obj || dominates(q, obj) {
+			return false
+		}
+	}
+	keep := a.points[:0]
+	for i := range a.points {
+		if !dominates(obj, objectives(&a.points[i])) {
+			keep = append(keep, a.points[i])
+		}
+	}
+	a.points = append(keep, p)
+	for a.cap > 0 && len(a.points) > a.cap {
+		a.evictMostCrowded()
+	}
+	return true
+}
+
+// evictMostCrowded removes the point with the smallest crowding distance
+// (NSGA-II style: per-objective normalized nearest-neighbor gap, boundary
+// points get +Inf). Ties break on the sorted order, so pruning is
+// deterministic.
+func (a *archive) evictMostCrowded() {
+	a.sort()
+	n := len(a.points)
+	dist := make([]float64, n)
+	objs := make([][3]float64, n)
+	for i := range a.points {
+		objs[i] = objectives(&a.points[i])
+	}
+	idx := make([]int, n)
+	for k := 0; k < 3; k++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(i, j int) bool { return objs[idx[i]][k] < objs[idx[j]][k] })
+		span := objs[idx[n-1]][k] - objs[idx[0]][k]
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[n-1]] = math.Inf(1)
+		if span == 0 {
+			continue
+		}
+		for i := 1; i < n-1; i++ {
+			if !math.IsInf(dist[idx[i]], 1) {
+				dist[idx[i]] += (objs[idx[i+1]][k] - objs[idx[i-1]][k]) / span
+			}
+		}
+	}
+	evict := 0
+	for i := 1; i < n; i++ {
+		if dist[i] < dist[evict] {
+			evict = i
+		}
+	}
+	a.points = append(a.points[:evict], a.points[evict+1:]...)
+}
+
+// sort orders the archive lexicographically by objective vector, then by
+// decoded design, so every exported front snapshot is canonical.
+func (a *archive) sort() {
+	sort.SliceStable(a.points, func(i, j int) bool {
+		oi, oj := objectives(&a.points[i]), objectives(&a.points[j])
+		for k := range oi {
+			if oi[k] != oj[k] {
+				return oi[k] < oj[k]
+			}
+		}
+		return a.points[i].Spec.less(&a.points[j].Spec)
+	})
+}
+
+// front returns a sorted deep copy of the archive, safe to hand to
+// callbacks and results.
+func (a *archive) front() []Point {
+	a.sort()
+	out := make([]Point, len(a.points))
+	for i := range a.points {
+		out[i] = a.points[i].clone()
+	}
+	return out
+}
